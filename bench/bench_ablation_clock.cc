@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation A1: local clock-grid pitch.  DESIGN.md calls out the
+ * gridded-clock model as a major calibrated choice; this bench sweeps
+ * the grid pitch over a 10 mm^2 core-class region at 65 nm and shows
+ * how strongly the choice drives clock power (the Alpha-style dense
+ * grid vs sparse spine tradeoff).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "circuit/clock_network.hh"
+
+int
+main()
+{
+    using namespace mcpat;
+    using namespace mcpat::bench;
+    using namespace mcpat::circuit;
+
+    printHeader("Ablation: clock-grid pitch (10 mm^2 region, 65 nm, "
+                "3 GHz, 50 pF sinks)");
+
+    const tech::Technology t(65);
+    std::printf("%10s %12s %12s %12s %14s\n", "pitch", "wire len",
+                "switched C", "power@3GHz", "insertion delay");
+
+    for (double pitch_um : {10.0, 20.0, 40.0, 80.0, 160.0}) {
+        const ClockNetwork net(10.0 * mm2, 50.0 * pF, t,
+                               pitch_um * um);
+        std::printf("%8.0fum %10.2f m %10.1f pF %10.2f W %11.1f ps\n",
+                    pitch_um, net.wireLength(),
+                    net.switchedCap() / pF,
+                    net.energyPerCycle() * 3.0 * GHz,
+                    net.insertionDelay() / ps);
+    }
+
+    std::printf("\nReading: clock power is dominated by the grid below "
+                "~40 um pitch; the model's\ndefault (20 um for logic, "
+                "80 um for cache macros) sets the calibrated split\n"
+                "between Tulsa-class and Niagara-class clock "
+                "fractions.\n");
+    return 0;
+}

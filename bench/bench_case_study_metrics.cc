@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Experiment C3: case-study combined-metrics figure — ED, ED^2, EDA,
+ * and ED^2A of every design point, normalized to the best value of each
+ * metric, plus the winner per metric (the paper's key result: the
+ * preferred clustering degree shifts as area and delay weigh in).
+ */
+
+#include <cstdio>
+#include <limits>
+
+#include "bench/bench_util.hh"
+#include "study/sweep.hh"
+
+int
+main()
+{
+    using namespace mcpat::bench;
+    using namespace mcpat::study;
+
+    printHeader("Case study (22 nm, 64 cores): combined metrics "
+                "(normalized; lower is better)");
+
+    const auto results = runCaseStudy();
+
+    double best_ed = std::numeric_limits<double>::max();
+    double best_ed2 = best_ed, best_eda = best_ed, best_ed2a = best_ed;
+    for (const auto &r : results) {
+        best_ed = std::min(best_ed, r.meanMetrics.ed);
+        best_ed2 = std::min(best_ed2, r.meanMetrics.ed2);
+        best_eda = std::min(best_eda, r.meanMetrics.eda);
+        best_ed2a = std::min(best_ed2a, r.meanMetrics.ed2a);
+    }
+
+    std::printf("%-14s %8s %8s %8s %8s\n", "design", "ED", "ED^2",
+                "EDA", "ED^2A");
+    const DesignPointResult *win_ed = nullptr, *win_ed2 = nullptr;
+    const DesignPointResult *win_eda = nullptr, *win_ed2a = nullptr;
+    for (const auto &r : results) {
+        std::printf("%-14s %8.2f %8.2f %8.2f %8.2f\n",
+                    r.config.label().c_str(),
+                    r.meanMetrics.ed / best_ed,
+                    r.meanMetrics.ed2 / best_ed2,
+                    r.meanMetrics.eda / best_eda,
+                    r.meanMetrics.ed2a / best_ed2a);
+        if (r.meanMetrics.ed == best_ed)
+            win_ed = &r;
+        if (r.meanMetrics.ed2 == best_ed2)
+            win_ed2 = &r;
+        if (r.meanMetrics.eda == best_eda)
+            win_eda = &r;
+        if (r.meanMetrics.ed2a == best_ed2a)
+            win_ed2a = &r;
+    }
+
+    std::printf("\nWinners:\n");
+    std::printf("  ED    : %s\n", win_ed->config.label().c_str());
+    std::printf("  ED^2  : %s\n", win_ed2->config.label().c_str());
+    std::printf("  EDA   : %s\n", win_eda->config.label().c_str());
+    std::printf("  ED^2A : %s\n", win_ed2a->config.label().c_str());
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Experiment C1: case-study performance figure — per-workload
+ * throughput of 22 nm manycore design points (in-order vs out-of-order
+ * cores, 1/2/4/8 cores per L2 cluster).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "study/sweep.hh"
+
+int
+main()
+{
+    using namespace mcpat;
+    using namespace mcpat::bench;
+    using namespace mcpat::study;
+
+    printHeader("Case study (22 nm, 64 cores): throughput by workload "
+                "[BIPS]");
+
+    const auto results = runCaseStudy();
+
+    std::printf("%-12s", "workload");
+    for (const auto &r : results)
+        std::printf(" %11s", r.config.label().c_str());
+    std::printf("\n");
+
+    const auto &workloads = perf::splash2Workloads();
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::printf("%-12s", workloads[wi].name.c_str());
+        for (const auto &r : results) {
+            std::printf(" %11.1f",
+                        r.workloads[wi].performance.throughput / giga);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("%-12s", "MEAN");
+    for (const auto &r : results)
+        std::printf(" %11.1f", r.meanThroughput / giga);
+    std::printf("\n");
+
+    std::printf("\nBandwidth-limited runs (workload:design):\n");
+    for (const auto &r : results) {
+        for (const auto &w : r.workloads) {
+            if (w.performance.bandwidthLimited) {
+                std::printf("  %s:%s", w.workload.c_str(),
+                            r.config.label().c_str());
+            }
+        }
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Experiment C2: case-study power figure — TDP, average runtime power,
+ * and area of every 22 nm design point, with the component breakdown of
+ * the representative points.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "chip/processor.hh"
+#include "study/sweep.hh"
+
+int
+main()
+{
+    using namespace mcpat;
+    using namespace mcpat::bench;
+    using namespace mcpat::study;
+
+    printHeader("Case study (22 nm, 64 cores): power and area");
+
+    const auto results = runCaseStudy();
+
+    std::printf("%-14s %10s %10s %12s %14s\n", "design", "TDP [W]",
+                "area[mm2]", "runtime [W]", "peak BIPS-mean");
+    for (const auto &r : results) {
+        std::printf("%-14s %10.1f %10.1f %12.1f %14.1f\n",
+                    r.config.label().c_str(), r.tdp, r.area / mm2,
+                    r.meanPower, r.meanThroughput / giga);
+    }
+
+    // Component breakdown for the cluster-of-4 points of each style.
+    for (CoreStyle style :
+         {CoreStyle::InOrderMT, CoreStyle::OutOfOrder}) {
+        CaseStudyConfig cfg;
+        cfg.style = style;
+        cfg.coresPerCluster = 4;
+        const chip::Processor proc(makeCaseStudySystem(cfg));
+        std::printf("\nBreakdown of %s (TDP %.1f W):\n",
+                    cfg.label().c_str(), proc.tdp());
+        for (const auto &c : proc.tdpReport().children) {
+            std::printf("  %-34s %8.2f W  %8.2f mm2\n", c.name.c_str(),
+                        c.peakPower(), c.area / mm2);
+        }
+    }
+    return 0;
+}

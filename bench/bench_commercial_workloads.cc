@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Extension bench C6: commercial server workloads.  Reproduces the
+ * Niagara-era throughput-computing insight on the case-study chips:
+ * wide out-of-order cores waste their window on low-ILP, miss-heavy
+ * server code, so multithreaded in-order chips win throughput per watt
+ * on OLTP/web — while the OoO design keeps its lead on scientific
+ * code.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "perf/activity_gen.hh"
+#include "study/sweep.hh"
+
+int
+main()
+{
+    using namespace mcpat;
+    using namespace mcpat::bench;
+    using namespace mcpat::study;
+
+    printHeader("Server workloads on the 22 nm case-study chips "
+                "(64 cores, cluster 4)");
+
+    std::printf("%-10s %16s %16s %18s\n", "workload",
+                "inorder [BIPS]", "ooo [BIPS]", "BIPS/W winner");
+
+    for (const char *suite : {"server", "splash"}) {
+        const auto &workloads = (std::string(suite) == "server")
+            ? perf::serverWorkloads()
+            : perf::splash2Workloads();
+        std::printf("--- %s ---\n", suite);
+        for (const auto &w : workloads) {
+            double bips[2], eff[2];
+            int i = 0;
+            for (CoreStyle style :
+                 {CoreStyle::InOrderMT, CoreStyle::OutOfOrder}) {
+                CaseStudyConfig cfg;
+                cfg.style = style;
+                cfg.coresPerCluster = 4;
+                const auto sys = makeCaseStudySystem(cfg);
+                const chip::Processor proc(sys);
+                const auto p = perf::evaluateSystem(sys, w);
+                const auto rt = perf::makeRuntimeStats(sys, w, p);
+                const double watts =
+                    proc.makeReport(rt).runtimePower();
+                bips[i] = p.throughput / giga;
+                eff[i] = bips[i] / watts;
+                ++i;
+            }
+            std::printf("%-10s %14.1f %16.1f %18s\n", w.name.c_str(),
+                        bips[0], bips[1],
+                        eff[0] > eff[1] ? "inorder-mt" : "ooo");
+        }
+    }
+
+    std::printf("\nReading: on server code the multithreaded in-order "
+                "chip matches or beats the\nOoO chip in raw "
+                "throughput and wins efficiency outright; on "
+                "high-ILP\nscientific kernels the OoO chip keeps a "
+                "throughput lead — the workload-\ndependent core-style "
+                "conclusion of the throughput-computing era.\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Experiment S3 (framework capability): chip-level DVFS — the paper's
+ * dynamic voltage/frequency scaling support exercised on the Niagara2
+ * configuration.  Dynamic power tracks V^2 f, leakage tracks V and
+ * temperature, and the energy-per-operation minimum sits below nominal
+ * voltage.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "config/xml_loader.hh"
+
+int
+main()
+{
+    using namespace mcpat;
+    using namespace mcpat::bench;
+
+    printHeader("Chip-level DVFS on Niagara2 (nominal 1.10 V / 1.4 GHz)");
+
+    auto loaded = config::loadSystemParamsFromFile(
+        findConfig("niagara2.xml"));
+
+    std::printf("%6s %9s %10s %10s %10s %14s\n", "Vdd", "clock",
+                "dynamic", "leakage", "TDP", "energy/cycle");
+
+    for (double scale : {0.70, 0.80, 0.90, 1.00, 1.10}) {
+        auto sys = loaded.system;
+        sys.vdd = 1.10 * scale;
+        // Frequency follows the alpha-power delay model, approximated
+        // linearly around nominal for the sweep.
+        const double f_scale = 0.4 + 0.6 * scale;
+        sys.core.clockRate = 1.4 * GHz * f_scale;
+        sys.l2.clockRate *= f_scale;
+        sys.noc.clockRate *= f_scale;
+
+        const chip::Processor proc(sys);
+        const Report &r = proc.tdpReport();
+        const double epc = proc.tdp() / sys.core.clockRate;
+        std::printf("%5.2fV %6.2fGHz %8.1f W %8.1f W %8.1f W %11.1f nJ\n",
+                    sys.vdd, sys.core.clockRate / GHz, r.peakDynamic,
+                    r.leakage(), proc.tdp(), epc / nJ);
+    }
+
+    std::printf("\nReading: dynamic power collapses with V^2 f while "
+                "leakage falls only with V,\nso the energy-per-cycle "
+                "optimum sits below nominal voltage — the DVS\n"
+                "tradeoff the framework exposes.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Experiment C4: per-core comparison of the case study's two core
+ * styles at 22 nm — area, TDP, and single-core performance.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/core.hh"
+#include "perf/cpi_model.hh"
+#include "study/sweep.hh"
+
+int
+main()
+{
+    using namespace mcpat;
+    using namespace mcpat::bench;
+    using namespace mcpat::study;
+
+    printHeader("In-order (MT) vs out-of-order core at 22 nm");
+
+    std::printf("%-12s %10s %10s %10s %12s %12s\n", "core", "area",
+                "peak dyn", "leakage", "IPC(fft)", "IPC(ocean)");
+
+    for (CoreStyle style :
+         {CoreStyle::InOrderMT, CoreStyle::OutOfOrder}) {
+        CaseStudyConfig cfg;
+        cfg.style = style;
+        const chip::SystemParams sys = makeCaseStudySystem(cfg);
+
+        const tech::Technology t(sys.nodeNm, sys.coreFlavor,
+                                 sys.temperature);
+        const core::Core c(sys.core, t);
+        const Report r = c.makeTdpReport();
+
+        perf::MemoryHierarchy mem;
+        mem.l2CapacityPerCore = cfg.l2BytesPerCore;
+        mem.memoryCycles = 60.0e-9 * cfg.clockRate;
+        const auto fft = perf::computeCoreThroughput(
+            sys.core, perf::findWorkload("fft"), mem);
+        const auto ocean = perf::computeCoreThroughput(
+            sys.core, perf::findWorkload("ocean"), mem);
+
+        std::printf("%-12s %7.2fmm2 %8.2f W %8.2f W %12.2f %12.2f\n",
+                    style == CoreStyle::InOrderMT ? "inorder-mt"
+                                                  : "ooo",
+                    c.area() / mm2, r.peakDynamic, r.leakage(),
+                    fft.coreIpc, ocean.coreIpc);
+    }
+
+    std::printf("\nReading: the OoO core is several times larger and "
+                "more power-hungry per core;\nthe multithreaded "
+                "in-order core sustains competitive per-core IPC on "
+                "memory-bound\nworkloads by hiding stalls across "
+                "threads (the paper's core-style tradeoff).\n");
+    return 0;
+}

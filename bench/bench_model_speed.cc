@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Experiment M1: modeling speed (google-benchmark).  The paper's core
+ * claim of practicality is that a full chip models in well under a
+ * second — fast enough to embed in design-space-exploration loops —
+ * unlike EDA flows.  This bench times the three building blocks: a
+ * cache solve (with organization search), a full core, and a complete
+ * validation-class chip with its report.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "array/cache_model.hh"
+#include "chip/processor.hh"
+#include "config/xml_loader.hh"
+#include "core/core.hh"
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+using namespace mcpat;
+
+void
+BM_CacheSolve(benchmark::State &state)
+{
+    const tech::Technology t(65);
+    for (auto _ : state) {
+        array::CacheParams p;
+        p.capacityBytes = 1024.0 * 1024;
+        p.assoc = 8;
+        p.banks = 4;
+        p.sequentialAccess = true;
+        array::CacheModel m(p, t);
+        benchmark::DoNotOptimize(m.readEnergy());
+    }
+}
+BENCHMARK(BM_CacheSolve)->Unit(benchmark::kMillisecond);
+
+void
+BM_CoreSolve(benchmark::State &state)
+{
+    const tech::Technology t(65);
+    for (auto _ : state) {
+        core::CoreParams p;
+        core::Core c(p, t);
+        benchmark::DoNotOptimize(c.makeTdpReport().peakDynamic);
+    }
+}
+BENCHMARK(BM_CoreSolve)->Unit(benchmark::kMillisecond);
+
+void
+BM_FullChip(benchmark::State &state)
+{
+    const auto loaded = config::loadSystemParamsFromFile(
+        bench::findConfig("niagara.xml"));
+    for (auto _ : state) {
+        chip::Processor proc(loaded.system);
+        benchmark::DoNotOptimize(proc.tdp());
+    }
+}
+BENCHMARK(BM_FullChip)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

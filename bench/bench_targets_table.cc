@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Experiment T1: summary table of the validation targets (the paper's
+ * modeled-processors table).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace mcpat::bench;
+    printHeader("Validation targets (published configurations)");
+    std::printf("%-32s %6s %8s %6s %9s %10s\n", "Chip", "node", "clock",
+                "Vdd", "TDP", "die area");
+    for (const auto &c : publishedChips()) {
+        std::printf("%-32s %4dnm %5.2fGHz %5.2fV %7.1fW %7.1fmm2\n",
+                    c.name.c_str(), c.nodeNm, c.clockGhz, c.vdd,
+                    c.tdpWatts, c.areaMm2);
+    }
+
+    printHeader("Validation summary: TDP and area errors");
+    std::printf("%-32s %10s %10s %9s %9s\n", "Chip", "TDP err",
+                "area err", "mod. TDP", "mod. area");
+    for (const auto &c : publishedChips()) {
+        const ValidationRow r = validateChip(c);
+        std::printf("%-32s %9.1f%% %9.1f%% %8.1fW %6.1fmm2\n",
+                    r.chip.c_str(), 100.0 * r.tdpError(),
+                    100.0 * r.areaError(), r.modeledTdp, r.modeledArea);
+    }
+    return 0;
+}

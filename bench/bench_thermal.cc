@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Extension bench T2: leakage/temperature feedback.  Solves the
+ * self-consistent junction temperature of the Xeon Tulsa configuration
+ * (the leakiest validation chip) under three cooling solutions,
+ * showing how leakage feedback amplifies power on hot processes and
+ * where thermal runaway begins.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "chip/thermal.hh"
+#include "config/xml_loader.hh"
+
+int
+main()
+{
+    using namespace mcpat;
+    using namespace mcpat::bench;
+
+    printHeader("Thermal feedback on Xeon Tulsa (65 nm HP, "
+                "ambient 318 K)");
+
+    auto loaded = config::loadSystemParamsFromFile(
+        findConfig("xeon_tulsa.xml"));
+
+    std::printf("%18s %12s %10s %10s %8s %10s\n", "cooling (K/W)",
+                "junction", "TDP", "leakage", "iters", "status");
+
+    for (double rth : {0.15, 0.25, 0.40, 0.60}) {
+        chip::ThermalParams env;
+        env.junctionToAmbient = rth;
+        const auto r = chip::solveThermal(loaded.system, env);
+        std::printf("%18.2f %10.1f K %8.1f W %8.1f W %8d %10s\n", rth,
+                    r.temperature, r.power, r.leakage, r.iterations,
+                    r.converged ? "stable" : "RUNAWAY");
+    }
+
+    std::printf("\nReading: a weaker heatsink raises the junction "
+                "temperature, which raises\nleakage, which raises "
+                "power again — the self-consistent point drifts up\n"
+                "by tens of watts, and past a critical thermal "
+                "resistance the loop no\nlonger closes (thermal "
+                "runaway).\n");
+    return 0;
+}

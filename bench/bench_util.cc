@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Bench helper implementations.
+ */
+
+#include "bench/bench_util.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "config/xml_loader.hh"
+
+namespace mcpat {
+namespace bench {
+
+std::string
+findConfig(const std::string &file_name)
+{
+    const std::string candidates[] = {
+        "configs/" + file_name,
+        "../configs/" + file_name,
+        "../../configs/" + file_name,
+    };
+    for (const auto &c : candidates) {
+        std::ifstream f(c);
+        if (f.good())
+            return c;
+    }
+    throw ConfigError("cannot locate configs/" + file_name +
+                      " (run from the repo root or build tree)");
+}
+
+chip::Processor
+buildFromConfig(const std::string &file_name)
+{
+    auto loaded =
+        config::loadSystemParamsFromFile(findConfig(file_name));
+    for (const auto &w : loaded.warnings)
+        std::fprintf(stderr, "warning: %s\n", w.c_str());
+    return chip::Processor(loaded.system);
+}
+
+ValidationRow
+validateChip(const PublishedChip &chip)
+{
+    const chip::Processor proc = buildFromConfig(chip.configFile);
+    ValidationRow row;
+    row.chip = chip.name;
+    row.publishedTdp = chip.tdpWatts;
+    row.modeledTdp = proc.tdp();
+    row.publishedArea = chip.areaMm2;
+    row.modeledArea = proc.area() / mm2;
+    return row;
+}
+
+void
+printHeader(const std::string &title)
+{
+    std::printf("\n=================================================="
+                "====================\n%s\n"
+                "=================================================="
+                "====================\n",
+                title.c_str());
+}
+
+void
+printValidationFigure(const PublishedChip &chip)
+{
+    const chip::Processor proc = buildFromConfig(chip.configFile);
+    const Report &r = proc.tdpReport();
+
+    printHeader("Validation: " + chip.name);
+    std::printf("Technology: %d nm @ %.2f GHz, Vdd %.2f V\n",
+                chip.nodeNm, chip.clockGhz, chip.vdd);
+
+    std::printf("\n%-34s %12s %12s %8s\n", "Chip-level", "published",
+                "modeled", "error");
+    const double tdp = proc.tdp();
+    std::printf("%-34s %10.1f W %10.1f W %7.1f%%\n", "TDP",
+                chip.tdpWatts, tdp,
+                100.0 * (tdp - chip.tdpWatts) / chip.tdpWatts);
+    const double area = proc.area() / mm2;
+    std::printf("%-34s %8.1f mm2 %8.1f mm2 %7.1f%%\n", "Die area",
+                chip.areaMm2, area,
+                100.0 * (area - chip.areaMm2) / chip.areaMm2);
+
+    std::printf("\n%-34s %12s\n",
+                "Modeled component breakdown", "peak power");
+    for (const auto &c : r.children) {
+        std::printf("  %-32s %10.2f W  (area %7.2f mm2)\n",
+                    c.name.c_str(), c.peakPower(), c.area / mm2);
+    }
+
+    std::printf("\n%-34s %12s\n",
+                "Published breakdown (approx.)", "power");
+    for (const auto &item : chip.powerBreakdown) {
+        std::printf("  %-32s %10.2f W%s\n", item.name.c_str(),
+                    item.value, item.approximate ? "  (approx)" : "");
+    }
+}
+
+} // namespace bench
+} // namespace mcpat

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the bench (table-regeneration) binaries: config
+ * location, table formatting, and one-chip validation runs.
+ */
+
+#ifndef MCPAT_BENCH_BENCH_UTIL_HH
+#define MCPAT_BENCH_BENCH_UTIL_HH
+
+#include <string>
+
+#include "chip/processor.hh"
+#include "bench/published_data.hh"
+
+namespace mcpat {
+namespace bench {
+
+/**
+ * Locate a config file by name, trying ./configs, ../configs, and
+ * ../../configs so benches run from the repo root or the build tree.
+ */
+std::string findConfig(const std::string &file_name);
+
+/** Build the processor described by configs/<file_name>. */
+chip::Processor buildFromConfig(const std::string &file_name);
+
+/** Result of one validation run. */
+struct ValidationRow
+{
+    std::string chip;
+    double publishedTdp;
+    double modeledTdp;
+    double publishedArea;  ///< mm^2
+    double modeledArea;    ///< mm^2
+
+    double tdpError() const
+    {
+        return (modeledTdp - publishedTdp) / publishedTdp;
+    }
+    double areaError() const
+    {
+        return (modeledArea - publishedArea) / publishedArea;
+    }
+};
+
+/** Model one published chip and compare at the chip level. */
+ValidationRow validateChip(const PublishedChip &chip);
+
+/**
+ * Print the full validation figure for one chip: chip-level numbers
+ * plus the modeled component breakdown next to the (approximate)
+ * published one.
+ */
+void printValidationFigure(const PublishedChip &chip);
+
+/** Print a horizontal rule + centered title. */
+void printHeader(const std::string &title);
+
+} // namespace bench
+} // namespace mcpat
+
+#endif // MCPAT_BENCH_BENCH_UTIL_HH

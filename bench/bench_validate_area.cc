@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Experiment V5: die-area validation across all four processors.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace mcpat::bench;
+    printHeader("Area validation: published vs modeled die area");
+    std::printf("%-32s %12s %12s %8s\n", "Chip", "published", "modeled",
+                "error");
+    for (const auto &chip : publishedChips()) {
+        const ValidationRow row = validateChip(chip);
+        std::printf("%-32s %8.1f mm2 %8.1f mm2 %7.1f%%\n",
+                    row.chip.c_str(), row.publishedArea, row.modeledArea,
+                    100.0 * row.areaError());
+    }
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Experiment V-series: published vs modeled power/area validation
+ * figure for one processor (see DESIGN.md experiment index).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace mcpat::bench;
+    const auto chips = publishedChips();
+    printValidationFigure(chips[1]);
+    return 0;
+}

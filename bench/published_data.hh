@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Published reference data for the four validation processors.
+ *
+ * Chip-level TDP and die area are well-documented vendor numbers.  The
+ * per-component splits are approximate reconstructions from ISSCC/Hot
+ * Chips era publications (marked "approx"): they anchor the shape of
+ * the validation figures, not exact values — see EXPERIMENTS.md.
+ */
+
+#ifndef MCPAT_BENCH_PUBLISHED_DATA_HH
+#define MCPAT_BENCH_PUBLISHED_DATA_HH
+
+#include <string>
+#include <vector>
+
+namespace mcpat {
+namespace bench {
+
+/** One published component entry (power in W or area in mm^2). */
+struct PublishedItem
+{
+    std::string name;
+    double value;
+    bool approximate;
+};
+
+/** Published reference record for one processor. */
+struct PublishedChip
+{
+    std::string name;
+    std::string configFile;  ///< under configs/
+    int nodeNm;
+    double clockGhz;
+    double vdd;
+    double tdpWatts;         ///< vendor TDP / typical power
+    double areaMm2;          ///< die area
+
+    std::vector<PublishedItem> powerBreakdown;  ///< W, mostly approx
+};
+
+inline std::vector<PublishedChip>
+publishedChips()
+{
+    return {
+        {
+            "Sun Niagara (UltraSPARC T1)", "niagara.xml",
+            90, 1.2, 1.2, 63.0, 378.0,
+            {
+                {"Cores", 26.5, true},
+                {"L2 Cache", 7.5, true},
+                {"Crossbar", 3.2, true},
+                {"Memory Controllers + I/O", 12.6, true},
+                {"Leakage + misc", 13.2, true},
+            },
+        },
+        {
+            "Sun Niagara2 (UltraSPARC T2)", "niagara2.xml",
+            65, 1.4, 1.1, 84.0, 342.0,
+            {
+                {"Cores", 38.0, true},
+                {"L2 Cache", 10.0, true},
+                {"Crossbar", 4.0, true},
+                {"Memory Controllers + I/O", 18.0, true},
+                {"Leakage + misc", 14.0, true},
+            },
+        },
+        {
+            "Alpha 21364 (EV7)", "alpha21364.xml",
+            180, 1.2, 1.5, 125.0, 397.0,
+            {
+                {"Core (EV68)", 60.0, true},
+                {"L2 Cache", 18.0, true},
+                {"Router + Links", 12.0, true},
+                {"Memory Controllers + I/O", 25.0, true},
+                {"Leakage + misc", 10.0, true},
+            },
+        },
+        {
+            "Intel Xeon 7140M (Tulsa)", "xeon_tulsa.xml",
+            65, 3.4, 1.25, 150.0, 435.0,
+            {
+                {"Cores", 70.0, true},
+                {"L3 Cache", 12.0, true},
+                {"Bus + I/O", 18.0, true},
+                {"Leakage + misc", 50.0, true},
+            },
+        },
+    };
+}
+
+} // namespace bench
+} // namespace mcpat
+
+#endif // MCPAT_BENCH_PUBLISHED_DATA_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Design-space sweep: the paper's headline use case — couple the
+ * power/area models with the performance substrate and search a
+ * manycore design space under an area budget.
+ *
+ * Sweeps core count x shared-L2 capacity at 32 nm, evaluates each
+ * point on a memory-bound and a compute-bound workload, and prints the
+ * Pareto-efficient points for throughput vs power under a 350 mm^2
+ * budget.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "chip/processor.hh"
+#include "perf/activity_gen.hh"
+
+namespace {
+
+using namespace mcpat;
+
+struct Point
+{
+    int cores;
+    double l2_mb;
+    double area;        // mm^2
+    double tdp;         // W
+    double throughput;  // BIPS (mean of the two workloads)
+    double power;       // W (mean runtime)
+    bool feasible;
+};
+
+chip::SystemParams
+makeSystem(int cores, double l2_mb)
+{
+    chip::SystemParams sys;
+    sys.nodeNm = 32;
+    sys.numCores = cores;
+    sys.core.clockRate = 2.5 * GHz;
+    sys.core.issueWidth = 4;
+    sys.numL2 = std::max(1, cores / 4);
+    sys.l2.capacityBytes = l2_mb * 1024 * 1024 / sys.numL2;
+    sys.l2.banks = 4;
+    sys.l2.clockRate = sys.core.clockRate / 2.0;
+    sys.l2.flavor = tech::DeviceFlavor::LSTP;
+    sys.hasNoc = cores > 2;
+    sys.noc.topology = (cores >= 16) ? uncore::NocTopology::Mesh2D
+                                     : uncore::NocTopology::Crossbar;
+    sys.noc.nodesX = (cores >= 16) ? 4 : cores;
+    sys.noc.nodesY = (cores >= 16) ? cores / 16 * 4 : 1;
+    sys.noc.clockRate = sys.core.clockRate / 2.0;
+    sys.memCtrl.channels = 4;
+    sys.memCtrl.dramType = uncore::DramType::DDR3;
+    sys.memCtrl.busClock = 800.0 * MHz;
+    return sys;
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr double area_budget = 350.0;  // mm^2
+
+    std::printf("Design-space sweep @ 32 nm (area budget %.0f mm^2)\n",
+                area_budget);
+    std::printf("%6s %6s %9s %8s %12s %10s %s\n", "cores", "L2MB",
+                "area", "TDP", "throughput", "power", "status");
+
+    std::vector<Point> points;
+    for (int cores : {4, 8, 16, 32}) {
+        for (double l2_mb : {2.0, 4.0, 8.0, 16.0}) {
+            const auto sys = makeSystem(cores, l2_mb);
+            const chip::Processor proc(sys);
+
+            Point p;
+            p.cores = cores;
+            p.l2_mb = l2_mb;
+            p.area = proc.area() / mm2;
+            p.tdp = proc.tdp();
+            p.feasible = p.area <= area_budget;
+
+            double tput = 0.0, power = 0.0;
+            for (const char *name : {"ocean", "water"}) {
+                const auto &w = perf::findWorkload(name);
+                const auto perf_res = perf::evaluateSystem(sys, w);
+                const auto rt = perf::makeRuntimeStats(sys, w, perf_res);
+                tput += perf_res.throughput / 2.0;
+                power += proc.makeReport(rt).runtimePower() / 2.0;
+            }
+            p.throughput = tput / giga;
+            p.power = power;
+            points.push_back(p);
+
+            std::printf("%6d %6.0f %7.1f %8.1f %10.1f B %8.1f W %s\n",
+                        p.cores, p.l2_mb, p.area, p.tdp, p.throughput,
+                        p.power,
+                        p.feasible ? "" : "over budget");
+        }
+    }
+
+    // Pareto front: feasible points not dominated in (throughput up,
+    // power down).
+    std::printf("\nPareto-efficient feasible points:\n");
+    for (const auto &p : points) {
+        if (!p.feasible)
+            continue;
+        bool dominated = false;
+        for (const auto &q : points) {
+            if (!q.feasible || &q == &p)
+                continue;
+            if (q.throughput >= p.throughput && q.power <= p.power &&
+                (q.throughput > p.throughput || q.power < p.power)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) {
+            std::printf("  %d cores, %.0f MB L2: %.1f BIPS @ %.1f W\n",
+                        p.cores, p.l2_mb, p.throughput, p.power);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * XML workflow example: the library-level equivalent of the `mcpat`
+ * CLI.  Loads the bundled Niagara configuration, prints the report,
+ * and shows how to inspect pieces of the tree programmatically.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "chip/processor.hh"
+#include "chip/report_printer.hh"
+#include "config/xml_loader.hh"
+
+namespace {
+
+std::string
+findConfig(const std::string &name)
+{
+    for (const std::string prefix :
+         {"configs/", "../configs/", "../../configs/"}) {
+        const std::string path = prefix + name;
+        if (std::ifstream(path).good())
+            return path;
+    }
+    throw mcpat::ConfigError("cannot find configs/" + name);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mcpat;
+
+    const auto loaded = config::loadSystemParamsFromFile(
+        findConfig("niagara.xml"));
+    for (const auto &w : loaded.warnings)
+        std::cerr << "warning: " << w << "\n";
+
+    chip::Processor proc(loaded.system);
+
+    std::cout << "Loaded " << loaded.system.name << ": "
+              << loaded.system.numCores << " cores @ "
+              << loaded.system.core.clockRate / GHz << " GHz, "
+              << loaded.system.nodeNm << " nm\n\n";
+
+    chip::printReport(std::cout, proc.tdpReport(), 1);
+
+    // Programmatic navigation of the tree.
+    const Report &top = proc.tdpReport();
+    if (const Report *cores = top.child("Total Cores (8 cores)")) {
+        std::cout << "\nCores consume "
+                  << 100.0 * cores->peakPower() / top.peakPower()
+                  << "% of chip TDP and "
+                  << 100.0 * cores->area / top.area
+                  << "% of its area.\n";
+    }
+    return 0;
+}

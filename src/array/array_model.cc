@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Array organization search and assembly.
+ */
+
+#include "array/array_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "array/cam.hh"
+#include "array/mat.hh"
+#include "circuit/wire.hh"
+
+namespace mcpat {
+namespace array {
+
+using namespace circuit;
+
+namespace {
+
+/** Periphery replication cost per port beyond the first (decoders,
+ *  sense stacks) applied to subarray leakage and area. */
+constexpr double extraPortPeriphery = 0.25;
+
+/** Routing, redundancy (spare rows/columns), and BIST overhead on the
+ *  raw subarray grid area. */
+constexpr double bankRoutingOverhead = 1.65;
+
+/**
+ * Clocked periphery and control overhead per access (timing chains,
+ * bank control, way-select latching) on top of the explicitly modeled
+ * decode/wordline/bitline/sense energies.  Calibrated against published
+ * SRAM access energies.
+ */
+constexpr double peripheryEnergyFactor = 1.8;
+
+const int kPartitions[] = {1, 2, 4, 8, 16, 32};
+const double kFoldings[] = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+
+} // namespace
+
+/** One evaluated organization. */
+struct ArrayModel::Candidate
+{
+    ArrayOrg org;
+    ArrayResult res;
+    double score = 0.0;
+};
+
+ArrayModel::ArrayModel(ArrayParams params, const Technology &t,
+                       OptimizationWeights weights)
+    : _params(std::move(params)),
+      _tech(t.nodeNm(), _params.flavor.value_or(t.flavor()),
+            t.temperature())
+{
+    _params.validate();
+    // Arrays follow the logic domain's DVFS ratio on their own nominal
+    // supply (same voltage rail, flavor-specific nominal).
+    const double ratio = t.vdd() / t.device(t.flavor()).vdd;
+    if (ratio != 1.0)
+        _tech.setVdd(_tech.device().vdd * ratio);
+    _tech.setProjection(t.projection());
+
+    optimize(weights);
+}
+
+std::optional<ArrayModel::Candidate>
+ArrayModel::evaluate(const ArrayOrg &org) const
+{
+    const int total_rows = _params.totalRows();
+    const int row_bits = _params.rowBits();
+    const int banks = _params.banks;
+    const int ports = _params.totalPorts();
+
+    const int rows_per_bank =
+        static_cast<int>(std::ceil(static_cast<double>(total_rows) /
+                                   banks));
+    const double eff_rows = rows_per_bank / org.nspd;
+    const double eff_cols = row_bits * org.nspd;
+
+    const int sub_rows =
+        static_cast<int>(std::ceil(eff_rows / org.ndbl));
+    const int sub_cols =
+        static_cast<int>(std::ceil(eff_cols / org.ndwl));
+
+    // Reject degenerate shapes: too small to be a real subarray or too
+    // large for acceptable wordline/bitline RC.
+    if (sub_rows < 4 || sub_cols < 4)
+        return std::nullopt;
+    if (sub_rows > 1024 || sub_cols > 2048)
+        return std::nullopt;
+    // Don't partition beyond the data: keep every subarray meaningful.
+    if (org.ndbl > 1 && sub_rows * (org.ndbl - 1) >= eff_rows)
+        return std::nullopt;
+    if (org.ndwl > 1 && sub_cols * (org.ndwl - 1) >= eff_cols)
+        return std::nullopt;
+
+    const Subarray sub(sub_rows, sub_cols, ports, _params.cellType, _tech);
+
+    const int subarrays = org.subarrays();
+    const double bank_w = org.ndwl * sub.width();
+    const double bank_h = org.ndbl * sub.height();
+
+    // --- Intra-bank H-tree: address/control in, data out. ---------------
+    const double htree_len = std::max(0.5 * (bank_w + bank_h), 1.0 * um);
+    const RepeatedWire htree_wire(htree_len, tech::WireLayer::Intermediate,
+                                  _tech);
+    const int addr_wires =
+        std::max(1, static_cast<int>(std::ceil(std::log2(
+            std::max(2, total_rows))))) + 8;
+
+    // --- Inter-bank routing when banked. ---------------------------------
+    double global_delay = 0.0, global_energy_rd = 0.0;
+    double global_leak_sub = 0.0, global_leak_gate = 0.0;
+    double global_area = 0.0;
+    if (banks > 1) {
+        const int grid = static_cast<int>(std::ceil(std::sqrt(banks)));
+        const double glen =
+            std::max(0.5 * grid * (bank_w + bank_h), 1.0 * um);
+        const RepeatedWire gwire(glen, tech::WireLayer::Intermediate,
+                                 _tech);
+        const int gwires = addr_wires + row_bits;
+        global_delay = gwire.delay();
+        global_energy_rd = 0.5 * gwires * gwire.energyPerEvent();
+        global_leak_sub = gwires * gwire.subthresholdLeakage();
+        global_leak_gate = gwires * gwire.gateLeakage();
+        global_area = gwires * gwire.area();
+    }
+
+    const double htree_in_energy =
+        0.5 * addr_wires * htree_wire.energyPerEvent();
+    const double htree_out_energy =
+        0.5 * row_bits * htree_wire.energyPerEvent();
+    const double htree_delay = 2.0 * htree_wire.delay();
+
+    // --- Per-access energies.  A read activates one stripe of ndwl
+    //     subarrays, each sensing its columns. -------------------------
+    const int out_bits_per_sub =
+        std::max(1, row_bits / std::max(1, org.ndwl));
+    double read_e = peripheryEnergyFactor *
+                        (org.ndwl * sub.readEnergy(sub_cols)) +
+                    htree_in_energy + htree_out_energy + global_energy_rd;
+    double write_e = peripheryEnergyFactor *
+                         (org.ndwl * sub.writeEnergy(out_bits_per_sub)) +
+                     htree_in_energy + global_energy_rd;
+    if (_params.cellType == CellType::EDRAM) {
+        // Destructive read: every activated column must be restored.
+        read_e += peripheryEnergyFactor * org.ndwl *
+                  (sub.writeEnergy(sub_cols) - sub.readEnergy(0));
+    }
+
+    // --- Timing. ----------------------------------------------------------
+    const double access = htree_delay + global_delay + sub.accessDelay();
+    const double cycle = std::max(sub.cycleTime(), access * 0.5);
+
+    // --- Leakage and area across all banks/subarrays. --------------------
+    const double port_factor = 1.0 + extraPortPeriphery * (ports - 1);
+    const double n_sub_total = static_cast<double>(subarrays) * banks;
+    double leak_sub = n_sub_total * sub.subthresholdLeakage() * port_factor;
+    double leak_gate = n_sub_total * sub.gateLeakage() * port_factor;
+    const int htree_wires = addr_wires + row_bits;
+    leak_sub += banks * htree_wires * htree_wire.subthresholdLeakage() +
+                global_leak_sub;
+    leak_gate += banks * htree_wires * htree_wire.gateLeakage() +
+                 global_leak_gate;
+
+    double area = n_sub_total * sub.area() * port_factor *
+                      bankRoutingOverhead +
+                  banks * htree_wires * htree_wire.area() + global_area;
+
+    // --- CAM search path. --------------------------------------------------
+    double search_e = 0.0;
+    double search_delay = 0.0;
+    if (_params.cellType == CellType::CAM) {
+        const CamSearch cam(sub, _tech);
+        // A search interrogates every subarray of one bank.
+        search_e = peripheryEnergyFactor * subarrays *
+                       cam.energyPerSearch() +
+                   htree_in_energy;
+        search_delay = htree_delay + global_delay + cam.delay();
+        const double sp = _params.searchPorts;
+        leak_sub += n_sub_total * cam.subthresholdLeakage() * sp;
+        leak_gate += n_sub_total * cam.gateLeakage() * sp;
+        area += n_sub_total * cam.area() * sp;
+    }
+
+    // eDRAM refresh: every row is read+restored once per retention
+    // period (retention halves every ~10 K above the 40 us @ 350 K
+    // anchor of logic eDRAM).
+    double refresh_power = 0.0;
+    if (_params.cellType == CellType::EDRAM) {
+        const double retention =
+            40.0e-6 *
+            std::pow(2.0, (350.0 - _tech.temperature()) / 10.0);
+        // One refresh event restores one wordline position across the
+        // whole ndwl-wide stripe; every (row, ndbl, bank) position
+        // must be visited once per retention period.
+        const double stripe_rows =
+            static_cast<double>(sub_rows) * org.ndbl * banks;
+        const double stripe_energy = peripheryEnergyFactor * org.ndwl *
+            (sub.readEnergy(sub_cols) + sub.writeEnergy(sub_cols));
+        refresh_power = stripe_rows * stripe_energy / retention;
+    }
+
+    Candidate c;
+    c.org = org;
+    c.res.org = org;
+    c.res.refreshPower = refresh_power;
+    c.res.area = area;
+    c.res.accessDelay = std::max(access, search_delay);
+    c.res.cycleTime = cycle;
+    c.res.readEnergy = read_e;
+    c.res.writeEnergy = write_e;
+    c.res.searchEnergy = search_e;
+    c.res.subthresholdLeakage = leak_sub;
+    c.res.gateLeakage = leak_gate;
+    c.res.height = bank_h * std::ceil(std::sqrt(double(banks)));
+    c.res.width = bank_w * std::ceil(std::sqrt(double(banks)));
+    return c;
+}
+
+void
+ArrayModel::optimize(const OptimizationWeights &weights)
+{
+    std::vector<Candidate> cands;
+    for (int ndwl : kPartitions) {
+        for (int ndbl : kPartitions) {
+            for (double nspd : kFoldings) {
+                auto c = evaluate({ndwl, ndbl, nspd});
+                if (c)
+                    cands.push_back(std::move(*c));
+            }
+        }
+    }
+    panicIf(cands.empty(),
+            "array '" + _params.name + "': no feasible organization");
+
+    // Normalize each metric by the best achieved value, then pick the
+    // lowest weighted sum, honoring the cycle-time constraint.
+    double best_delay = std::numeric_limits<double>::max();
+    double best_dyn = best_delay, best_leak = best_delay;
+    double best_area = best_delay, best_cycle = best_delay;
+    for (const auto &c : cands) {
+        best_delay = std::min(best_delay, c.res.accessDelay);
+        best_dyn = std::min(best_dyn,
+                            c.res.readEnergy + c.res.searchEnergy);
+        best_leak = std::min(best_leak, c.res.subthresholdLeakage);
+        best_area = std::min(best_area, c.res.area);
+        best_cycle = std::min(best_cycle, c.res.cycleTime);
+    }
+
+    const double target = _params.targetCycleTime;
+    Candidate *best = nullptr;
+    double best_score = std::numeric_limits<double>::max();
+    bool constrained = false;
+    for (int pass = 0; pass < 3 && !best; ++pass) {
+        // Pass 0 honors the cycle-time target and the area-deviation
+        // constraint; pass 1 drops the timing target (reported via
+        // meetsTiming()); pass 2 drops the area constraint too.
+        for (auto &c : cands) {
+            if (pass == 0 && target > 0.0 && c.res.cycleTime > target)
+                continue;
+            if (pass < 2 &&
+                c.res.area > weights.maxAreaRatio * best_area)
+                continue;
+            c.score =
+                weights.delay * c.res.accessDelay / best_delay +
+                weights.dynamic *
+                    (c.res.readEnergy + c.res.searchEnergy) / best_dyn +
+                weights.leakage * c.res.subthresholdLeakage / best_leak +
+                weights.area * c.res.area / best_area +
+                weights.cycle * c.res.cycleTime / best_cycle;
+            if (c.score < best_score) {
+                best_score = c.score;
+                best = &c;
+                constrained = (pass == 0);
+            }
+        }
+    }
+
+    _result = best->res;
+    _meetsTiming = (target <= 0.0) || (constrained &&
+                                       _result.cycleTime <= target);
+}
+
+Report
+ArrayModel::makeReport(double frequency, const AccessRates &tdp,
+                       const AccessRates &runtime) const
+{
+    Report r;
+    r.name = _params.name;
+    r.area = _result.area;
+    r.criticalPath = _result.accessDelay;
+    r.peakDynamic = frequency *
+        (tdp.reads * _result.readEnergy +
+         tdp.writes * _result.writeEnergy +
+         tdp.searches * _result.searchEnergy) +
+        _result.refreshPower;
+    r.runtimeDynamic = frequency *
+        (runtime.reads * _result.readEnergy +
+         runtime.writes * _result.writeEnergy +
+         runtime.searches * _result.searchEnergy) +
+        _result.refreshPower;
+    r.subthresholdLeakage = _result.subthresholdLeakage;
+    r.gateLeakage = _result.gateLeakage;
+    return r;
+}
+
+} // namespace array
+} // namespace mcpat

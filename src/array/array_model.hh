@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The array model with its organization optimizer — McPAT's equivalent of
+ * an embedded CACTI.
+ *
+ * Given an ArrayParams description, the constructor sweeps internal
+ * organizations (wordline/bitline partitioning and folding), evaluates
+ * each candidate's delay/energy/leakage/area with the Subarray and wire
+ * models, and keeps the best candidate under a CACTI-style weighted
+ * objective, honoring an optional cycle-time constraint.
+ */
+
+#ifndef MCPAT_ARRAY_ARRAY_MODEL_HH
+#define MCPAT_ARRAY_ARRAY_MODEL_HH
+
+#include <optional>
+
+#include "array/array_params.hh"
+#include "common/report.hh"
+
+namespace mcpat {
+namespace array {
+
+using tech::Technology;
+
+/** Relative weights for the organization objective (lower is better). */
+struct OptimizationWeights
+{
+    double delay = 100.0;
+    double dynamic = 20.0;
+    double leakage = 10.0;
+    double area = 20.0;
+    double cycle = 20.0;
+
+    /**
+     * Area-deviation constraint (CACTI-style): candidates whose area
+     * exceeds this multiple of the densest feasible organization are
+     * rejected, preventing delay-driven periphery explosions.
+     */
+    double maxAreaRatio = 1.25;
+};
+
+/**
+ * Per-cycle access rates used to turn per-access energies into power.
+ */
+struct AccessRates
+{
+    double reads = 0.0;     ///< read accesses per cycle
+    double writes = 0.0;    ///< write accesses per cycle
+    double searches = 0.0;  ///< CAM searches per cycle
+
+    static AccessRates
+    rw(double r, double w)
+    {
+        return {r, w, 0.0};
+    }
+};
+
+/**
+ * A fully solved array structure.
+ */
+class ArrayModel
+{
+  public:
+    /**
+     * Build and optimize the array.
+     *
+     * @param params architectural description
+     * @param t      technology operating point of the surrounding logic;
+     *               the array re-targets it to params.flavor internally
+     * @param weights optimizer objective weights
+     */
+    ArrayModel(ArrayParams params, const Technology &t,
+               OptimizationWeights weights = {});
+
+    const ArrayParams &params() const { return _params; }
+    const ArrayResult &result() const { return _result; }
+
+    // Convenience accessors.
+    double area() const { return _result.area; }
+    double accessDelay() const { return _result.accessDelay; }
+    double cycleTime() const { return _result.cycleTime; }
+    double readEnergy() const { return _result.readEnergy; }
+    double writeEnergy() const { return _result.writeEnergy; }
+    double searchEnergy() const { return _result.searchEnergy; }
+    double subthresholdLeakage() const
+    {
+        return _result.subthresholdLeakage;
+    }
+    double gateLeakage() const { return _result.gateLeakage; }
+
+    /** True when a cycle-time target was given and met. */
+    bool meetsTiming() const { return _meetsTiming; }
+
+    /**
+     * Summarize as a Report.
+     *
+     * @param frequency clock frequency, Hz
+     * @param tdp       access rates defining peak (TDP) dynamic power
+     * @param runtime   access rates from simulation statistics
+     */
+    Report makeReport(double frequency, const AccessRates &tdp,
+                      const AccessRates &runtime) const;
+
+  private:
+    ArrayParams _params;
+    Technology _tech;     ///< re-flavored for this array
+    ArrayResult _result;
+    bool _meetsTiming = true;
+
+    struct Candidate;
+    std::optional<Candidate> evaluate(const ArrayOrg &org) const;
+    void optimize(const OptimizationWeights &weights);
+};
+
+} // namespace array
+} // namespace mcpat
+
+#endif // MCPAT_ARRAY_ARRAY_MODEL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ArrayParams derived quantities and validation.
+ */
+
+#include "array/array_params.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcpat {
+namespace array {
+
+double
+ArrayParams::totalBits() const
+{
+    if (sizeBytes > 0.0)
+        return sizeBytes * 8.0;
+    return static_cast<double>(rows) * bits;
+}
+
+int
+ArrayParams::totalRows() const
+{
+    if (sizeBytes > 0.0)
+        return static_cast<int>(std::ceil(sizeBytes * 8.0 /
+                                          blockWidthBits));
+    return rows;
+}
+
+int
+ArrayParams::rowBits() const
+{
+    if (sizeBytes > 0.0)
+        return blockWidthBits;
+    return bits;
+}
+
+int
+ArrayParams::totalPorts() const
+{
+    return readWritePorts + readPorts + writePorts;
+}
+
+void
+ArrayParams::validate() const
+{
+    const bool form1 = sizeBytes > 0.0;
+    const bool form2 = rows > 0;
+    fatalIf(form1 == form2,
+            "array '" + name + "': specify exactly one of sizeBytes or "
+            "rows x bits");
+    fatalIf(form1 && blockWidthBits <= 0,
+            "array '" + name + "': sizeBytes form requires blockWidthBits");
+    fatalIf(form2 && bits <= 0,
+            "array '" + name + "': rows form requires bits > 0");
+    fatalIf(totalPorts() <= 0,
+            "array '" + name + "': needs at least one port");
+    fatalIf(banks <= 0, "array '" + name + "': banks must be positive");
+    fatalIf(searchPorts > 0 && cellType != CellType::CAM,
+            "array '" + name + "': search ports require CAM cells");
+    fatalIf(cellType == CellType::CAM && searchPorts <= 0,
+            "array '" + name + "': CAM arrays need at least 1 search port");
+    fatalIf(targetCycleTime < 0.0,
+            "array '" + name + "': negative cycle-time target");
+}
+
+} // namespace array
+} // namespace mcpat

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * CAM search-path implementation.
+ *
+ * NOR-style match lines: every row precharges its match line each search
+ * and all-but-one discharge (worst case), so search energy scales with
+ * rows x match-line capacitance — the reason issue-queue/LSQ power grows
+ * so quickly with entry count in the McPAT core models.
+ */
+
+#include "array/cam.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/elmore.hh"
+#include "circuit/logical_effort.hh"
+#include "circuit/wire.hh"
+
+namespace mcpat {
+namespace array {
+
+using namespace circuit;
+
+CamSearch::CamSearch(const Subarray &sub, const Technology &t)
+{
+    const int rows = sub.rows();
+    const int cols = sub.cols();
+    const double vdd = t.vdd();
+    const double vdd2 = vdd * vdd;
+    const double wmin = minWidth(t);
+    const double w_cmp = 2.0 * t.feature();  // compare-stack device width
+
+    const auto &wire = t.wire(tech::WireLayer::Local);
+
+    // --- Search lines: one true/complement pair per tag bit, running
+    //     the height of the subarray, loading one compare gate per row.
+    const double sl_len = rows * sub.cellHeight();
+    const double sl_cap = rows * gateC(w_cmp, t) + wire.capPerM * sl_len;
+    const double sl_res = wire.resPerM * sl_len;
+    const BufferChain sl_driver(sl_cap, t);
+    const double sl_delay =
+        sl_driver.delay() + distributedLineDelay(0.0, sl_res, sl_cap, 0.0);
+
+    // --- Match lines: one per row, crossing all tag bits. ---------------
+    const double ml_len = cols * sub.cellWidth();
+    const double ml_cap = cols * drainC(w_cmp, t) + wire.capPerM * ml_len +
+                          gateC(4.0 * wmin, t);  // match sense input
+    const double i_discharge = t.device().ionN * w_cmp;
+    const double ml_delay = ml_cap * (0.5 * vdd) / i_discharge +
+                            0.38 * wire.resPerM * ml_len * ml_cap;
+
+    // --- Priority encoder over the row matches. --------------------------
+    const int enc_stages =
+        std::max(1, static_cast<int>(std::ceil(std::log2(
+            std::max(2, rows)))));
+    const double enc_delay = enc_stages * 1.5 * t.fo4();
+    const double enc_gates = 2.0 * rows;  // arbitration + encode cells
+
+    _delay = sl_delay + ml_delay + 2.0 * t.fo4() + enc_delay;
+
+    // --- Energy: both search-line phases (activity ~0.5 per bit), all
+    //     match lines precharged and (worst case) discharged, the match
+    //     sense amps, and a slice of the encoder.
+    _energy = cols * (sl_driver.energyPerEvent() * 0.5) +
+              rows * ml_cap * vdd2 +
+              rows * 6.0 * gateC(wmin, t) * vdd2 +
+              0.25 * enc_gates * 4.0 * gateC(wmin, t) * vdd2;
+
+    // --- Leakage/area of the search periphery. ---------------------------
+    _subLeak = cols * sl_driver.subthresholdLeakage() +
+               rows * circuit::subthresholdLeakage(4.0 * wmin, 4.0 * wmin, t, 0.7) +
+               enc_gates * circuit::subthresholdLeakage(2.0 * wmin, 2.0 * wmin, t,
+                                               0.6);
+    _gateLeak = cols * sl_driver.gateLeakage() +
+                rows * circuit::gateLeakage(8.0 * wmin, t) +
+                enc_gates * circuit::gateLeakage(4.0 * wmin, t);
+    _area = cols * sl_driver.area() +
+            rows * 2.0 * t.logicGateArea() +
+            enc_gates * t.logicGateArea();
+}
+
+} // namespace array
+} // namespace mcpat

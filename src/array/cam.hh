@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CAM search-path model: search lines, match lines, match sensing, and
+ * the priority encoder.  Layered on top of the Subarray geometry.
+ */
+
+#ifndef MCPAT_ARRAY_CAM_HH
+#define MCPAT_ARRAY_CAM_HH
+
+#include "array/mat.hh"
+
+namespace mcpat {
+namespace array {
+
+/**
+ * Search-port circuitry for one CAM subarray.
+ */
+class CamSearch
+{
+  public:
+    CamSearch(const Subarray &sub, const Technology &t);
+
+    /** Search-key-valid to match-result delay, s. */
+    double delay() const { return _delay; }
+
+    /** Energy per search of the whole subarray, J. */
+    double energyPerSearch() const { return _energy; }
+
+    double subthresholdLeakage() const { return _subLeak; }
+    double gateLeakage() const { return _gateLeak; }
+
+    /** Extra area for search drivers, match sensing, encoder, m^2. */
+    double area() const { return _area; }
+
+  private:
+    double _delay = 0.0;
+    double _energy = 0.0;
+    double _subLeak = 0.0;
+    double _gateLeak = 0.0;
+    double _area = 0.0;
+};
+
+} // namespace array
+} // namespace mcpat
+
+#endif // MCPAT_ARRAY_CAM_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Row-decoder implementation.
+ *
+ * Structure (CACTI-style): address buffers feed 3-bit predecode groups
+ * (8 lines each) routed vertically along the subarray; each row ANDs one
+ * line per group and drives its wordline through a tapered buffer chain.
+ */
+
+#include "array/decoder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/elmore.hh"
+#include "circuit/wire.hh"
+
+namespace mcpat {
+namespace array {
+
+using namespace circuit;
+
+Decoder::Decoder(int rows, double wordline_cap, double array_height,
+                 const Technology &t)
+{
+    panicIf(rows < 1, "decoder with no rows");
+    _addressBits = std::max(1, static_cast<int>(std::ceil(std::log2(
+        static_cast<double>(rows)))));
+
+    const int groups = std::max(1, (_addressBits + 2) / 3);
+    const double wmin = minWidth(t);
+    const Inverter unit(wmin, t);
+
+    // --- Per-row gate: a 'groups'-input NAND sized 2x minimum. ---------
+    const double row_gate_w = 2.0 * wmin;
+    const double row_gate_in_c = gateC(row_gate_w, t);
+    const double row_gate_self_c = drainC(row_gate_w * (groups + 2), t);
+    const double row_gate_res = onResistanceN(row_gate_w, t) * groups;
+
+    // --- Wordline driver chain from the row gate to the wordline. ------
+    const BufferChain wl_driver(wordline_cap, t, row_gate_in_c * 2.0, 2);
+
+    // --- Predecode line: wire down the array + row-gate loads. ---------
+    const Wire predec_wire(std::max(array_height, 1.0 * um),
+                           tech::WireLayer::Local, t);
+    // Each predecode line feeds rows/8-ish row gates on average.
+    const double fanin_rows = std::max(1.0, rows / 8.0);
+    const double predec_line_c =
+        predec_wire.capacitance() + fanin_rows * row_gate_in_c;
+
+    // Predecode gate: 3-input NAND driving the line through a buffer.
+    const BufferChain predec_driver(predec_line_c, t,
+                                    unit.inputC(t) * 2.0, 1);
+
+    // --- Address buffers fan out each bit to the predecoders. ----------
+    const double addr_fanout_c = 2.0 * groups * unit.inputC(t);
+    const BufferChain addr_buf(addr_fanout_c, t);
+
+    // --- Delay: buffers -> predecode driver + line RC -> row gate ->
+    //     wordline driver chain. --------------------------------------
+    const double line_delay = distributedLineDelay(
+        0.0, predec_wire.resistance(), predec_line_c, row_gate_in_c);
+    const double row_gate_delay = stageDelay(
+        row_gate_res, row_gate_self_c, wl_driver.inputC());
+    _delay = addr_buf.delay() + predec_driver.delay() + line_delay +
+             row_gate_delay + wl_driver.delay();
+
+    // --- Energy: address bits toggle (~half), two predecode lines per
+    //     group swing, one row gate + one wordline driver fire. --------
+    const double vdd2 = t.vdd() * t.vdd();
+    _energy = 0.5 * _addressBits * addr_buf.energyPerEvent() +
+              groups * (predec_driver.energyPerEvent() +
+                        predec_line_c * vdd2) +
+              (row_gate_self_c + row_gate_in_c * groups) * vdd2 +
+              wl_driver.energyPerEvent() - wordline_cap * vdd2;
+    _energy = std::max(_energy, 0.0);
+
+    // --- Leakage: every row holds a gate + driver chain. ---------------
+    const double row_sub =
+        circuit::subthresholdLeakage(row_gate_w * groups, row_gate_w * 2.0, t, 0.6) +
+        wl_driver.subthresholdLeakage();
+    const double row_gate_leak =
+        circuit::gateLeakage(row_gate_w * (groups + 2), t) + wl_driver.gateLeakage();
+    const int predec_gates = groups * 8;
+    _subLeak = rows * row_sub +
+               predec_gates * circuit::subthresholdLeakage(3.0 * wmin, 3.0 * wmin,
+                                                  t, 0.6) +
+               _addressBits * addr_buf.subthresholdLeakage();
+    _gateLeak = rows * row_gate_leak +
+                predec_gates * circuit::gateLeakage(6.0 * wmin, t) +
+                _addressBits * addr_buf.gateLeakage();
+
+    // --- Area: row stack + predecode + buffers. ------------------------
+    _area = rows * (t.logicGateArea() + wl_driver.area()) +
+            predec_gates * 1.5 * t.logicGateArea() +
+            _addressBits * addr_buf.area();
+}
+
+} // namespace array
+} // namespace mcpat

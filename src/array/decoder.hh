@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Row-decoder model: address buffers, predecoders, per-row gates, and the
+ * wordline driver chain, sized with logical effort.
+ */
+
+#ifndef MCPAT_ARRAY_DECODER_HH
+#define MCPAT_ARRAY_DECODER_HH
+
+#include "circuit/logical_effort.hh"
+
+namespace mcpat {
+namespace array {
+
+using circuit::Technology;
+
+/**
+ * A two-level decoder (predecode + final row gate) feeding wordline
+ * drivers, for a subarray of @c rows rows.
+ */
+class Decoder
+{
+  public:
+    /**
+     * @param rows          number of rows to decode (>= 1)
+     * @param wordline_cap  capacitive load of one wordline, F
+     * @param array_height  vertical run of the predecode lines, m
+     * @param t             technology operating point
+     */
+    Decoder(int rows, double wordline_cap, double array_height,
+            const Technology &t);
+
+    /** Address-valid to wordline-driver-output delay, s. */
+    double delay() const { return _delay; }
+
+    /** Dynamic energy per decode (one row fires), J. */
+    double energyPerAccess() const { return _energy; }
+
+    double subthresholdLeakage() const { return _subLeak; }
+    double gateLeakage() const { return _gateLeak; }
+
+    /** Layout area of the decode stack, m^2. */
+    double area() const { return _area; }
+
+    int addressBits() const { return _addressBits; }
+
+  private:
+    int _addressBits = 0;
+    double _delay = 0.0;
+    double _energy = 0.0;
+    double _subLeak = 0.0;
+    double _gateLeak = 0.0;
+    double _area = 0.0;
+};
+
+} // namespace array
+} // namespace mcpat
+
+#endif // MCPAT_ARRAY_DECODER_HH

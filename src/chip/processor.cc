@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Processor assembly.
+ */
+
+#include "chip/processor.hh"
+
+#include <cmath>
+
+namespace mcpat {
+namespace chip {
+
+std::vector<CoreGroup>
+SystemParams::resolvedCoreGroups() const
+{
+    if (!coreGroups.empty())
+        return coreGroups;
+    CoreGroup g;
+    g.core = core;
+    g.count = numCores;
+    return {g};
+}
+
+int
+SystemParams::totalCores() const
+{
+    int n = 0;
+    for (const auto &g : resolvedCoreGroups())
+        n += g.count;
+    return n;
+}
+
+void
+SystemParams::validate() const
+{
+    fatalIf(totalCores() < 1, "system needs at least one core");
+    for (const auto &g : resolvedCoreGroups())
+        fatalIf(g.count < 1, "core group '" + g.core.name +
+                                 "' has no cores");
+    fatalIf(numL2 < 0 || numL3 < 0, "negative cache instance count");
+    fatalIf(whiteSpaceFraction < 0.0 || whiteSpaceFraction > 0.6,
+            "white-space fraction outside [0, 0.6]");
+    fatalIf(temperature < 233.0 || temperature > 420.0,
+            "temperature outside the modeled range");
+}
+
+Processor::Processor(SystemParams params)
+    : _params(std::move(params))
+{
+    _params.validate();
+
+    _tech = std::make_unique<tech::Technology>(
+        _params.nodeNm, _params.coreFlavor, _params.temperature);
+    _tech->setProjection(_params.projection);
+    if (_params.vdd > 0.0)
+        _tech->setVdd(_params.vdd);
+
+    for (const auto &g : _params.resolvedCoreGroups())
+        _cores.push_back(std::make_unique<core::Core>(g.core, *_tech));
+
+    if (_params.numL2 > 0)
+        _l2 = std::make_unique<uncore::SharedCache>(_params.l2, *_tech);
+    if (_params.numL3 > 0)
+        _l3 = std::make_unique<uncore::SharedCache>(_params.l3, *_tech);
+    if (_params.hasDirectory) {
+        _directory = std::make_unique<uncore::Directory>(
+            _params.directory, *_tech);
+    }
+    if (_params.hasNoc) {
+        uncore::NocParams noc = _params.noc;
+        if (noc.linkLength <= 0.0) {
+            // Derive the hop span from the tile pitch: each fabric
+            // node carries its share of cores and shared cache.
+            double tile_area = 0.0;
+            const auto groups = _params.resolvedCoreGroups();
+            for (std::size_t g = 0; g < groups.size(); ++g)
+                tile_area += _cores[g]->area() * groups[g].count;
+            if (_l2)
+                tile_area += _l2->area() * _params.numL2;
+            tile_area /= std::max(1, noc.nodes());
+            noc.linkLength = std::sqrt(std::max(tile_area, 0.01 * mm2));
+        }
+        _noc = std::make_unique<uncore::Noc>(noc, *_tech);
+    }
+    if (_params.hasMemCtrl) {
+        _memCtrl = std::make_unique<uncore::MemoryController>(
+            _params.memCtrl, *_tech);
+    }
+    if (_params.hasIo)
+        _io = std::make_unique<uncore::ChipIo>(_params.io, *_tech);
+
+    const stats::ChipStats tdp_stats = stats::ChipStats::tdp(_params);
+    _tdpReport = makeReport(tdp_stats);
+    _area = _tdpReport.area;
+}
+
+Report
+Processor::makeReport(const stats::ChipStats &rt) const
+{
+    const stats::ChipStats tdp_stats = stats::ChipStats::tdp(_params);
+
+    Report r;
+    r.name = _params.name;
+
+    // --- Cores: model one per group, replicate by count; keep one
+    //     child per group for detail. ----------------------------------
+    {
+        const auto groups = _params.resolvedCoreGroups();
+        Report cores;
+        cores.name = "Total Cores (" +
+                     std::to_string(_params.totalCores()) + " cores)";
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            const core::CoreStats &g_tdp =
+                (tdp_stats.perGroup.size() == groups.size())
+                    ? tdp_stats.perGroup[g]
+                    : tdp_stats.perCore;
+            const core::CoreStats &g_rt =
+                (rt.perGroup.size() == groups.size()) ? rt.perGroup[g]
+                                                      : rt.perCore;
+            Report one = _cores[g]->makeReport(g_tdp, g_rt);
+            if (groups.size() > 1) {
+                one.name = groups[g].core.name + " (x" +
+                           std::to_string(groups[g].count) + ")";
+            }
+            cores.accumulate(one, groups[g].count);
+            cores.children.push_back(std::move(one));
+        }
+        r.addChild(std::move(cores));
+    }
+
+    if (_l2) {
+        Report one = _l2->makeReport(tdp_stats.l2Rates, rt.l2Rates);
+        Report l2s;
+        l2s.name = "Total L2s (" + std::to_string(_params.numL2) +
+                   " instances)";
+        l2s.accumulate(one, _params.numL2);
+        l2s.children.push_back(std::move(one));
+        r.addChild(std::move(l2s));
+    }
+    if (_l3) {
+        Report one = _l3->makeReport(tdp_stats.l3Rates, rt.l3Rates);
+        Report l3s;
+        l3s.name = "Total L3s (" + std::to_string(_params.numL3) +
+                   " instances)";
+        l3s.accumulate(one, _params.numL3);
+        l3s.children.push_back(std::move(one));
+        r.addChild(std::move(l3s));
+    }
+    if (_directory) {
+        r.addChild(_directory->makeReport(tdp_stats.directoryRates,
+                                          rt.directoryRates));
+    }
+    if (_noc) {
+        r.addChild(_noc->makeReport(tdp_stats.nocFlitsPerCycle,
+                                    rt.nocFlitsPerCycle));
+    }
+    if (_memCtrl) {
+        r.addChild(_memCtrl->makeReport(tdp_stats.mcUtilization,
+                                        rt.mcUtilization));
+    }
+    if (_io) {
+        r.addChild(_io->makeReport(tdp_stats.ioActivityScale,
+                                   rt.ioActivityScale));
+    }
+
+    // Decoupling capacitance and power-grid cells: real floorplans
+    // dedicate ~12% of placed area to decap.
+    Report decap;
+    decap.name = "Decap + Power Grid";
+    decap.area = 0.12 * r.area;
+    r.addChild(std::move(decap));
+
+    // Pad ring: a ~0.4 mm I/O ring around the die perimeter.
+    {
+        const double ring_w = 0.4 * mm;
+        const double edge = std::sqrt(r.area);
+        Report ring;
+        ring.name = "Pad Ring";
+        ring.area = 4.0 * edge * ring_w;
+        r.addChild(std::move(ring));
+    }
+
+    // Chip-level white space (routing channels, floorplan gaps,
+    // unmodeled glue).
+    r.area *= (1.0 + _params.whiteSpaceFraction);
+    return r;
+}
+
+bool
+Processor::meetsTiming() const
+{
+    for (const auto &c : _cores)
+        if (!c->meetsTiming())
+            return false;
+    return true;
+}
+
+} // namespace chip
+} // namespace mcpat

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Whole-processor model: the internal chip representation the paper
+ * describes.  Assembles cores, shared caches, interconnect, memory
+ * controllers, and I/O into one hierarchical power/area/timing report.
+ */
+
+#ifndef MCPAT_CHIP_PROCESSOR_HH
+#define MCPAT_CHIP_PROCESSOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "chip/system_params.hh"
+#include "core/core.hh"
+#include "stats/activity_stats.hh"
+
+namespace mcpat {
+namespace chip {
+
+/**
+ * The modeled processor.
+ */
+class Processor
+{
+  public:
+    explicit Processor(SystemParams params);
+
+    const SystemParams &params() const { return _params; }
+    const tech::Technology &tech() const { return *_tech; }
+
+    /** Representative core of the first (or only) core group. */
+    const core::Core &core() const { return *_cores.front(); }
+
+    /** One representative core per group. */
+    const std::vector<std::unique_ptr<core::Core>> &cores() const
+    {
+        return _cores;
+    }
+
+    /** Total die area (components + white space), m^2. */
+    double area() const { return _area; }
+
+    /** Thermal design power: peak dynamic at TDP activity + hot
+     *  leakage, W. */
+    double tdp() const { return _tdpReport.peakPower(); }
+
+    /** Core timing check: every core type must meet its clock. */
+    bool meetsTiming() const;
+
+    /** Hierarchical TDP report (runtime columns = TDP activity). */
+    const Report &tdpReport() const { return _tdpReport; }
+
+    /**
+     * Hierarchical report for a concrete runtime activity vector
+     * (runtime dynamic uses @p rt; peak columns use the TDP vector).
+     */
+    Report makeReport(const stats::ChipStats &rt) const;
+
+  private:
+    SystemParams _params;
+    std::unique_ptr<tech::Technology> _tech;
+
+    std::vector<std::unique_ptr<core::Core>> _cores;  ///< one per group
+    std::unique_ptr<uncore::SharedCache> _l2; ///< representative L2
+    std::unique_ptr<uncore::SharedCache> _l3;
+    std::unique_ptr<uncore::Directory> _directory;
+    std::unique_ptr<uncore::Noc> _noc;
+    std::unique_ptr<uncore::MemoryController> _memCtrl;
+    std::unique_ptr<uncore::ChipIo> _io;
+
+    double _area = 0.0;
+    Report _tdpReport;
+};
+
+} // namespace chip
+} // namespace mcpat
+
+#endif // MCPAT_CHIP_PROCESSOR_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Report printing, mirroring the original tool's hierarchy dump:
+ *
+ *   Processor:
+ *     Area = 295.2 mm^2
+ *     Peak Dynamic = 54.2 W
+ *     ...
+ *     Core:
+ *       ...
+ */
+
+#include "chip/report_printer.hh"
+
+#include <iomanip>
+
+#include "common/units.hh"
+
+namespace mcpat {
+namespace chip {
+
+namespace {
+
+void
+printNode(std::ostream &os, const Report &r, int depth, int max_depth)
+{
+    const std::string pad(2 * depth, ' ');
+    os << pad << r.name << ":\n";
+    os << pad << "  Area = " << r.area / mm2 << " mm^2\n";
+    os << pad << "  Peak Dynamic = " << r.peakDynamic << " W\n";
+    os << pad << "  Subthreshold Leakage = " << r.subthresholdLeakage
+       << " W\n";
+    os << pad << "  Gate Leakage = " << r.gateLeakage << " W\n";
+    os << pad << "  Runtime Dynamic = " << r.runtimeDynamic << " W\n";
+    if (r.criticalPath > 0.0) {
+        os << pad << "  Critical Path = " << r.criticalPath / ns
+           << " ns\n";
+    }
+    if (depth < max_depth) {
+        for (const auto &c : r.children) {
+            os << "\n";
+            printNode(os, c, depth + 1, max_depth);
+        }
+    }
+}
+
+} // namespace
+
+void
+printReport(std::ostream &os, const Report &report, int max_depth)
+{
+    const auto flags = os.flags();
+    const auto precision = os.precision();
+    os << std::fixed << std::setprecision(4);
+    printNode(os, report, 0, max_depth);
+    os.flags(flags);
+    os.precision(precision);
+}
+
+} // namespace chip
+} // namespace mcpat

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Human-readable report printing in the original McPAT output style.
+ */
+
+#ifndef MCPAT_CHIP_REPORT_PRINTER_HH
+#define MCPAT_CHIP_REPORT_PRINTER_HH
+
+#include <ostream>
+
+#include "common/report.hh"
+
+namespace mcpat {
+namespace chip {
+
+/**
+ * Print a report tree.
+ *
+ * @param os     output stream
+ * @param report tree to print
+ * @param max_depth levels of children to descend into (0 = root only)
+ */
+void printReport(std::ostream &os, const Report &report,
+                 int max_depth = 3);
+
+} // namespace chip
+} // namespace mcpat
+
+#endif // MCPAT_CHIP_REPORT_PRINTER_HH

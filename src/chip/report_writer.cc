@@ -1,0 +1,137 @@
+/**
+ * @file
+ * JSON/CSV report serialization.
+ */
+
+#include "chip/report_writer.hh"
+
+#include <iomanip>
+
+#include "common/units.hh"
+
+namespace mcpat {
+namespace chip {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+writeJsonNode(std::ostream &os, const Report &r, int indent)
+{
+    const std::string pad(indent, ' ');
+    os << pad << "{\n";
+    os << pad << "  \"name\": \"" << jsonEscape(r.name) << "\",\n";
+    os << pad << "  \"area_mm2\": " << r.area / mm2 << ",\n";
+    os << pad << "  \"peak_dynamic_w\": " << r.peakDynamic << ",\n";
+    os << pad << "  \"runtime_dynamic_w\": " << r.runtimeDynamic
+       << ",\n";
+    os << pad << "  \"subthreshold_leakage_w\": "
+       << r.subthresholdLeakage << ",\n";
+    os << pad << "  \"runtime_subthreshold_leakage_w\": "
+       << r.runtimeSubLeak() << ",\n";
+    os << pad << "  \"gate_leakage_w\": " << r.gateLeakage << ",\n";
+    os << pad << "  \"critical_path_ns\": " << r.criticalPath / ns
+       << ",\n";
+    os << pad << "  \"children\": [";
+    if (r.children.empty()) {
+        os << "]\n";
+    } else {
+        os << "\n";
+        for (std::size_t i = 0; i < r.children.size(); ++i) {
+            writeJsonNode(os, r.children[i], indent + 4);
+            os << (i + 1 < r.children.size() ? ",\n" : "\n");
+        }
+        os << pad << "  ]\n";
+    }
+    os << pad << "}";
+}
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    return out + "\"";
+}
+
+void
+writeCsvNode(std::ostream &os, const Report &r, const std::string &path)
+{
+    const std::string full =
+        path.empty() ? r.name : path + "/" + r.name;
+    os << csvEscape(full) << ',' << r.area / mm2 << ','
+       << r.peakDynamic << ',' << r.runtimeDynamic << ','
+       << r.subthresholdLeakage << ',' << r.runtimeSubLeak() << ','
+       << r.gateLeakage << ',' << r.criticalPath / ns << '\n';
+    for (const auto &c : r.children)
+        writeCsvNode(os, c, full);
+}
+
+} // namespace
+
+void
+writeReportJson(std::ostream &os, const Report &report)
+{
+    const auto flags = os.flags();
+    const auto precision = os.precision();
+    os << std::setprecision(10);
+    writeJsonNode(os, report, 0);
+    os << "\n";
+    os.flags(flags);
+    os.precision(precision);
+}
+
+void
+writeReportCsv(std::ostream &os, const Report &report)
+{
+    const auto flags = os.flags();
+    const auto precision = os.precision();
+    os << std::setprecision(10);
+    os << "path,area_mm2,peak_dynamic_w,runtime_dynamic_w,"
+          "subthreshold_leakage_w,runtime_subthreshold_leakage_w,"
+          "gate_leakage_w,critical_path_ns\n";
+    writeCsvNode(os, report, "");
+    os.flags(flags);
+    os.precision(precision);
+}
+
+} // namespace chip
+} // namespace mcpat

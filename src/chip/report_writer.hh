@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Machine-readable report export: JSON and CSV serializations of the
+ * hierarchical report tree, for downstream tooling (plotting, DSE
+ * scripts, regression diffs).
+ */
+
+#ifndef MCPAT_CHIP_REPORT_WRITER_HH
+#define MCPAT_CHIP_REPORT_WRITER_HH
+
+#include <ostream>
+#include <string>
+
+#include "common/report.hh"
+
+namespace mcpat {
+namespace chip {
+
+/**
+ * Write the report tree as JSON.
+ *
+ * Schema: every node is an object with `name`, `area_mm2`,
+ * `peak_dynamic_w`, `runtime_dynamic_w`, `subthreshold_leakage_w`,
+ * `runtime_subthreshold_leakage_w`, `gate_leakage_w`,
+ * `critical_path_ns`, and a `children` array.
+ */
+void writeReportJson(std::ostream &os, const Report &report);
+
+/**
+ * Write the report tree as CSV (one row per node, depth-first), with a
+ * `path` column of slash-joined component names.
+ */
+void writeReportCsv(std::ostream &os, const Report &report);
+
+/** Escape a string for inclusion in a JSON document. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace chip
+} // namespace mcpat
+
+#endif // MCPAT_CHIP_REPORT_WRITER_HH

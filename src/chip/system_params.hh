@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Top-level system description: technology point, core population,
+ * cache hierarchy, interconnect, memory controllers, and I/O.
+ */
+
+#ifndef MCPAT_CHIP_SYSTEM_PARAMS_HH
+#define MCPAT_CHIP_SYSTEM_PARAMS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/core_params.hh"
+#include "uncore/chip_io.hh"
+#include "uncore/directory.hh"
+#include "uncore/memctrl.hh"
+#include "uncore/noc.hh"
+#include "uncore/shared_cache.hh"
+
+namespace mcpat {
+namespace chip {
+
+/** One population of identical cores on a heterogeneous chip. */
+struct CoreGroup
+{
+    core::CoreParams core;
+    int count = 1;
+};
+
+/**
+ * Whole-chip architectural description.
+ *
+ * Homogeneous chips use @c numCores + @c core; heterogeneous chips
+ * populate @c coreGroups instead (when non-empty it takes precedence).
+ */
+struct SystemParams
+{
+    std::string name = "System";
+
+    // --- Technology operating point. -------------------------------------
+    int nodeNm = 65;
+    tech::DeviceFlavor coreFlavor = tech::DeviceFlavor::HP;
+    tech::WireProjection projection = tech::WireProjection::Aggressive;
+    double temperature = 360.0;  ///< K, hot junction for TDP leakage
+    /** Override the core logic supply (0 keeps the flavor nominal), V. */
+    double vdd = 0.0;
+
+    // --- Components. ---------------------------------------------------------
+    int numCores = 1;
+    core::CoreParams core;
+
+    /** Heterogeneous core populations (overrides numCores/core). */
+    std::vector<CoreGroup> coreGroups;
+
+    /** The effective core populations (groups or the homogeneous pair). */
+    std::vector<CoreGroup> resolvedCoreGroups() const;
+
+    /** Total core count across all groups. */
+    int totalCores() const;
+
+    int numL2 = 0;
+    uncore::SharedCacheParams l2;
+
+    int numL3 = 0;
+    uncore::SharedCacheParams l3;
+
+    bool hasDirectory = false;
+    uncore::DirectoryParams directory;
+
+    bool hasNoc = false;
+    uncore::NocParams noc;
+
+    bool hasMemCtrl = true;
+    uncore::MemCtrlParams memCtrl;
+
+    bool hasIo = true;
+    uncore::ChipIoParams io;
+
+    /** Chip-level white space on top of component areas. */
+    double whiteSpaceFraction = 0.10;
+
+    void validate() const;
+};
+
+} // namespace chip
+} // namespace mcpat
+
+#endif // MCPAT_CHIP_SYSTEM_PARAMS_HH

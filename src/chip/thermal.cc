@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Thermal fixed-point implementation.
+ */
+
+#include "chip/thermal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chip/processor.hh"
+
+namespace mcpat {
+namespace chip {
+
+namespace {
+
+/** The technology tables are valid up to this junction temperature. */
+constexpr double maxJunction = 419.0;
+
+} // namespace
+
+ThermalResult
+solveThermal(SystemParams sys, const ThermalParams &env)
+{
+    fatalIf(env.junctionToAmbient <= 0.0,
+            "thermal resistance must be positive");
+    fatalIf(env.ambient < 233.0 || env.ambient > 400.0,
+            "ambient temperature outside the modeled range");
+
+    ThermalResult result;
+    double t = std::clamp(sys.temperature, env.ambient + 1.0,
+                          maxJunction);
+    bool ceiling = false;
+
+    for (int i = 0; i < env.maxIterations; ++i) {
+        sys.temperature = t;
+        const Processor proc(sys);
+        const double power = proc.tdp();
+        double t_new = env.ambient + env.junctionToAmbient * power;
+        if (t_new > maxJunction) {
+            t_new = maxJunction;
+            ceiling = true;
+        } else {
+            ceiling = false;
+        }
+        // Damped update keeps the exponential-leakage loop stable.
+        const double next = 0.5 * t + 0.5 * t_new;
+        result.iterations = i + 1;
+        result.temperature = next;
+        result.power = power;
+        result.leakage = proc.tdpReport().leakage();
+        if (std::abs(next - t) < env.toleranceK) {
+            result.converged = !ceiling;
+            result.temperature = next;
+            return result;
+        }
+        t = next;
+    }
+    result.converged = false;
+    return result;
+}
+
+} // namespace chip
+} // namespace mcpat

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Leakage/temperature feedback: subthreshold leakage grows
+ * exponentially with junction temperature, and junction temperature
+ * grows with dissipated power through the package's thermal
+ * resistance.  This solver closes that loop — the self-consistent
+ * operating point a fixed-temperature report cannot give you, and the
+ * mechanism behind thermal runaway on leaky processes.
+ */
+
+#ifndef MCPAT_CHIP_THERMAL_HH
+#define MCPAT_CHIP_THERMAL_HH
+
+#include "chip/system_params.hh"
+
+namespace mcpat {
+namespace chip {
+
+/** Package/environment description for the thermal loop. */
+struct ThermalParams
+{
+    /** Local ambient (inside-chassis) temperature, K. */
+    double ambient = 318.0;
+
+    /** Junction-to-ambient thermal resistance (package + heatsink +
+     *  airflow), K/W.  Server-class ~0.2-0.3; passive ~0.6+. */
+    double junctionToAmbient = 0.25;
+
+    int maxIterations = 20;
+    double toleranceK = 0.5;
+};
+
+/** Converged thermal operating point. */
+struct ThermalResult
+{
+    double temperature = 0.0;  ///< junction temperature, K
+    double power = 0.0;        ///< TDP at that temperature, W
+    double leakage = 0.0;      ///< leakage share of it, W
+    int iterations = 0;
+    /** False when the loop hit the model's 420 K ceiling (thermal
+     *  runaway) or failed to settle. */
+    bool converged = false;
+};
+
+/**
+ * Solve the self-consistent junction temperature of a system at TDP
+ * activity.  The system's own `temperature` field is used only as the
+ * starting guess.
+ */
+ThermalResult solveThermal(SystemParams sys,
+                           const ThermalParams &env = {});
+
+} // namespace chip
+} // namespace mcpat
+
+#endif // MCPAT_CHIP_THERMAL_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * H-tree clock network implementation.
+ *
+ * An H-tree with k recursion levels over a D x D region uses
+ * 1.5 D (2^k - 1) of wire and reaches 4^k leaf quadrants.  Recursion
+ * stops when the leaf quadrant is small enough for a local grid
+ * (<= ~0.3 mm edge).  Buffers along the tree are modeled with the same
+ * repeater machinery as signal wires.
+ */
+
+#include "circuit/clock_network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcpat {
+namespace circuit {
+
+namespace {
+
+/** Leaf-quadrant edge below which a local grid takes over, m. */
+constexpr double leafEdge = 0.3 * mm;
+
+/** Local-grid wiring overhead applied to sink capacitance. */
+constexpr double localGridFactor = 1.25;
+
+} // namespace
+
+ClockNetwork::ClockNetwork(double covered_area, double sink_cap,
+                           const Technology &t, double grid_pitch)
+{
+    panicIf(covered_area < 0.0 || sink_cap < 0.0,
+            "negative clock network inputs");
+    panicIf(grid_pitch <= 0.0, "non-positive clock grid pitch");
+
+    // Below the H-tree leaves, clock is distributed on a two-direction
+    // grid — the dominant clock capacitance in real designs (e.g. the
+    // Alpha gridded clocks).  Dense logic uses a ~20 um pitch, latch-
+    // sparse macros (caches) a coarser one.
+    const double clockGridPitch = grid_pitch;
+
+    const double edge = std::sqrt(covered_area);
+    int levels = 0;
+    while (edge / std::pow(2.0, levels) > leafEdge && levels < 10)
+        ++levels;
+
+    const double htree_len = 1.5 * edge * (std::pow(2.0, levels) - 1.0);
+
+    // Local grid below the tree leaves: wires in both directions at the
+    // grid pitch, on intermediate metal, with ~30% buffer cap overhead.
+    const double grid_len = 2.0 * covered_area / clockGridPitch;
+    const double grid_cap =
+        grid_len * t.wire(tech::WireLayer::Intermediate).capPerM * 1.3;
+
+    _wireLength = htree_len + grid_len;
+
+    // Model the buffered tree as repeated global wire of the total
+    // H-tree length (buffer spacing/power matches a repeated wire of
+    // equal length); insertion delay is one root-to-leaf path.
+    const double vdd2 = t.vdd() * t.vdd();
+    if (htree_len > 0.0) {
+        const RepeatedWire tree(htree_len, WireLayer::Global, t);
+        const double root_to_leaf = 0.75 * edge;  // ~half-perimeter path
+        const RepeatedWire path(std::max(root_to_leaf, 1.0 * um),
+                                WireLayer::Global, t);
+
+        _switchedCap = tree.energyPerEvent() / vdd2 + grid_cap +
+                       localGridFactor * sink_cap;
+        _energy = _switchedCap * vdd2;
+        // Grid drivers leak in proportion to the tree's repeaters.
+        const double grid_buffer_scale =
+            1.0 + grid_len / std::max(htree_len, 1.0 * um) * 0.3;
+        _subLeak = tree.subthresholdLeakage() * grid_buffer_scale;
+        _gateLeak = tree.gateLeakage() * grid_buffer_scale;
+        _area = tree.area() * grid_buffer_scale;
+        _delay = path.delay();
+    } else {
+        _switchedCap = grid_cap + localGridFactor * sink_cap;
+        _energy = _switchedCap * vdd2;
+    }
+}
+
+Report
+ClockNetwork::makeReport(double frequency, double clock_gating_factor) const
+{
+    Report r;
+    r.name = "Clock Network";
+    r.area = _area;
+    r.peakDynamic = _energy * frequency;
+    r.runtimeDynamic = _energy * frequency * clock_gating_factor;
+    r.subthresholdLeakage = _subLeak;
+    r.gateLeakage = _gateLeak;
+    r.criticalPath = _delay;
+    return r;
+}
+
+} // namespace circuit
+} // namespace mcpat

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Clock-distribution model: a buffered global H-tree plus a local grid
+ * factor, loaded by the clocked elements it reaches.
+ *
+ * Clock distribution is a first-class power consumer in the validation
+ * targets (it dominates in high-frequency designs like Xeon Tulsa), so
+ * McPAT models it explicitly rather than amortizing it into components.
+ */
+
+#ifndef MCPAT_CIRCUIT_CLOCK_NETWORK_HH
+#define MCPAT_CIRCUIT_CLOCK_NETWORK_HH
+
+#include "circuit/wire.hh"
+#include "common/report.hh"
+
+namespace mcpat {
+namespace circuit {
+
+/**
+ * H-tree clock network covering a square region.
+ */
+class ClockNetwork
+{
+  public:
+    /**
+     * @param covered_area  silicon area the tree must span, m^2
+     * @param sink_cap      total clock-pin capacitance of all clocked
+     *                      elements in the region, F
+     * @param t             technology operating point
+     * @param grid_pitch    local clock-grid pitch, m; dense logic uses
+     *                      ~20 um, latch-sparse macros (caches) ~80 um
+     */
+    ClockNetwork(double covered_area, double sink_cap, const Technology &t,
+                 double grid_pitch = 20.0e-6);
+
+    /** Total H-tree wire length, m. */
+    double wireLength() const { return _wireLength; }
+
+    /** Switched capacitance per cycle (wire + buffers + sinks), F. */
+    double switchedCap() const { return _switchedCap; }
+
+    /** Energy per clock cycle (activity 1 by definition), J. */
+    double energyPerCycle() const { return _energy; }
+
+    double subthresholdLeakage() const { return _subLeak; }
+    double gateLeakage() const { return _gateLeak; }
+
+    /** Buffer device area, m^2. */
+    double area() const { return _area; }
+
+    /** Insertion delay from the root to a leaf, s. */
+    double insertionDelay() const { return _delay; }
+
+    /**
+     * Summarize as a report at a given clock frequency.
+     * @param clock_gating_factor fraction of the tree left running on
+     *        average (1.0 = no gating) for the runtime-dynamic figure.
+     */
+    Report makeReport(double frequency,
+                      double clock_gating_factor = 1.0) const;
+
+  private:
+    double _wireLength = 0.0;
+    double _switchedCap = 0.0;
+    double _energy = 0.0;
+    double _subLeak = 0.0;
+    double _gateLeak = 0.0;
+    double _area = 0.0;
+    double _delay = 0.0;
+};
+
+} // namespace circuit
+} // namespace mcpat
+
+#endif // MCPAT_CIRCUIT_CLOCK_NETWORK_HH

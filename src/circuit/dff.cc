@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Flip-flop model implementation.
+ *
+ * A transmission-gate master/slave DFF is ~20 transistors; we express its
+ * electrical figures as multiples of minimum-size device quantities.
+ */
+
+#include "circuit/dff.hh"
+
+namespace mcpat {
+namespace circuit {
+
+Dff::Dff(const Technology &t)
+{
+    const double wmin = minWidth(t);
+    const double c_unit = gateC(wmin, t) + drainC(wmin, t);
+    const double vdd = t.vdd();
+
+    // Multipliers for a transmission-gate master/slave flop.
+    _inputC = 3.0 * gateC(wmin, t);
+    _clockC = 4.0 * gateC(wmin, t);
+    _dataEnergy = 10.0 * c_unit * vdd * vdd;
+    _clockEnergy = _clockC * vdd * vdd +
+                   2.0 * c_unit * vdd * vdd;  // local clock inverters
+
+    // ~20 devices, roughly half NMOS / half PMOS, with stacking.
+    _subLeak = circuit::subthresholdLeakage(7.0 * wmin, 10.0 * wmin, t, 0.8);
+    _gateLeak = circuit::gateLeakage(17.0 * wmin, t);
+    _area = t.dffArea();
+}
+
+DffBank::DffBank(int num_bits, const Technology &t)
+    : bits(num_bits), cell(t)
+{
+    panicIf(num_bits < 0, "negative flip-flop bank width");
+}
+
+double
+DffBank::energyPerCycle(double alpha) const
+{
+    return bits * (cell.clockEnergyPerCycle() + alpha * cell.dataEnergy());
+}
+
+double
+DffBank::subthresholdLeakage() const
+{
+    return bits * cell.subthresholdLeakage();
+}
+
+double
+DffBank::gateLeakage() const
+{
+    return bits * cell.gateLeakage();
+}
+
+double
+DffBank::area() const
+{
+    return bits * cell.area();
+}
+
+double
+DffBank::clockLoad() const
+{
+    return bits * cell.clockC();
+}
+
+} // namespace circuit
+} // namespace mcpat

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Edge-triggered flip-flop model: the unit behind pipeline registers,
+ * FIFOs, and small register arrays.
+ */
+
+#ifndef MCPAT_CIRCUIT_DFF_HH
+#define MCPAT_CIRCUIT_DFF_HH
+
+#include "circuit/transistor.hh"
+
+namespace mcpat {
+namespace circuit {
+
+/**
+ * One D flip-flop bit.  The clock pin switches every cycle regardless of
+ * data, so clock energy is reported separately from data energy.
+ */
+class Dff
+{
+  public:
+    explicit Dff(const Technology &t);
+
+    /** Data input capacitance, F. */
+    double inputC() const { return _inputC; }
+
+    /** Clock pin capacitance (for clock-network loading), F. */
+    double clockC() const { return _clockC; }
+
+    /** Energy when the stored value toggles, J. */
+    double dataEnergy() const { return _dataEnergy; }
+
+    /** Internal clock energy per cycle (even when data holds), J. */
+    double clockEnergyPerCycle() const { return _clockEnergy; }
+
+    double subthresholdLeakage() const { return _subLeak; }
+    double gateLeakage() const { return _gateLeak; }
+    double area() const { return _area; }
+
+  private:
+    double _inputC;
+    double _clockC;
+    double _dataEnergy;
+    double _clockEnergy;
+    double _subLeak;
+    double _gateLeak;
+    double _area;
+};
+
+/**
+ * A bank of flip-flops (pipeline register, FIFO stage).
+ */
+struct DffBank
+{
+    DffBank(int bits, const Technology &t);
+
+    int bits;
+    Dff cell;
+
+    /** Energy to clock the whole bank for one cycle with data activity
+     *  alpha (fraction of bits toggling). */
+    double energyPerCycle(double alpha) const;
+
+    double subthresholdLeakage() const;
+    double gateLeakage() const;
+    double area() const;
+    double clockLoad() const;  ///< total clock-pin cap, F
+};
+
+} // namespace circuit
+} // namespace mcpat
+
+#endif // MCPAT_CIRCUIT_DFF_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Elmore delay implementations.
+ */
+
+#include "circuit/elmore.hh"
+
+#include "common/logging.hh"
+#include "circuit/logical_effort.hh"
+
+namespace mcpat {
+namespace circuit {
+
+double
+elmoreLadderDelay(double drive_res, const std::vector<RcSegment> &segments,
+                  double c_load)
+{
+    // Downstream capacitance seen through each resistance.
+    double total_c = c_load;
+    for (const auto &s : segments)
+        total_c += s.c;
+
+    double delay = drive_res * total_c;
+    double remaining = total_c;
+    for (const auto &s : segments) {
+        // The segment resistance charges everything at or beyond its far
+        // node (its own node cap is at the far side).
+        delay += s.r * remaining;
+        remaining -= s.c;
+    }
+    return rcDelayFactor * delay;
+}
+
+double
+distributedLineDelay(double drive_res, double wire_res, double wire_cap,
+                     double c_load)
+{
+    return rcDelayFactor * (drive_res * (wire_cap + c_load) +
+                            wire_res * c_load) +
+           0.38 * wire_res * wire_cap;
+}
+
+RcTree::RcTree(double c_root)
+{
+    _parent.push_back(0);
+    _res.push_back(0.0);
+    _cap.push_back(c_root);
+}
+
+std::size_t
+RcTree::addNode(std::size_t parent, double r, double c)
+{
+    panicIf(parent >= _parent.size(), "RC-tree parent out of range");
+    _parent.push_back(parent);
+    _res.push_back(r);
+    _cap.push_back(c);
+    return _parent.size() - 1;
+}
+
+void
+RcTree::addCap(std::size_t node, double c)
+{
+    panicIf(node >= _cap.size(), "RC-tree node out of range");
+    _cap[node] += c;
+}
+
+std::vector<double>
+RcTree::downstreamCap() const
+{
+    // Nodes are appended parent-first, so a reverse sweep accumulates
+    // subtree capacitance in one pass.
+    std::vector<double> down = _cap;
+    for (std::size_t i = _parent.size() - 1; i > 0; --i)
+        down[_parent[i]] += down[i];
+    return down;
+}
+
+double
+RcTree::delayTo(std::size_t sink, double drive_res) const
+{
+    panicIf(sink >= _parent.size(), "RC-tree sink out of range");
+    const auto down = downstreamCap();
+
+    // Elmore: sum over resistances on the driver->sink path of
+    // (resistance x capacitance downstream of that resistance).
+    double delay = drive_res * down[0];
+    for (std::size_t n = sink; n != 0; n = _parent[n])
+        delay += _res[n] * down[n];
+    return rcDelayFactor * delay;
+}
+
+double
+RcTree::totalCap() const
+{
+    double c = 0.0;
+    for (double x : _cap)
+        c += x;
+    return c;
+}
+
+} // namespace circuit
+} // namespace mcpat

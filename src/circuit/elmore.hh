@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Elmore delay evaluation for RC ladders and trees.
+ *
+ * Wordlines, bitlines, and on-chip wires are modeled as distributed RC
+ * lines; match lines and H-trees as RC trees.  The Elmore metric (first
+ * moment of the impulse response) is the timing model the McPAT paper
+ * uses throughout.
+ */
+
+#ifndef MCPAT_CIRCUIT_ELMORE_HH
+#define MCPAT_CIRCUIT_ELMORE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mcpat {
+namespace circuit {
+
+/** One series segment of an RC ladder. */
+struct RcSegment
+{
+    double r;  ///< series resistance of the segment, ohm
+    double c;  ///< capacitance at the segment's far node, F
+};
+
+/**
+ * 50% delay of a driver + RC ladder + lumped load.
+ *
+ * @param drive_res  driver output resistance, ohm
+ * @param segments   ladder segments in order from driver to end
+ * @param c_load     extra lumped load at the far end, F
+ */
+double elmoreLadderDelay(double drive_res,
+                         const std::vector<RcSegment> &segments,
+                         double c_load);
+
+/**
+ * 50% delay of a uniformly distributed RC line with lumped driver and
+ * load: 0.693 Rdrv (Cw + Cl) + 0.693 Rw Cl + 0.38 Rw Cw.
+ */
+double distributedLineDelay(double drive_res, double wire_res,
+                            double wire_cap, double c_load);
+
+/**
+ * General RC tree for Elmore analysis.  Nodes are added with a parent
+ * index; node 0 is the driver output (r = resistance from the parent).
+ */
+class RcTree
+{
+  public:
+    /** Create the tree with a root node of capacitance c_root. */
+    explicit RcTree(double c_root = 0.0);
+
+    /**
+     * Add a node connected to @p parent through resistance r, carrying
+     * capacitance c.  Returns the node's index.
+     */
+    std::size_t addNode(std::size_t parent, double r, double c);
+
+    /** Add extra lumped capacitance at an existing node. */
+    void addCap(std::size_t node, double c);
+
+    /**
+     * Elmore delay from the driver (with output resistance drive_res)
+     * to @p sink: sum over path resistances times downstream caps.
+     */
+    double delayTo(std::size_t sink, double drive_res) const;
+
+    /** Total capacitance of the tree, F. */
+    double totalCap() const;
+
+    std::size_t numNodes() const { return _parent.size(); }
+
+  private:
+    std::vector<std::size_t> _parent;
+    std::vector<double> _res;
+    std::vector<double> _cap;
+
+    /** Capacitance of the subtree rooted at each node. */
+    std::vector<double> downstreamCap() const;
+};
+
+} // namespace circuit
+} // namespace mcpat
+
+#endif // MCPAT_CIRCUIT_ELMORE_HH

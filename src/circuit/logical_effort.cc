@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Buffer-chain sizing via logical effort.
+ */
+
+#include "circuit/logical_effort.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcpat {
+namespace circuit {
+
+double
+inverterArea(double wn, const Technology &t)
+{
+    // Express the inverter as a fraction of a routed NAND2-equivalent:
+    // a minimum inverter is ~0.45 of a NAND2 footprint (drivers are
+    // diffusion-dominated, not routing-dominated), growing linearly
+    // with drive strength.
+    const double strength = wn / minWidth(t);
+    return 0.45 * t.logicGateArea() * std::max(1.0, strength);
+}
+
+BufferChain::BufferChain(double c_load, const Technology &t,
+                         double c_in_budget, int min_stages)
+{
+    panicIf(c_load < 0.0, "negative load capacitance");
+
+    const double wmin = minWidth(t);
+    const Inverter unit(wmin, t);
+    const double c_unit = unit.inputC(t);
+
+    if (c_in_budget <= 0.0)
+        c_in_budget = c_unit;
+    _inputC = c_in_budget;
+
+    const double path_effort = std::max(1.0, c_load / c_in_budget);
+    int n = static_cast<int>(
+        std::lround(std::log(path_effort) / std::log(optimalStageEffort)));
+    n = std::max({n, 1, min_stages});
+
+    const double stage_effort = std::pow(path_effort, 1.0 / n);
+
+    // First-stage NMOS width realizing the input-capacitance budget.
+    const double w0 = wmin * (c_in_budget / c_unit);
+
+    _sizes.resize(n);
+    for (int i = 0; i < n; ++i)
+        _sizes[i] = w0 * std::pow(stage_effort, i);
+
+    for (int i = 0; i < n; ++i) {
+        const Inverter inv(_sizes[i], t);
+        const double next_c = (i + 1 < n)
+            ? Inverter(_sizes[i + 1], t).inputC(t)
+            : c_load;
+        _delay += stageDelay(inv.outputRes(t), inv.selfC(t), next_c);
+        // Energy: every stage charges its own junctions plus its load.
+        _energy += (inv.selfC(t) + next_c) * t.vdd() * t.vdd();
+        _subLeak += inv.subthresholdLeakage(t);
+        _gateLeak += inv.gateLeakage(t);
+        _area += inverterArea(_sizes[i], t);
+    }
+}
+
+} // namespace circuit
+} // namespace mcpat

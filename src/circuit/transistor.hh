@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Transistor-level R/C helpers (CACTI-style).
+ *
+ * Every higher-level circuit model reduces to these few functions: gate
+ * and drain capacitance per device width, effective switching resistance
+ * from the drive-current density, and the leakage of basic gates.
+ *
+ * Convention used across the whole framework: a dynamic "energy per event"
+ * is C * Vdd^2 (one full charge/discharge pair); activity factors count
+ * events per cycle.
+ */
+
+#ifndef MCPAT_CIRCUIT_TRANSISTOR_HH
+#define MCPAT_CIRCUIT_TRANSISTOR_HH
+
+#include "tech/technology.hh"
+
+namespace mcpat {
+namespace circuit {
+
+using tech::Technology;
+
+/** Minimum-size device width (in m) for this technology: 3 F. */
+double minWidth(const Technology &t);
+
+/** Gate capacitance of a device of width w, F. */
+double gateC(double w, const Technology &t);
+
+/** Source/drain junction capacitance of a device of width w, F. */
+double drainC(double w, const Technology &t);
+
+/**
+ * Effective switching resistance of an NMOS of width w, ohm.
+ *
+ * Includes an empirical factor (2.5) covering saturation-region averaging
+ * and input-slope effects, calibrated so a computed FO4 delay matches the
+ * technology table's FO4 entry.
+ */
+double onResistanceN(double w, const Technology &t);
+
+/** Effective switching resistance of a PMOS of width w, ohm. */
+double onResistanceP(double w, const Technology &t);
+
+/**
+ * A static CMOS inverter with NMOS width wn and PMOS width 2*wn.
+ * The building block for buffer chains, drivers, and leakage estimates.
+ */
+struct Inverter
+{
+    double wn;   ///< NMOS width, m
+    double wp;   ///< PMOS width, m
+
+    Inverter(double nmos_width, const Technology &t);
+
+    /** Input (gate) capacitance, F. */
+    double inputC(const Technology &t) const;
+
+    /** Output self-capacitance (junctions), F. */
+    double selfC(const Technology &t) const;
+
+    /** Worst-case pull resistance, ohm. */
+    double outputRes(const Technology &t) const;
+
+    /**
+     * Average subthreshold leakage power, W, at the technology's
+     * operating temperature (one of the two devices leaks at a time).
+     */
+    double subthresholdLeakage(const Technology &t) const;
+
+    /** Gate-leakage power, W. */
+    double gateLeakage(const Technology &t) const;
+};
+
+/**
+ * Average capacitance of one logic net: the local wire between a gate
+ * and its fanout (~700 F of routed length) plus 2.5 gate loads and the
+ * driver's junctions.  Gate-counting power models must charge this, not
+ * just the bare gate capacitance — local wires dominate switched
+ * capacitance in synthesized logic.
+ */
+double averageNetCap(const Technology &t);
+
+/** Energy of one average logic-gate output transition, J (C_net Vdd^2). */
+double logicGateEnergy(const Technology &t);
+
+/**
+ * Average subthreshold leakage power of a generic gate given its total
+ * NMOS and PMOS width, W.  A stacking factor (default 0.6 for 2-high
+ * stacks in NAND/NOR pull networks) derates series devices.
+ */
+double subthresholdLeakage(double total_wn, double total_wp,
+                           const Technology &t, double stack_factor = 1.0);
+
+/** Gate-leakage power of total device width (NMOS + PMOS), W. */
+double gateLeakage(double total_w, const Technology &t);
+
+} // namespace circuit
+} // namespace mcpat
+
+#endif // MCPAT_CIRCUIT_TRANSISTOR_HH

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Hierarchical power/area/timing report tree.
+ *
+ * Every McPAT component (from a bitline segment up to the whole processor)
+ * summarizes itself as a Report node.  Parents aggregate children, so the
+ * chip-level report is a tree whose internal sums are consistent by
+ * construction — a property the test suite checks.
+ */
+
+#ifndef MCPAT_COMMON_REPORT_HH
+#define MCPAT_COMMON_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace mcpat {
+
+/**
+ * Power/area/timing summary of one architectural component.
+ *
+ * Units are SI: area in m^2, power in W, delay in seconds.
+ */
+struct Report
+{
+    std::string name;
+
+    /** Silicon area, m^2 (includes per-component wiring overhead). */
+    double area = 0.0;
+
+    /** Peak dynamic power at the target clock with TDP activity, W. */
+    double peakDynamic = 0.0;
+
+    /** Runtime dynamic power from simulation statistics, W. */
+    double runtimeDynamic = 0.0;
+
+    /** Subthreshold leakage power at the report temperature, W. */
+    double subthresholdLeakage = 0.0;
+
+    /** Gate leakage power, W. */
+    double gateLeakage = 0.0;
+
+    /**
+     * Subthreshold leakage under the runtime scenario, W.  Negative
+     * (the default) means "same as subthresholdLeakage"; power-gated
+     * components report a lower value here while TDP leakage stays
+     * worst-case.
+     */
+    double runtimeSubthresholdLeakage = -1.0;
+
+    /** Worst access/propagation delay through this component, s. */
+    double criticalPath = 0.0;
+
+    std::vector<Report> children;
+
+    /** Total leakage (subthreshold + gate), W. */
+    double
+    leakage() const
+    {
+        return subthresholdLeakage + gateLeakage;
+    }
+
+    /** Peak total power (peak dynamic + leakage), W. */
+    double
+    peakPower() const
+    {
+        return peakDynamic + leakage();
+    }
+
+    /** Runtime subthreshold leakage (resolves the mirror default), W. */
+    double
+    runtimeSubLeak() const
+    {
+        return runtimeSubthresholdLeakage < 0.0
+            ? subthresholdLeakage
+            : runtimeSubthresholdLeakage;
+    }
+
+    /** Runtime total power (runtime dynamic + runtime leakage), W. */
+    double
+    runtimePower() const
+    {
+        return runtimeDynamic + runtimeSubLeak() + gateLeakage;
+    }
+
+    /**
+     * Append a child and accumulate its numbers into this node.
+     *
+     * The child's critical path widens the parent's (a parent is at least
+     * as slow as its slowest child); areas and powers add.
+     */
+    void
+    addChild(Report child)
+    {
+        area += child.area;
+        peakDynamic += child.peakDynamic;
+        runtimeDynamic += child.runtimeDynamic;
+        // Keep runtime leakage in mirror mode unless some node made it
+        // explicit (power gating); resolve before mutating the mirror.
+        if (child.runtimeSubthresholdLeakage >= 0.0 ||
+            runtimeSubthresholdLeakage >= 0.0) {
+            runtimeSubthresholdLeakage =
+                runtimeSubLeak() + child.runtimeSubLeak();
+        }
+        subthresholdLeakage += child.subthresholdLeakage;
+        gateLeakage += child.gateLeakage;
+        if (child.criticalPath > criticalPath)
+            criticalPath = child.criticalPath;
+        children.push_back(std::move(child));
+    }
+
+    /**
+     * Accumulate another report's totals without recording it as a child
+     * (used for per-instance replication, e.g. N identical cores where
+     * only one child node is kept for the breakdown).
+     */
+    void
+    accumulate(const Report &other, double count = 1.0)
+    {
+        area += other.area * count;
+        peakDynamic += other.peakDynamic * count;
+        runtimeDynamic += other.runtimeDynamic * count;
+        if (other.runtimeSubthresholdLeakage >= 0.0 ||
+            runtimeSubthresholdLeakage >= 0.0) {
+            runtimeSubthresholdLeakage =
+                runtimeSubLeak() + other.runtimeSubLeak() * count;
+        }
+        subthresholdLeakage += other.subthresholdLeakage * count;
+        gateLeakage += other.gateLeakage * count;
+        if (other.criticalPath > criticalPath)
+            criticalPath = other.criticalPath;
+    }
+
+    /**
+     * Recursively scale the dynamic-power fields (peak and runtime) of
+     * this node and all children.  Used for block-level design-margin
+     * factors so parent/child sums stay consistent.
+     */
+    void
+    scaleDynamic(double factor)
+    {
+        peakDynamic *= factor;
+        runtimeDynamic *= factor;
+        for (auto &c : children)
+            c.scaleDynamic(factor);
+    }
+
+    /** Find a direct child by name; nullptr when absent. */
+    const Report *
+    child(const std::string &child_name) const
+    {
+        for (const auto &c : children)
+            if (c.name == child_name)
+                return &c;
+        return nullptr;
+    }
+};
+
+} // namespace mcpat
+
+#endif // MCPAT_COMMON_REPORT_HH

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * gem5 stats parsing and mapping.
+ */
+
+#include "config/gem5_stats.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mcpat {
+namespace config {
+
+std::map<std::string, double>
+parseGem5Stats(const std::string &text)
+{
+    std::map<std::string, double> out;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("---------- Begin", 0) == 0) {
+            out.clear();  // a new dump supersedes the previous one
+            continue;
+        }
+        if (line.empty() || line[0] == '-')
+            continue;  // separators / End banners
+        std::istringstream ls(line);
+        std::string name, value;
+        if (!(ls >> name >> value))
+            continue;
+        if (name.empty() || name[0] == '#')
+            continue;
+        try {
+            std::size_t used = 0;
+            const double v = std::stod(value, &used);
+            // Reject trailing junk and non-finite values.
+            if (used == value.size() && std::isfinite(v))
+                out[name] = v;
+        } catch (const std::exception &) {
+            // Non-numeric value column (e.g. histogram bucket labels).
+        }
+    }
+    return out;
+}
+
+std::map<std::string, double>
+parseGem5StatsFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open gem5 stats file '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseGem5Stats(ss.str());
+}
+
+namespace {
+
+/**
+ * Sum every stat whose name is `system.<unit prefix><anything>.<leaf>`
+ * — aggregating cpu0/cpu1/... or l2/l2bank0/... instances.
+ */
+double
+sumMatching(const std::map<std::string, double> &stats,
+            const std::string &unit_prefix, const std::string &leaf)
+{
+    const std::string prefix = "system." + unit_prefix;
+    double sum = 0.0;
+    bool found = false;
+    for (const auto &[name, value] : stats) {
+        if (name.rfind(prefix, 0) != 0)
+            continue;
+        if (name.size() <= leaf.size() + 1)
+            continue;
+        if (name.compare(name.size() - leaf.size() - 1, 1, ".") != 0)
+            continue;
+        if (name.compare(name.size() - leaf.size(), leaf.size(),
+                         leaf) != 0)
+            continue;
+        sum += value;
+        found = true;
+    }
+    return found ? sum : -1.0;
+}
+
+/** First matching value (for per-chip stats like cycle counts). */
+double
+maxMatching(const std::map<std::string, double> &stats,
+            const std::string &unit_prefix, const std::string &leaf)
+{
+    const std::string prefix = "system." + unit_prefix;
+    double best = -1.0;
+    for (const auto &[name, value] : stats) {
+        if (name.rfind(prefix, 0) != 0)
+            continue;
+        if (name.size() <= leaf.size() + 1)
+            continue;
+        if (name.compare(name.size() - leaf.size(), leaf.size(),
+                         leaf) != 0)
+            continue;
+        best = std::max(best, value);
+    }
+    return best;
+}
+
+/** value / divisor when value was found, else the fallback. */
+double
+rateOr(double value, double divisor, double fallback)
+{
+    return value >= 0.0 ? value / divisor : fallback;
+}
+
+} // namespace
+
+stats::ChipStats
+gem5ToChipStats(const std::map<std::string, double> &stats,
+                const chip::SystemParams &params)
+{
+    stats::ChipStats s = stats::ChipStats::tdp(params);
+
+    const double cycles = maxMatching(stats, "cpu", "numCycles");
+    if (cycles <= 0.0)
+        return s;  // no CPU section: keep TDP defaults
+
+    const int cores = params.totalCores();
+    // Per-core average rates: aggregate counters / cycles / cores.
+    const double per_core = cycles * cores;
+
+    core::CoreStats &c = s.perCore;
+    const double insts =
+        std::max(sumMatching(stats, "cpu", "committedInsts"),
+                 sumMatching(stats, "cpu", "committedOps"));
+    c.commits = rateOr(insts, per_core, c.commits);
+    c.fetches = rateOr(sumMatching(stats, "cpu", "fetchedInsts"),
+                       per_core, c.commits * 1.1);
+    c.decodes = c.fetches;
+    if (params.core.outOfOrder) {
+        c.renames = c.decodes;
+        c.dispatches = c.decodes;
+    }
+    c.intOps = rateOr(sumMatching(stats, "cpu", "num_int_insts"),
+                      per_core, c.intOps);
+    c.fpOps = rateOr(sumMatching(stats, "cpu", "num_fp_insts"),
+                     per_core, c.fpOps);
+    c.branches =
+        rateOr(sumMatching(stats, "cpu", "committedBranches"),
+               per_core, c.branches);
+    c.loads = rateOr(sumMatching(stats, "cpu", "num_loads"), per_core,
+                     c.loads);
+    c.stores = rateOr(sumMatching(stats, "cpu", "num_stores"),
+                      per_core, c.stores);
+    c.intRegReads = 1.6 * (c.intOps + c.loads + c.stores);
+    c.intRegWrites = 0.8 * (c.intOps + c.loads);
+    c.fpRegReads = 1.6 * c.fpOps;
+    c.fpRegWrites = 0.8 * c.fpOps;
+    if (params.core.outOfOrder) {
+        c.intIssues = c.intOps + c.loads + c.stores + c.branches;
+        c.fpIssues = c.fpOps;
+    }
+    c.bypasses = c.commits * 0.5;
+
+    const double ic_acc =
+        sumMatching(stats, "cpu", "icache.overall_accesses");
+    const double ic_miss =
+        sumMatching(stats, "cpu", "icache.overall_misses");
+    if (ic_acc >= 0.0) {
+        const double acc = ic_acc / per_core;
+        const double miss = std::max(0.0, ic_miss) / per_core;
+        c.icacheRates.readHits = std::max(0.0, acc - miss);
+        c.icacheRates.readMisses = miss;
+        c.icacheRates.writeHits = 0.0;
+        c.icacheRates.writeMisses = 0.0;
+    }
+    const double dc_acc =
+        sumMatching(stats, "cpu", "dcache.overall_accesses");
+    const double dc_miss =
+        sumMatching(stats, "cpu", "dcache.overall_misses");
+    if (dc_acc >= 0.0) {
+        const double acc = dc_acc / per_core;
+        const double miss = std::max(0.0, dc_miss) / per_core;
+        const double load_frac =
+            c.loads / std::max(1e-12, c.loads + c.stores);
+        c.dcacheRates.readHits =
+            std::max(0.0, (acc - miss) * load_frac);
+        c.dcacheRates.writeHits =
+            std::max(0.0, (acc - miss) * (1.0 - load_frac));
+        c.dcacheRates.readMisses = miss * load_frac;
+        c.dcacheRates.writeMisses = miss * (1.0 - load_frac);
+    }
+    c.itlbAccesses = c.icacheRates.accesses();
+    c.dtlbAccesses = c.loads + c.stores;
+
+    const double busy = std::min(
+        1.0, c.commits / std::max(1.0, 0.8 * params.core.issueWidth));
+    c.pipelineActivity = 0.1 + 0.25 * busy;
+    c.clockGating = 0.35 + 0.65 * busy;
+
+    // --- Shared cache. ----------------------------------------------------
+    const double l2_acc =
+        sumMatching(stats, "l2", "overall_accesses");
+    const double l2_miss =
+        sumMatching(stats, "l2", "overall_misses");
+    if (l2_acc >= 0.0 && params.numL2 > 0) {
+        const double per_l2 = cycles * params.numL2;
+        const double acc = l2_acc / per_l2;
+        const double miss = std::max(0.0, l2_miss) / per_l2;
+        s.l2Rates.readHits = std::max(0.0, 0.75 * (acc - miss));
+        s.l2Rates.writeHits = std::max(0.0, 0.25 * (acc - miss));
+        s.l2Rates.readMisses = 0.75 * miss;
+        s.l2Rates.writeMisses = 0.25 * miss;
+        s.nocFlitsPerCycle = 2.0 * acc * params.numL2;
+        s.directoryRates.lookups =
+            miss * params.numL2 + 0.2 * acc * params.numL2;
+        s.directoryRates.updates = 0.5 * s.directoryRates.lookups;
+    }
+
+    // --- Memory controller. -----------------------------------------------
+    const double bytes_rd =
+        sumMatching(stats, "mem_ctrls", "bytes_read");
+    const double bytes_wr =
+        sumMatching(stats, "mem_ctrls", "bytes_written");
+    if (bytes_rd >= 0.0 || bytes_wr >= 0.0) {
+        const double bytes =
+            std::max(0.0, bytes_rd) + std::max(0.0, bytes_wr);
+        const auto &m = params.memCtrl;
+        const double peak = (m.peakBandwidth > 0.0
+            ? m.peakBandwidth
+            : m.busClock * 2.0 * (m.dataBusBits / 8.0)) * m.channels;
+        const double seconds = cycles / params.core.clockRate;
+        s.mcUtilization =
+            std::min(1.0, bytes / std::max(seconds, 1e-12) / peak);
+    }
+
+    s.perGroup.clear();  // counters describe the average core
+    return s;
+}
+
+} // namespace config
+} // namespace mcpat

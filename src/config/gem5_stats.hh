@@ -1,0 +1,62 @@
+/**
+ * @file
+ * gem5/M5 statistics import.
+ *
+ * The paper's workflow pairs McPAT with the M5 simulator: M5 produces
+ * a stats dump, McPAT turns it into runtime power.  This reader parses
+ * the standard gem5 `stats.txt` format —
+ *
+ *     ---------- Begin Simulation Statistics ----------
+ *     system.cpu.numCycles      12345678   # number of cpu cycles
+ *     system.cpu.committedInsts  9876543   # committed instructions
+ *     ...
+ *
+ * — aggregates per-CPU counters (system.cpu0.*, system.cpu1.*, ...),
+ * and maps the well-known counter names onto the same ChipStats vector
+ * the XML `<stat>` interface produces.  Counters that do not appear
+ * keep their TDP-vector defaults.
+ */
+
+#ifndef MCPAT_CONFIG_GEM5_STATS_HH
+#define MCPAT_CONFIG_GEM5_STATS_HH
+
+#include <map>
+#include <string>
+
+#include "chip/system_params.hh"
+#include "stats/activity_stats.hh"
+
+namespace mcpat {
+namespace config {
+
+/**
+ * Parse a gem5 stats dump into name -> value.  When the file holds
+ * several `Begin/End Simulation Statistics` blocks, the last block
+ * wins.  Lines without a numeric value (histogram headers, nan/inf)
+ * are skipped.
+ */
+std::map<std::string, double> parseGem5Stats(const std::string &text);
+
+/** Parse a stats file from disk. */
+std::map<std::string, double>
+parseGem5StatsFile(const std::string &path);
+
+/**
+ * Build the runtime activity vector for @p params from gem5 counters.
+ *
+ * Recognized names (with `system.` prefixes and per-CPU indices
+ * aggregated): numCycles, committedInsts/committedOps,
+ * num_int_insts, num_fp_insts, BranchPred lookups / committedBranches,
+ * num_loads/num_stores (or MemRead/MemWrite op class counts),
+ * icache.overall_accesses/overall_misses, dcache likewise,
+ * l2.overall_accesses/overall_misses, mem_ctrls.bytes_read +
+ * bytes_written.
+ */
+stats::ChipStats gem5ToChipStats(
+    const std::map<std::string, double> &stats,
+    const chip::SystemParams &params);
+
+} // namespace config
+} // namespace mcpat
+
+#endif // MCPAT_CONFIG_GEM5_STATS_HH

@@ -1,0 +1,561 @@
+/**
+ * @file
+ * XML-to-parameters mapping.
+ */
+
+#include "config/xml_loader.hh"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mcpat {
+namespace config {
+
+namespace {
+
+/** Typed access to one component's <param> entries. */
+class ParamReader
+{
+  public:
+    ParamReader(const XmlNode &node, std::vector<std::string> &warnings)
+        : _warnings(warnings)
+    {
+        for (const XmlNode *p : node.childrenNamed("param")) {
+            fatalIf(!p->hasAttr("name") || !p->hasAttr("value"),
+                    "<param> needs name and value attributes");
+            _values[p->attr("name")] = p->attr("value");
+        }
+        _component = node.attr("id");
+    }
+
+    ~ParamReader()
+    {
+        for (const auto &[key, value] : _values) {
+            if (!_consumed.count(key)) {
+                _warnings.push_back("unknown param '" + key +
+                                    "' in component '" + _component +
+                                    "'");
+            }
+        }
+    }
+
+    bool
+    has(const std::string &key) const
+    {
+        return _values.count(key) > 0;
+    }
+
+    void
+    getInt(const std::string &key, int &out)
+    {
+        if (auto v = fetch(key))
+            out = std::stoi(*v);
+    }
+
+    void
+    getDouble(const std::string &key, double &out)
+    {
+        if (auto v = fetch(key))
+            out = std::stod(*v);
+    }
+
+    void
+    getBool(const std::string &key, bool &out)
+    {
+        if (auto v = fetch(key))
+            out = (*v == "1" || *v == "true" || *v == "yes");
+    }
+
+    void
+    getString(const std::string &key, std::string &out)
+    {
+        if (auto v = fetch(key))
+            out = *v;
+    }
+
+  private:
+    const std::string *
+    fetch(const std::string &key)
+    {
+        _consumed.insert(key);
+        auto it = _values.find(key);
+        return it == _values.end() ? nullptr : &it->second;
+    }
+
+    std::map<std::string, std::string> _values;
+    std::set<std::string> _consumed;
+    std::string _component;
+    std::vector<std::string> &_warnings;
+};
+
+tech::DeviceFlavor
+parseFlavor(const std::string &s)
+{
+    if (s == "HP" || s == "hp")
+        return tech::DeviceFlavor::HP;
+    if (s == "LSTP" || s == "lstp")
+        return tech::DeviceFlavor::LSTP;
+    if (s == "LOP" || s == "lop")
+        return tech::DeviceFlavor::LOP;
+    throw ConfigError("unknown device flavor '" + s + "'");
+}
+
+void
+loadCore(const XmlNode &node, core::CoreParams &c,
+         std::vector<std::string> &warnings)
+{
+    ParamReader p(node, warnings);
+    double mhz = c.clockRate / MHz;
+    p.getDouble("clock_rate_mhz", mhz);
+    c.clockRate = mhz * MHz;
+
+    p.getBool("out_of_order", c.outOfOrder);
+    p.getBool("x86", c.x86);
+    p.getInt("threads", c.threads);
+    p.getInt("fetch_width", c.fetchWidth);
+    p.getInt("decode_width", c.decodeWidth);
+    p.getInt("issue_width", c.issueWidth);
+    p.getInt("commit_width", c.commitWidth);
+    p.getInt("pipeline_depth", c.pipelineStages);
+    p.getDouble("dynamic_margin", c.dynamicMargin);
+    p.getBool("power_gating", c.powerGating);
+
+    p.getInt("rob_size", c.robEntries);
+    p.getInt("instruction_window_size", c.intWindowEntries);
+    p.getInt("fp_instruction_window_size", c.fpWindowEntries);
+    p.getInt("phy_int_regs", c.physIntRegs);
+    p.getInt("phy_fp_regs", c.physFpRegs);
+    p.getInt("arch_int_regs", c.archIntRegs);
+    p.getInt("arch_fp_regs", c.archFpRegs);
+
+    std::string rat = "ram";
+    p.getString("rat_style", rat);
+    c.ratStyle = (rat == "cam") ? logic::RatStyle::Cam
+                                : logic::RatStyle::Ram;
+
+    p.getInt("alu_count", c.intAlus);
+    p.getInt("fpu_count", c.fpus);
+    p.getInt("mul_count", c.muls);
+    p.getBool("has_fpu", c.hasFpu);
+    p.getBool("has_branch_predictor", c.hasBranchPredictor);
+
+    p.getInt("load_queue_size", c.loadQueueEntries);
+    p.getInt("store_queue_size", c.storeQueueEntries);
+    p.getInt("itlb_entries", c.itlbEntries);
+    p.getInt("dtlb_entries", c.dtlbEntries);
+
+    p.getInt("btb_entries", c.predictor.btbEntries);
+    p.getInt("local_predictor_entries", c.predictor.localEntries);
+    p.getInt("global_predictor_entries", c.predictor.globalEntries);
+    p.getInt("chooser_predictor_entries", c.predictor.chooserEntries);
+    p.getInt("ras_size", c.predictor.rasEntries);
+
+    double icache_kb = c.icache.capacityBytes / 1024.0;
+    p.getDouble("icache_kb", icache_kb);
+    c.icache.capacityBytes = icache_kb * 1024.0;
+    p.getInt("icache_block", c.icache.blockBytes);
+    p.getInt("icache_assoc", c.icache.assoc);
+    p.getInt("icache_banks", c.icache.banks);
+
+    double dcache_kb = c.dcache.capacityBytes / 1024.0;
+    p.getDouble("dcache_kb", dcache_kb);
+    c.dcache.capacityBytes = dcache_kb * 1024.0;
+    p.getInt("dcache_block", c.dcache.blockBytes);
+    p.getInt("dcache_assoc", c.dcache.assoc);
+    p.getInt("dcache_banks", c.dcache.banks);
+}
+
+void
+loadSharedCache(const XmlNode &node, uncore::SharedCacheParams &l,
+                int &count, std::vector<std::string> &warnings)
+{
+    ParamReader p(node, warnings);
+    p.getInt("count", count);
+    double kb = l.capacityBytes / 1024.0;
+    p.getDouble("size_kb", kb);
+    l.capacityBytes = kb * 1024.0;
+    p.getInt("block", l.blockBytes);
+    p.getInt("assoc", l.assoc);
+    p.getInt("banks", l.banks);
+    p.getInt("ports", l.ports);
+    p.getInt("directory_sharers", l.directorySharers);
+    double mhz = l.clockRate / MHz;
+    p.getDouble("clock_rate_mhz", mhz);
+    l.clockRate = mhz * MHz;
+    std::string flavor = "LSTP";
+    p.getString("device_type", flavor);
+    l.flavor = parseFlavor(flavor);
+    std::string cell = "SRAM";
+    p.getString("cell_type", cell);
+    if (cell == "EDRAM" || cell == "edram")
+        l.dataCell = array::CellType::EDRAM;
+    else if (cell != "SRAM" && cell != "sram")
+        throw ConfigError("unknown cache cell type '" + cell + "'");
+    l.name = node.attr("id").empty() ? l.name : node.attr("id");
+}
+
+void
+loadNoc(const XmlNode &node, uncore::NocParams &n,
+        std::vector<std::string> &warnings)
+{
+    ParamReader p(node, warnings);
+    std::string topo = "mesh";
+    p.getString("topology", topo);
+    if (topo == "mesh")
+        n.topology = uncore::NocTopology::Mesh2D;
+    else if (topo == "torus")
+        n.topology = uncore::NocTopology::Torus2D;
+    else if (topo == "ring")
+        n.topology = uncore::NocTopology::Ring;
+    else if (topo == "bus")
+        n.topology = uncore::NocTopology::Bus;
+    else if (topo == "crossbar")
+        n.topology = uncore::NocTopology::Crossbar;
+    else
+        throw ConfigError("unknown NoC topology '" + topo + "'");
+
+    p.getInt("nodes_x", n.nodesX);
+    p.getInt("nodes_y", n.nodesY);
+    p.getInt("flit_bits", n.flitBits);
+    double link_mm = n.linkLength / mm;
+    p.getDouble("link_length_mm", link_mm);
+    n.linkLength = link_mm * mm;
+    double mhz = n.clockRate / MHz;
+    p.getDouble("clock_rate_mhz", mhz);
+    n.clockRate = mhz * MHz;
+    p.getInt("virtual_channels", n.router.virtualChannels);
+    p.getInt("buffer_depth", n.router.bufferDepth);
+    p.getBool("low_swing_links", n.lowSwingLinks);
+}
+
+void
+loadMemCtrl(const XmlNode &node, uncore::MemCtrlParams &m,
+            std::vector<std::string> &warnings)
+{
+    ParamReader p(node, warnings);
+    p.getInt("channels", m.channels);
+    p.getInt("bus_width", m.dataBusBits);
+    double mhz = m.busClock / MHz;
+    p.getDouble("bus_clock_mhz", mhz);
+    m.busClock = mhz * MHz;
+    std::string type = "DDR2";
+    p.getString("dram_type", type);
+    if (type == "DDR2")
+        m.dramType = uncore::DramType::DDR2;
+    else if (type == "DDR3")
+        m.dramType = uncore::DramType::DDR3;
+    else if (type == "FBDIMM" || type == "FbDimm")
+        m.dramType = uncore::DramType::FbDimm;
+    else if (type == "RDRAM" || type == "Rdram")
+        m.dramType = uncore::DramType::Rdram;
+    else
+        throw ConfigError("unknown DRAM type '" + type + "'");
+    p.getInt("request_queue", m.requestQueueEntries);
+}
+
+void
+loadChipIo(const XmlNode &node, uncore::ChipIoParams &io,
+           std::vector<std::string> &warnings)
+{
+    ParamReader p(node, warnings);
+    p.getInt("pins", io.signalPins);
+    p.getDouble("io_voltage", io.ioVoltage);
+    double pin_cap_pf = io.pinCap / pF;
+    p.getDouble("pin_cap_pf", pin_cap_pf);
+    io.pinCap = pin_cap_pf * pF;
+    p.getDouble("toggle_rate", io.toggleRate);
+    double mhz = io.busClock / MHz;
+    p.getDouble("bus_clock_mhz", mhz);
+    io.busClock = mhz * MHz;
+    p.getDouble("static_power", io.staticPower);
+}
+
+} // namespace
+
+LoadResult
+loadSystemParams(const XmlNode &root)
+{
+    fatalIf(root.tag != "component" || root.attr("type") != "System",
+            "root element must be <component type=\"System\">");
+
+    LoadResult out;
+    chip::SystemParams &s = out.system;
+    s.name = root.hasAttr("id") ? root.attr("id") : s.name;
+
+    {
+        ParamReader p(root, out.warnings);
+        p.getInt("technology_node", s.nodeNm);
+        p.getDouble("temperature", s.temperature);
+        std::string flavor = "HP";
+        p.getString("device_type", flavor);
+        s.coreFlavor = parseFlavor(flavor);
+        std::string proj = "aggressive";
+        p.getString("interconnect_projection", proj);
+        s.projection = (proj == "conservative")
+            ? tech::WireProjection::Conservative
+            : tech::WireProjection::Aggressive;
+        p.getInt("core_count", s.numCores);
+        p.getDouble("vdd", s.vdd);
+        p.getDouble("white_space", s.whiteSpaceFraction);
+    }
+
+    bool saw_core = false;
+    for (const XmlNode *comp : root.childrenNamed("component")) {
+        const std::string &type = comp->attr("type");
+        if (type == "Core") {
+            loadCore(*comp, s.core, out.warnings);
+            saw_core = true;
+        } else if (type == "L2") {
+            s.numL2 = 1;
+            loadSharedCache(*comp, s.l2, s.numL2, out.warnings);
+        } else if (type == "L3") {
+            s.numL3 = 1;
+            loadSharedCache(*comp, s.l3, s.numL3, out.warnings);
+        } else if (type == "Directory") {
+            s.hasDirectory = true;
+            ParamReader p(*comp, out.warnings);
+            std::string style = "sparse";
+            p.getString("style", style);
+            s.directory.style = (style == "duplicate_tags")
+                ? uncore::DirectoryStyle::DuplicateTags
+                : uncore::DirectoryStyle::SparseFullMap;
+            p.getInt("tracked_lines", s.directory.trackedLines);
+            p.getInt("sharers", s.directory.sharers);
+            p.getInt("banks", s.directory.banks);
+            double dir_mhz = s.directory.clockRate / MHz;
+            p.getDouble("clock_rate_mhz", dir_mhz);
+            s.directory.clockRate = dir_mhz * MHz;
+        } else if (type == "Noc") {
+            s.hasNoc = true;
+            loadNoc(*comp, s.noc, out.warnings);
+        } else if (type == "MemoryController") {
+            s.hasMemCtrl = true;
+            loadMemCtrl(*comp, s.memCtrl, out.warnings);
+        } else if (type == "ChipIo") {
+            s.hasIo = true;
+            loadChipIo(*comp, s.io, out.warnings);
+        } else {
+            out.warnings.push_back("unknown component type '" + type +
+                                   "'");
+        }
+    }
+    fatalIf(!saw_core, "configuration has no <component type=\"Core\">");
+    return out;
+}
+
+LoadResult
+loadSystemParamsFromFile(const std::string &path)
+{
+    return loadSystemParams(parseXmlFile(path));
+}
+
+namespace {
+
+/** Read the <stat> entries of one component into a name->value map. */
+std::map<std::string, double>
+readStats(const XmlNode &node)
+{
+    std::map<std::string, double> out;
+    for (const XmlNode *st : node.childrenNamed("stat")) {
+        fatalIf(!st->hasAttr("name") || !st->hasAttr("value"),
+                "<stat> needs name and value attributes");
+        out[st->attr("name")] = std::stod(st->attr("value"));
+    }
+    return out;
+}
+
+/** counters[name] / cycles, or the fallback when the stat is absent. */
+double
+rate(const std::map<std::string, double> &counters,
+     const std::string &name, double cycles, double fallback)
+{
+    auto it = counters.find(name);
+    if (it == counters.end())
+        return fallback;
+    fatalIf(it->second < 0.0, "negative stat '" + name + "'");
+    return it->second / cycles;
+}
+
+/** Apply a core component's simulator counters over the TDP defaults. */
+void
+applyCoreCounters(const XmlNode &node, const chip::SystemParams &sys,
+                  core::CoreStats &c)
+{
+    const auto counters = readStats(node);
+    auto cyc = counters.find("total_cycles");
+    if (cyc == counters.end())
+        return;  // no counters: keep the defaults
+    fatalIf(cyc->second <= 0.0, "total_cycles must be positive");
+    const double cycles = cyc->second;
+
+    const double ipc =
+        rate(counters, "committed_instructions", cycles, c.commits);
+    c.commits = ipc;
+    c.fetches = rate(counters, "fetched_instructions", cycles,
+                     ipc * 1.1);
+    c.decodes = c.fetches;
+    if (sys.core.outOfOrder) {
+        c.renames = c.decodes;
+        c.dispatches = c.decodes;
+    }
+    c.intOps = rate(counters, "int_instructions", cycles, c.intOps);
+    c.fpOps = rate(counters, "fp_instructions", cycles, c.fpOps);
+    c.mulOps = rate(counters, "mul_instructions", cycles, c.mulOps);
+    c.branches =
+        rate(counters, "branch_instructions", cycles, c.branches);
+    const double mispred =
+        rate(counters, "branch_mispredictions", cycles, 0.0);
+    (void)mispred;  // flush energy rides in the fetch over-rate
+    c.loads = rate(counters, "loads", cycles, c.loads);
+    c.stores = rate(counters, "stores", cycles, c.stores);
+
+    c.intRegReads = 1.6 * (c.intOps + c.mulOps + c.loads + c.stores);
+    c.intRegWrites = 0.8 * (c.intOps + c.mulOps + c.loads);
+    c.fpRegReads = 1.6 * c.fpOps;
+    c.fpRegWrites = 0.8 * c.fpOps;
+    if (sys.core.outOfOrder) {
+        c.intIssues = c.intOps + c.mulOps + c.loads + c.stores +
+                      c.branches;
+        c.fpIssues = c.fpOps;
+    }
+    c.bypasses = ipc * 0.5;
+
+    const double ic_acc =
+        rate(counters, "icache_accesses", cycles,
+             c.icacheRates.accesses());
+    const double ic_miss =
+        rate(counters, "icache_misses", cycles,
+             c.icacheRates.readMisses);
+    c.icacheRates.readHits = std::max(0.0, ic_acc - ic_miss);
+    c.icacheRates.readMisses = ic_miss;
+    c.icacheRates.writeHits = 0.0;
+    c.icacheRates.writeMisses = 0.0;
+
+    const double dc_acc =
+        rate(counters, "dcache_accesses", cycles,
+             c.dcacheRates.accesses());
+    const double dc_miss =
+        rate(counters, "dcache_misses", cycles,
+             c.dcacheRates.misses());
+    const double load_frac =
+        c.loads / std::max(1e-12, c.loads + c.stores);
+    c.dcacheRates.readHits =
+        std::max(0.0, (dc_acc - dc_miss) * load_frac);
+    c.dcacheRates.writeHits =
+        std::max(0.0, (dc_acc - dc_miss) * (1.0 - load_frac));
+    c.dcacheRates.readMisses = dc_miss * load_frac;
+    c.dcacheRates.writeMisses = dc_miss * (1.0 - load_frac);
+
+    c.itlbAccesses =
+        rate(counters, "itlb_accesses", cycles, ic_acc);
+    c.dtlbAccesses =
+        rate(counters, "dtlb_accesses", cycles, dc_acc);
+    c.itlbMisses = c.itlbAccesses * 0.001;
+    c.dtlbMisses = c.dtlbAccesses * 0.001;
+
+    // Utilization-derived secondary knobs.
+    const double busy =
+        std::min(1.0, ipc / std::max(1.0, 0.8 * sys.core.issueWidth));
+    c.pipelineActivity = 0.1 + 0.25 * busy;
+    c.clockGating = 0.35 + 0.65 * busy;
+    if (sys.core.powerGating)
+        c.sleepFraction = rate(counters, "gated_cycles", cycles, 0.0);
+}
+
+/** Apply a shared-cache component's counters. */
+void
+applyCacheCounters(const XmlNode &node, double cycles,
+                   array::CacheRates &r)
+{
+    const auto counters = readStats(node);
+    if (counters.empty() || cycles <= 0.0)
+        return;
+    const double ra =
+        rate(counters, "read_accesses", cycles, r.readHits +
+                                                    r.readMisses);
+    const double rm =
+        rate(counters, "read_misses", cycles, r.readMisses);
+    const double wa =
+        rate(counters, "write_accesses", cycles, r.writeHits +
+                                                     r.writeMisses);
+    const double wm =
+        rate(counters, "write_misses", cycles, r.writeMisses);
+    r.readHits = std::max(0.0, ra - rm);
+    r.readMisses = rm;
+    r.writeHits = std::max(0.0, wa - wm);
+    r.writeMisses = wm;
+}
+
+} // namespace
+
+stats::ChipStats
+loadChipStats(const XmlNode &root, const chip::SystemParams &params)
+{
+    stats::ChipStats s = stats::ChipStats::tdp(params);
+
+    // --- Pass 1: per-component simulator counters. -----------------------
+    double core_cycles = 0.0;
+    for (const XmlNode *comp : root.childrenNamed("component")) {
+        const std::string &type = comp->attr("type");
+        if (type == "Core") {
+            applyCoreCounters(*comp, params, s.perCore);
+            const auto counters = readStats(*comp);
+            auto it = counters.find("total_cycles");
+            if (it != counters.end())
+                core_cycles = it->second;
+            s.perGroup.clear();  // counters describe the average core
+        } else if (type == "L2") {
+            applyCacheCounters(*comp, core_cycles, s.l2Rates);
+        } else if (type == "L3") {
+            applyCacheCounters(*comp, core_cycles, s.l3Rates);
+        } else if (type == "Noc" && core_cycles > 0.0) {
+            const auto counters = readStats(*comp);
+            auto it = counters.find("total_flits");
+            if (it != counters.end())
+                s.nocFlitsPerCycle = it->second / core_cycles;
+        } else if (type == "MemoryController" && core_cycles > 0.0) {
+            const auto counters = readStats(*comp);
+            auto it = counters.find("bytes_transferred");
+            if (it != counters.end()) {
+                uncore::MemCtrlParams mc = params.memCtrl;
+                const double peak = (mc.peakBandwidth > 0.0
+                    ? mc.peakBandwidth
+                    : mc.busClock * 2.0 * (mc.dataBusBits / 8.0)) *
+                    mc.channels;
+                const double seconds =
+                    core_cycles / params.core.clockRate;
+                s.mcUtilization = std::min(
+                    1.0, it->second / seconds / peak);
+            }
+        }
+    }
+
+    // --- Pass 2: global activity scaling. --------------------------------
+    double activity_scale = 1.0;
+    for (const XmlNode *st : root.childrenNamed("stat")) {
+        if (st->attr("name") == "activity_scale")
+            activity_scale = std::stod(st->attr("value"));
+    }
+    s.perCore = s.perCore.scaled(activity_scale);
+    s.nocFlitsPerCycle *= activity_scale;
+    s.mcUtilization *= activity_scale;
+    s.ioActivityScale *= activity_scale;
+
+    auto scale_cache = [&](array::CacheRates &r) {
+        r.readHits *= activity_scale;
+        r.readMisses *= activity_scale;
+        r.writeHits *= activity_scale;
+        r.writeMisses *= activity_scale;
+    };
+    scale_cache(s.l2Rates);
+    scale_cache(s.l3Rates);
+    return s;
+}
+
+} // namespace config
+} // namespace mcpat

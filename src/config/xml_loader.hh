@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Mapping from the McPAT-style XML schema to typed system parameters.
+ *
+ * Schema (see the files under configs/ for full examples):
+ *
+ *   <component id="system" type="System">
+ *     <param name="technology_node" value="90"/>
+ *     <param name="core_count" value="8"/>
+ *     <component id="system.core" type="Core">
+ *       <param name="clock_rate_mhz" value="1200"/>
+ *       ...
+ *     </component>
+ *     <component id="system.l2" type="L2"> ... </component>
+ *     <component id="system.noc" type="Noc"> ... </component>
+ *     <component id="system.mc" type="MemoryController"> ... </component>
+ *     <component id="system.io" type="ChipIo"> ... </component>
+ *   </component>
+ *
+ * Runtime statistics ride on <stat name="..." value="..."/> entries
+ * (see loadChipStats).
+ */
+
+#ifndef MCPAT_CONFIG_XML_LOADER_HH
+#define MCPAT_CONFIG_XML_LOADER_HH
+
+#include <string>
+#include <vector>
+
+#include "chip/system_params.hh"
+#include "config/xml_parser.hh"
+#include "stats/activity_stats.hh"
+
+namespace mcpat {
+namespace config {
+
+/** Result of loading a config: parameters + any unknown-key warnings. */
+struct LoadResult
+{
+    chip::SystemParams system;
+    std::vector<std::string> warnings;
+};
+
+/** Build SystemParams from a parsed XML tree (root <component
+ *  type="System">). */
+LoadResult loadSystemParams(const XmlNode &root);
+
+/** Convenience: parse a file and load it. */
+LoadResult loadSystemParamsFromFile(const std::string &path);
+
+/**
+ * Extract runtime statistics from <stat> entries in the tree.
+ *
+ * Two forms are supported, composing in this order:
+ *
+ * 1. Simulator counters (the original tool's interface): the core
+ *    component carries <stat name="total_cycles" .../> plus event
+ *    counters (committed_instructions, int_instructions,
+ *    fp_instructions, branch_instructions, branch_mispredictions,
+ *    loads, stores, icache_accesses/icache_misses,
+ *    dcache_accesses/dcache_misses, itlb_accesses, dtlb_accesses);
+ *    shared caches carry read_accesses/read_misses/write_accesses/
+ *    write_misses; the NoC carries total_flits; the memory controller
+ *    carries bytes_transferred.  Rates are counters / total_cycles.
+ *    Any counter left out falls back to the TDP vector's value.
+ *
+ * 2. A system-level <stat name="activity_scale" value="0.7"/> scales
+ *    whatever the previous step produced (default 1.0).
+ */
+stats::ChipStats loadChipStats(const XmlNode &root,
+                               const chip::SystemParams &params);
+
+} // namespace config
+} // namespace mcpat
+
+#endif // MCPAT_CONFIG_XML_LOADER_HH

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Recursive-descent XML subset parser.
+ */
+
+#include "config/xml_parser.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mcpat {
+namespace config {
+
+const std::string &
+XmlNode::attr(const std::string &name) const
+{
+    static const std::string empty;
+    auto it = attrs.find(name);
+    return it == attrs.end() ? empty : it->second;
+}
+
+bool
+XmlNode::hasAttr(const std::string &name) const
+{
+    return attrs.count(name) > 0;
+}
+
+const XmlNode *
+XmlNode::firstChild(const std::string &tag_name) const
+{
+    for (const auto &c : children)
+        if (c.tag == tag_name)
+            return &c;
+    return nullptr;
+}
+
+std::vector<const XmlNode *>
+XmlNode::childrenNamed(const std::string &tag_name) const
+{
+    std::vector<const XmlNode *> out;
+    for (const auto &c : children)
+        if (c.tag == tag_name)
+            out.push_back(&c);
+    return out;
+}
+
+namespace {
+
+/** Cursor over the document text with error context. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &text) : _text(text) {}
+
+    bool atEnd() const { return _pos >= _text.size(); }
+    char peek() const { return atEnd() ? '\0' : _text[_pos]; }
+    char get() { return atEnd() ? '\0' : _text[_pos++]; }
+
+    bool
+    startsWith(const std::string &s) const
+    {
+        return _text.compare(_pos, s.size(), s) == 0;
+    }
+
+    void advance(std::size_t n) { _pos += n; }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd() &&
+               std::isspace(static_cast<unsigned char>(peek())))
+            get();
+    }
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        std::size_t line = 1;
+        for (std::size_t i = 0; i < _pos && i < _text.size(); ++i)
+            if (_text[i] == '\n')
+                ++line;
+        throw ConfigError("XML parse error at line " +
+                          std::to_string(line) + ": " + what);
+    }
+
+  private:
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+void
+skipMisc(Cursor &c)
+{
+    for (;;) {
+        c.skipWhitespace();
+        if (c.startsWith("<?")) {
+            while (!c.atEnd() && !c.startsWith("?>"))
+                c.get();
+            c.advance(2);
+        } else if (c.startsWith("<!--")) {
+            while (!c.atEnd() && !c.startsWith("-->"))
+                c.get();
+            c.advance(3);
+        } else {
+            return;
+        }
+    }
+}
+
+std::string
+parseName(Cursor &c)
+{
+    std::string name;
+    while (!c.atEnd()) {
+        const char ch = c.peek();
+        if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+            ch == '-' || ch == ':' || ch == '.') {
+            name.push_back(c.get());
+        } else {
+            break;
+        }
+    }
+    if (name.empty())
+        c.fail("expected a name");
+    return name;
+}
+
+void
+parseAttributes(Cursor &c, XmlNode &node)
+{
+    for (;;) {
+        c.skipWhitespace();
+        const char ch = c.peek();
+        if (ch == '>' || ch == '/' || ch == '\0')
+            return;
+        const std::string name = parseName(c);
+        c.skipWhitespace();
+        if (c.get() != '=')
+            c.fail("expected '=' after attribute '" + name + "'");
+        c.skipWhitespace();
+        const char quote = c.get();
+        if (quote != '"' && quote != '\'')
+            c.fail("expected quoted value for attribute '" + name + "'");
+        std::string value;
+        while (!c.atEnd() && c.peek() != quote)
+            value.push_back(c.get());
+        if (c.get() != quote)
+            c.fail("unterminated attribute value");
+        node.attrs[name] = value;
+    }
+}
+
+XmlNode
+parseElement(Cursor &c)
+{
+    if (c.get() != '<')
+        c.fail("expected '<'");
+    XmlNode node;
+    node.tag = parseName(c);
+    parseAttributes(c, node);
+    c.skipWhitespace();
+
+    if (c.startsWith("/>")) {
+        c.advance(2);
+        return node;
+    }
+    if (c.get() != '>')
+        c.fail("expected '>' closing <" + node.tag + ">");
+
+    for (;;) {
+        skipMisc(c);
+        if (c.atEnd())
+            c.fail("unterminated element <" + node.tag + ">");
+        if (c.startsWith("</")) {
+            c.advance(2);
+            const std::string closing = parseName(c);
+            if (closing != node.tag) {
+                c.fail("mismatched close tag </" + closing +
+                       "> for <" + node.tag + ">");
+            }
+            c.skipWhitespace();
+            if (c.get() != '>')
+                c.fail("expected '>' in close tag");
+            return node;
+        }
+        if (c.peek() == '<') {
+            node.children.push_back(parseElement(c));
+        } else {
+            // Ignore text content.
+            while (!c.atEnd() && c.peek() != '<')
+                c.get();
+        }
+    }
+}
+
+} // namespace
+
+XmlNode
+parseXmlString(const std::string &text)
+{
+    Cursor c(text);
+    skipMisc(c);
+    if (c.atEnd())
+        c.fail("empty document");
+    XmlNode root = parseElement(c);
+    skipMisc(c);
+    return root;
+}
+
+XmlNode
+parseXmlFile(const std::string &path)
+{
+    std::ifstream in(path);
+    fatalIf(!in, "cannot open XML file '" + path + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseXmlString(ss.str());
+}
+
+} // namespace config
+} // namespace mcpat

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal from-scratch XML parser for McPAT configuration files.
+ *
+ * Supports the subset the original tool's files use: nested elements,
+ * double-quoted attributes, self-closing tags, comments, and the XML
+ * declaration.  Text content is ignored (configs carry everything in
+ * attributes).
+ */
+
+#ifndef MCPAT_CONFIG_XML_PARSER_HH
+#define MCPAT_CONFIG_XML_PARSER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mcpat {
+namespace config {
+
+/** One parsed XML element. */
+struct XmlNode
+{
+    std::string tag;
+    std::map<std::string, std::string> attrs;
+    std::vector<XmlNode> children;
+
+    /** Attribute value; empty string when absent. */
+    const std::string &attr(const std::string &name) const;
+
+    /** True when the attribute exists. */
+    bool hasAttr(const std::string &name) const;
+
+    /** First child with a given tag; nullptr when absent. */
+    const XmlNode *firstChild(const std::string &tag_name) const;
+
+    /** All children with a given tag. */
+    std::vector<const XmlNode *>
+    childrenNamed(const std::string &tag_name) const;
+};
+
+/** Parse an XML document from a string.  Throws ConfigError on
+ *  malformed input. */
+XmlNode parseXmlString(const std::string &text);
+
+/** Parse an XML document from a file. */
+XmlNode parseXmlFile(const std::string &path);
+
+} // namespace config
+} // namespace mcpat
+
+#endif // MCPAT_CONFIG_XML_PARSER_HH

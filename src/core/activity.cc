@@ -1,0 +1,115 @@
+/**
+ * @file
+ * TDP activity-vector construction.
+ *
+ * The rates mirror the way the paper composes peak power: sustained
+ * high-activity operation, not the theoretical per-structure maximum
+ * (which no workload reaches simultaneously).
+ */
+
+#include "core/activity.hh"
+
+#include <algorithm>
+
+#include "core/core_params.hh"
+
+namespace mcpat {
+namespace core {
+
+CoreStats
+CoreStats::tdp(const CoreParams &p)
+{
+    CoreStats s;
+    const double w = p.issueWidth;
+    const double util = 0.8;  // sustained fraction of peak issue
+    const double ipc = w * util;
+
+    s.fetches = std::min<double>(p.fetchWidth, ipc * 1.1);
+    s.decodes = std::min<double>(p.decodeWidth, ipc);
+    s.commits = std::min<double>(p.commitWidth, ipc);
+
+    if (p.outOfOrder) {
+        s.renames = s.decodes;
+        s.dispatches = s.decodes;
+        s.intIssues = ipc * 0.75;
+        s.fpIssues = p.hasFpu ? ipc * 0.25 : 0.0;
+    }
+
+    s.intOps = std::min<double>(p.intAlus, ipc * 0.55) ;
+    s.fpOps = p.hasFpu ? std::min<double>(p.fpus, ipc * 0.25) : 0.0;
+    s.mulOps = std::min<double>(p.muls, ipc * 0.05);
+    s.branches = ipc * 0.15;
+    s.bypasses = ipc * 0.6;
+
+    s.intRegReads = 1.6 * (s.intOps + s.mulOps);
+    s.intRegWrites = 0.8 * (s.intOps + s.mulOps);
+    s.fpRegReads = 1.6 * s.fpOps;
+    s.fpRegWrites = 0.8 * s.fpOps;
+
+    s.loads = ipc * 0.22;
+    s.stores = ipc * 0.12;
+
+    // Single-thread cores amortize a fetched line over ~4 sequential
+    // instructions; multithreaded cores interleave threads and probe
+    // the I-cache nearly every cycle.
+    const double fetch_reuse = (p.threads > 1) ? 1.5 : 4.0;
+    s.icacheRates.readHits = s.fetches / fetch_reuse;
+    // Small L1s shared by many threads thrash.
+    const double miss_rate = std::min(0.25, 0.02 * p.threads);
+    s.icacheRates.readMisses = s.icacheRates.readHits * miss_rate;
+    s.dcacheRates.readHits = s.loads * (1.0 - miss_rate);
+    s.dcacheRates.readMisses = s.loads * miss_rate;
+    s.dcacheRates.writeHits = s.stores * (1.0 - miss_rate);
+    s.dcacheRates.writeMisses = s.stores * miss_rate;
+
+    s.itlbAccesses = s.icacheRates.accesses();
+    s.dtlbAccesses = s.loads + s.stores;
+    s.itlbMisses = s.itlbAccesses * 0.001;
+    s.dtlbMisses = s.dtlbAccesses * 0.001;
+
+    s.pipelineActivity = 0.35;
+    s.clockGating = 1.0;
+    return s;
+}
+
+CoreStats
+CoreStats::scaled(double f) const
+{
+    CoreStats s = *this;
+    s.fetches *= f;
+    s.decodes *= f;
+    s.renames *= f;
+    s.dispatches *= f;
+    s.intIssues *= f;
+    s.fpIssues *= f;
+    s.commits *= f;
+    s.intOps *= f;
+    s.fpOps *= f;
+    s.mulOps *= f;
+    s.branches *= f;
+    s.bypasses *= f;
+    s.intRegReads *= f;
+    s.intRegWrites *= f;
+    s.fpRegReads *= f;
+    s.fpRegWrites *= f;
+    s.loads *= f;
+    s.stores *= f;
+    s.icacheRates.readHits *= f;
+    s.icacheRates.readMisses *= f;
+    s.icacheRates.writeHits *= f;
+    s.icacheRates.writeMisses *= f;
+    s.dcacheRates.readHits *= f;
+    s.dcacheRates.readMisses *= f;
+    s.dcacheRates.writeHits *= f;
+    s.dcacheRates.writeMisses *= f;
+    s.itlbAccesses *= f;
+    s.dtlbAccesses *= f;
+    s.itlbMisses *= f;
+    s.dtlbMisses *= f;
+    s.pipelineActivity = std::min(1.0, pipelineActivity * f);
+    s.sleepFraction = sleepFraction;
+    return s;
+}
+
+} // namespace core
+} // namespace mcpat

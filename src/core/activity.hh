@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-core activity statistics: the per-cycle access rates that turn
+ * per-event energies into power.
+ *
+ * Two vectors matter: the TDP vector (near-peak sustained activity,
+ * defining thermal design power) and the runtime vector produced by a
+ * performance simulator for a concrete workload.
+ */
+
+#ifndef MCPAT_CORE_ACTIVITY_HH
+#define MCPAT_CORE_ACTIVITY_HH
+
+#include "array/cache_model.hh"
+
+namespace mcpat {
+namespace core {
+
+struct CoreParams;
+
+/**
+ * Per-cycle activity rates for one core.  All fields are events per
+ * core clock cycle.
+ */
+struct CoreStats
+{
+    double fetches = 0.0;        ///< instructions fetched
+    double decodes = 0.0;        ///< instructions decoded
+    double renames = 0.0;        ///< instructions renamed (OoO only)
+    double dispatches = 0.0;     ///< window insertions (OoO only)
+    double intIssues = 0.0;      ///< INT window grants
+    double fpIssues = 0.0;       ///< FP window grants
+    double commits = 0.0;        ///< instructions committed
+
+    double intOps = 0.0;         ///< ALU operations
+    double fpOps = 0.0;          ///< FPU operations
+    double mulOps = 0.0;         ///< multiplier operations
+    double branches = 0.0;       ///< branches executed
+    double bypasses = 0.0;       ///< forwarded results
+
+    double intRegReads = 0.0;
+    double intRegWrites = 0.0;
+    double fpRegReads = 0.0;
+    double fpRegWrites = 0.0;
+
+    double loads = 0.0;
+    double stores = 0.0;
+
+    array::CacheRates icacheRates;
+    array::CacheRates dcacheRates;
+
+    double itlbAccesses = 0.0;
+    double dtlbAccesses = 0.0;
+    double itlbMisses = 0.0;
+    double dtlbMisses = 0.0;
+
+    /** Pipeline-register data activity (fraction of bits toggling). */
+    double pipelineActivity = 0.3;
+
+    /** Fraction of the clock tree left running (1 = no gating). */
+    double clockGating = 1.0;
+
+    /** Fraction of runtime the core spends power-gated (needs
+     *  CoreParams::powerGating). */
+    double sleepFraction = 0.0;
+
+    /**
+     * The TDP activity vector for a core configuration: the sustained
+     * near-peak rates McPAT uses to compose thermal design power.
+     */
+    static CoreStats tdp(const CoreParams &p);
+
+    /** Scale every rate by a factor (e.g. utilization derating). */
+    CoreStats scaled(double factor) const;
+};
+
+} // namespace core
+} // namespace mcpat
+
+#endif // MCPAT_CORE_ACTIVITY_HH

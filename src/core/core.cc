@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Core assembly.
+ *
+ * Besides the explicitly modeled structures, a real core contains a
+ * comparable volume of synthesized "glue": operand steering, pipeline
+ * control, thread selection, exception datapaths.  McPAT models many of
+ * these structures individually; this reproduction lumps them into one
+ * glue block sized from the modeled logic area (calibrated against the
+ * four validation chips), keeping cache arrays out of the scaling.
+ */
+
+#include "core/core.hh"
+
+#include <algorithm>
+
+#include "circuit/transistor.hh"
+#include "logic/functional_unit.hh"
+
+namespace mcpat {
+namespace core {
+
+namespace {
+
+/**
+ * Parametric glue-gate count: base pipeline control, per-issue-lane
+ * steering/datapath, per-thread state machines, and out-of-order
+ * recovery/control.  Coefficients calibrated against the validation
+ * chips (DESIGN.md section 7).
+ */
+double
+glueGateCount(const CoreParams &p)
+{
+    double gates = 110000.0 + 45000.0 * p.issueWidth +
+                   15000.0 * p.threads;
+    if (p.outOfOrder)
+        gates += 20000.0 * p.issueWidth;
+    if (p.x86)
+        gates *= 1.3;  // CISC cracking/exception complexity
+    return gates;
+}
+
+/** Fraction of glue gates toggling per busy cycle. */
+constexpr double glueActivity = 0.18;
+
+/** Latches per NAND2-equivalent gate of core logic (clock sinks). */
+constexpr double latchesPerGate = 0.18;
+
+
+
+} // namespace
+
+Core::Core(CoreParams params, const Technology &t)
+    : _params(std::move(params)), _tech(t)
+{
+    _params.validate();
+
+    _ifu = std::make_unique<InstFetchUnit>(_params, _tech);
+    _renaming = std::make_unique<RenamingUnit>(_params, _tech);
+    _exu = std::make_unique<ExecutionUnit>(_params, _tech);
+    _lsu = std::make_unique<LoadStoreUnit>(_params, _tech);
+    _mmu = std::make_unique<MemManUnit>(_params, _tech);
+
+    // Pipeline registers: each stage boundary latches roughly
+    // issue-width instructions of datapath + control state.
+    const int bits_per_stage =
+        _params.issueWidth * (_params.datapathWidth + 48) *
+        std::max(1, _params.threads / 2);
+    _pipeline = std::make_unique<logic::PipelineRegisters>(
+        _params.pipelineStages, bits_per_stage, _tech);
+
+    // --- Glue logic: parametric gate count (see glueGateCount). ---------
+    const double cache_area = _ifu->cacheArea() + _lsu->cacheArea();
+    const double unit_area = _ifu->area() + _renaming->area() +
+                             _exu->area() + _lsu->area() + _mmu->area() +
+                             _pipeline->area();
+    const double logic_area = unit_area - cache_area;
+    _glueGates = glueGateCount(_params);
+    _glueArea = _glueGates / 0.7 * _tech.logicGateArea();
+
+    // Area before the clock tree (the tree must span it); sleep
+    // transistors for power gating add a header-device ring.
+    const double gating_overhead = _params.powerGating ? 0.04 : 0.0;
+    _area = (unit_area + _glueArea) *
+            (1.0 + _params.areaOverhead + gating_overhead);
+
+    // Clock sinks: explicit pipeline flops plus the latch population of
+    // the core logic (including glue).
+    const circuit::Dff flop(_tech);
+    const double core_gates =
+        0.7 * (logic_area + _glueArea) / _tech.logicGateArea();
+    _latchCount = latchesPerGate * core_gates;
+    const double sink_cap = _pipeline->clockLoad() +
+                            _latchCount * flop.clockC();
+    _clock = std::make_unique<circuit::ClockNetwork>(_area, sink_cap,
+                                                     _tech);
+    _area += _clock->area();
+
+    _criticalPath = std::max({_ifu->criticalPath(),
+                              _renaming->criticalPath(),
+                              _exu->criticalPath(),
+                              _lsu->criticalPath(),
+                              _mmu->criticalPath()});
+}
+
+Report
+Core::glueReport(const CoreStats &tdp, const CoreStats &rt) const
+{
+    const double gate_energy = circuit::logicGateEnergy(_tech);
+    const circuit::Dff flop(_tech);
+
+    // Busy fraction approximated by commit throughput vs peak.
+    const double peak_ipc = std::max(1.0, 0.8 * _params.issueWidth);
+    auto dynamic = [&](const CoreStats &s) {
+        const double busy = std::min(1.0, s.commits / peak_ipc);
+        return (glueActivity * _glueGates * gate_energy +
+                s.pipelineActivity * _latchCount * flop.dataEnergy()) *
+               busy * _params.clockRate;
+    };
+
+    const logic::LogicLeakage leak =
+        logic::logicBlockLeakage(_glueArea, _tech);
+
+    Report r;
+    r.name = "Datapath & Control Glue";
+    r.area = _glueArea;
+    r.peakDynamic = dynamic(tdp);
+    r.runtimeDynamic = dynamic(rt);
+    r.subthresholdLeakage = leak.subthreshold;
+    r.gateLeakage = leak.gate;
+    return r;
+}
+
+Report
+Core::makeReport(const CoreStats &tdp, const CoreStats &rt) const
+{
+    const double f = _params.clockRate;
+
+    Report r;
+    r.name = _params.name;
+    r.addChild(_ifu->makeReport(tdp, rt));
+    r.addChild(_renaming->makeReport(tdp, rt));
+    r.addChild(_exu->makeReport(tdp, rt));
+    r.addChild(_lsu->makeReport(tdp, rt));
+    r.addChild(_mmu->makeReport(tdp, rt));
+    r.addChild(_pipeline->makeReport(f, tdp.pipelineActivity,
+                                     rt.pipelineActivity));
+    r.addChild(glueReport(tdp, rt));
+    r.addChild(_clock->makeReport(f, rt.clockGating));
+
+    // Report the placed area (with wiring overhead), not the bare sum.
+    r.area = _area;
+    r.criticalPath = _criticalPath;
+    r.scaleDynamic(_params.dynamicMargin);
+
+    // Power gating: sleep transistors cut ~90% of subthreshold leakage
+    // while the core is gated (gate leakage and TDP leakage remain).
+    if (_params.powerGating && rt.sleepFraction > 0.0) {
+        const double sleep = std::min(1.0, rt.sleepFraction);
+        r.runtimeSubthresholdLeakage =
+            r.subthresholdLeakage * (1.0 - 0.9 * sleep);
+    }
+    return r;
+}
+
+Report
+Core::makeTdpReport() const
+{
+    const CoreStats tdp = CoreStats::tdp(_params);
+    return makeReport(tdp, tdp);
+}
+
+} // namespace core
+} // namespace mcpat

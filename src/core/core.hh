@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Whole-core model: assembles IFU, renaming unit, execution unit, LSU,
+ * and MMU, adds pipeline registers and the per-core clock tree, and
+ * rolls up power/area/timing.
+ */
+
+#ifndef MCPAT_CORE_CORE_HH
+#define MCPAT_CORE_CORE_HH
+
+#include <memory>
+
+#include "circuit/clock_network.hh"
+#include "core/exu.hh"
+#include "core/ifu.hh"
+#include "core/lsu.hh"
+#include "core/mmu.hh"
+#include "core/renaming_unit.hh"
+
+namespace mcpat {
+namespace core {
+
+/**
+ * One processor core at a technology operating point.
+ */
+class Core
+{
+  public:
+    Core(CoreParams params, const Technology &t);
+
+    const CoreParams &params() const { return _params; }
+    const Technology &tech() const { return _tech; }
+
+    /** Core area including wiring overhead, m^2. */
+    double area() const { return _area; }
+
+    /**
+     * Longest single-cycle structure path in the core, s.  McPAT's
+     * timing check: the core meets its clock when this fits the period.
+     */
+    double criticalPath() const { return _criticalPath; }
+
+    /** Highest clock rate the critical path supports, Hz. */
+    double maxFrequency() const { return 1.0 / _criticalPath; }
+
+    /** True when the configured clock rate passes the timing check. */
+    bool meetsTiming() const
+    {
+        return _criticalPath <= 1.0 / _params.clockRate;
+    }
+
+    /**
+     * Full hierarchical report.
+     *
+     * @param tdp TDP activity vector (CoreStats::tdp(params) for the
+     *            standard peak-power composition)
+     * @param rt  runtime activity vector from a performance model
+     */
+    Report makeReport(const CoreStats &tdp, const CoreStats &rt) const;
+
+    /** Convenience: report with runtime = TDP activity. */
+    Report makeTdpReport() const;
+
+  private:
+    CoreParams _params;
+    Technology _tech;
+
+    std::unique_ptr<InstFetchUnit> _ifu;
+    std::unique_ptr<RenamingUnit> _renaming;
+    std::unique_ptr<ExecutionUnit> _exu;
+    std::unique_ptr<LoadStoreUnit> _lsu;
+    std::unique_ptr<MemManUnit> _mmu;
+    std::unique_ptr<logic::PipelineRegisters> _pipeline;
+    std::unique_ptr<circuit::ClockNetwork> _clock;
+
+    double _area = 0.0;
+    double _criticalPath = 0.0;
+
+    // Datapath & control glue: the synthesized logic between the
+    // explicitly modeled structures (operand steering, thread select,
+    // pipeline control, miscellaneous datapath), scaled from the
+    // modeled logic area (see core.cc for the derivation).
+    double _glueGates = 0.0;
+    double _glueArea = 0.0;
+
+    /** Latch population of the core logic; its data-toggle energy is
+     *  charged in the glue block, its clock pins in the clock tree. */
+    double _latchCount = 0.0;
+
+    Report glueReport(const CoreStats &tdp, const CoreStats &rt) const;
+};
+
+} // namespace core
+} // namespace mcpat
+
+#endif // MCPAT_CORE_CORE_HH

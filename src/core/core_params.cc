@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Core-parameter defaults and validation.
+ */
+
+#include "core/core_params.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcpat {
+namespace core {
+
+CoreParams::CoreParams()
+{
+    icache.name = "Instruction Cache";
+    icache.capacityBytes = 32 * 1024;
+    icache.blockBytes = 64;
+    icache.assoc = 4;
+    icache.mshrs = 4;
+    icache.writeBackEntries = 0;
+    icache.fillBufferEntries = 2;
+
+    dcache.name = "Data Cache";
+    dcache.capacityBytes = 32 * 1024;
+    dcache.blockBytes = 64;
+    dcache.assoc = 4;
+    dcache.mshrs = 8;
+    dcache.writeBackEntries = 8;
+    dcache.fillBufferEntries = 4;
+}
+
+int
+CoreParams::intTagBits() const
+{
+    const int regs = outOfOrder ? physIntRegs : archIntRegs * threads;
+    return std::max(1, static_cast<int>(std::ceil(std::log2(
+        static_cast<double>(regs)))));
+}
+
+int
+CoreParams::fpTagBits() const
+{
+    const int regs = outOfOrder ? physFpRegs : archFpRegs * threads;
+    return std::max(1, static_cast<int>(std::ceil(std::log2(
+        static_cast<double>(regs)))));
+}
+
+void
+CoreParams::validate() const
+{
+    fatalIf(threads < 1, name + ": thread count must be >= 1");
+    fatalIf(clockRate <= 0.0, name + ": clock rate must be positive");
+    fatalIf(fetchWidth < 1 || decodeWidth < 1 || issueWidth < 1 ||
+                commitWidth < 1,
+            name + ": pipeline widths must be >= 1");
+    fatalIf(pipelineStages < 3, name + ": pipeline too short to model");
+    if (outOfOrder) {
+        fatalIf(robEntries < 8, name + ": ROB too small");
+        fatalIf(intWindowEntries < 2, name + ": INT window too small");
+        fatalIf(physIntRegs < archIntRegs,
+                name + ": fewer physical than architectural INT regs");
+        fatalIf(hasFpu && physFpRegs < archFpRegs,
+                name + ": fewer physical than architectural FP regs");
+    }
+    fatalIf(intAlus < 1, name + ": at least one ALU required");
+    fatalIf(loadQueueEntries < 1 || storeQueueEntries < 1,
+            name + ": load/store queues must be non-empty");
+    icache.validate();
+    dcache.validate();
+}
+
+} // namespace core
+} // namespace mcpat

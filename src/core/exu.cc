@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Execution-unit implementation.
+ */
+
+#include "core/exu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcpat {
+namespace core {
+
+using array::AccessRates;
+using array::ArrayModel;
+using array::ArrayParams;
+using logic::FuType;
+
+ExecutionUnit::ExecutionUnit(const CoreParams &p, const Technology &t)
+    : _params(p), _frequency(p.clockRate)
+{
+    // --- Register files. ----------------------------------------------
+    ArrayParams irf;
+    irf.name = "Integer Register File";
+    irf.rows = p.outOfOrder ? p.physIntRegs : p.archIntRegs * p.threads;
+    irf.bits = p.datapathWidth;
+    irf.readPorts = 2 * p.issueWidth;
+    irf.writePorts = p.issueWidth;
+    irf.readWritePorts = 0;
+    irf.targetCycleTime = 1.0 / p.clockRate;
+    _intRegfile = std::make_unique<ArrayModel>(irf, t);
+
+    if (p.hasFpu) {
+        ArrayParams frf = irf;
+        frf.name = "FP Register File";
+        frf.rows = p.outOfOrder ? p.physFpRegs : p.archFpRegs * p.threads;
+        frf.readPorts = std::max(2, 2 * p.fpus);
+        frf.writePorts = std::max(1, p.fpus);
+        _fpRegfile = std::make_unique<ArrayModel>(frf, t);
+    }
+
+    // --- Scheduler (OoO only). -------------------------------------------
+    if (p.outOfOrder) {
+        const int payload_bits = 8 + 2 * p.intTagBits() + p.intTagBits();
+        _intWindow = std::make_unique<logic::InstructionWindow>(
+            p.intWindowEntries, p.intTagBits(), payload_bits,
+            p.issueWidth, t);
+        if (p.hasFpu) {
+            _fpWindow = std::make_unique<logic::InstructionWindow>(
+                p.fpWindowEntries, p.fpTagBits(), payload_bits,
+                std::max(1, p.fpus), t);
+        }
+
+        ArrayParams rob;
+        rob.name = "Reorder Buffer";
+        rob.rows = p.robEntries * p.threads;
+        // PC + dest tags + exception/status bits per entry.
+        rob.bits = p.virtualAddressBits + p.intTagBits() + 16;
+        rob.readPorts = p.commitWidth;
+        rob.writePorts = p.decodeWidth;
+        rob.readWritePorts = 0;
+        _rob = std::make_unique<ArrayModel>(rob, t);
+    }
+
+    // --- Functional units (replication handled in the report). ----------
+    _alu = std::make_unique<logic::FunctionalUnit>(FuType::IntAlu, t);
+    if (p.hasFpu)
+        _fpu = std::make_unique<logic::FunctionalUnit>(FuType::Fpu, t);
+    if (p.muls > 0)
+        _mul = std::make_unique<logic::FunctionalUnit>(FuType::Mul, t);
+
+    // --- Bypass network spanning the execution cluster. -----------------
+    double fu_area = p.intAlus * _alu->area() +
+                     (p.hasFpu ? p.fpus * _fpu->area() : 0.0) +
+                     (p.muls > 0 ? p.muls * _mul->area() : 0.0) +
+                     _intRegfile->area() +
+                     (_fpRegfile ? _fpRegfile->area() : 0.0);
+    const double span = std::sqrt(fu_area) * 2.0;
+    const int producers = p.intAlus + (p.hasFpu ? p.fpus : 0) +
+                          std::max(0, p.muls);
+    const int consumers = 2 * producers + p.issueWidth;
+    _bypass = std::make_unique<logic::BypassNetwork>(
+        producers, consumers, p.datapathWidth, p.intTagBits(), span, t);
+}
+
+Report
+ExecutionUnit::makeReport(const CoreStats &tdp, const CoreStats &rt) const
+{
+    Report r;
+    r.name = "Execution Unit";
+
+    auto irf_rates = [](const CoreStats &s) {
+        return AccessRates::rw(s.intRegReads, s.intRegWrites);
+    };
+    r.addChild(_intRegfile->makeReport(_frequency, irf_rates(tdp),
+                                       irf_rates(rt)));
+    if (_fpRegfile) {
+        auto frf_rates = [](const CoreStats &s) {
+            return AccessRates::rw(s.fpRegReads, s.fpRegWrites);
+        };
+        r.addChild(_fpRegfile->makeReport(_frequency, frf_rates(tdp),
+                                          frf_rates(rt)));
+    }
+
+    if (_intWindow) {
+        Report sched;
+        sched.name = "Instruction Scheduler";
+        sched.addChild(_intWindow->makeReport(
+            "Int Instruction Window", _frequency, tdp.intIssues,
+            rt.intIssues));
+        if (_fpWindow) {
+            sched.addChild(_fpWindow->makeReport(
+                "FP Instruction Window", _frequency, tdp.fpIssues,
+                rt.fpIssues));
+        }
+        auto rob_rates = [](const CoreStats &s) {
+            return AccessRates::rw(s.commits, s.dispatches);
+        };
+        sched.addChild(_rob->makeReport(_frequency, rob_rates(tdp),
+                                        rob_rates(rt)));
+        r.addChild(std::move(sched));
+    }
+
+    // Functional units: one child per type, replicated counts.
+    {
+        Report alu = _alu->makeReport("Integer ALUs", _frequency,
+                                      tdp.intOps, rt.intOps);
+        alu.area *= _params.intAlus;
+        alu.subthresholdLeakage *= _params.intAlus;
+        alu.gateLeakage *= _params.intAlus;
+        r.addChild(std::move(alu));
+    }
+    if (_fpu) {
+        Report fpu = _fpu->makeReport("Floating Point Units", _frequency,
+                                      tdp.fpOps, rt.fpOps);
+        fpu.area *= _params.fpus;
+        fpu.subthresholdLeakage *= _params.fpus;
+        fpu.gateLeakage *= _params.fpus;
+        r.addChild(std::move(fpu));
+    }
+    if (_mul) {
+        Report mul = _mul->makeReport("Complex ALUs (Mul/Div)",
+                                      _frequency, tdp.mulOps, rt.mulOps);
+        mul.area *= _params.muls;
+        mul.subthresholdLeakage *= _params.muls;
+        mul.gateLeakage *= _params.muls;
+        r.addChild(std::move(mul));
+    }
+
+    r.addChild(_bypass->makeReport(_frequency, tdp.bypasses,
+                                   rt.bypasses));
+    return r;
+}
+
+double
+ExecutionUnit::area() const
+{
+    double a = _intRegfile->area() +
+               (_fpRegfile ? _fpRegfile->area() : 0.0) +
+               _params.intAlus * _alu->area() +
+               (_fpu ? _params.fpus * _fpu->area() : 0.0) +
+               (_mul ? _params.muls * _mul->area() : 0.0) +
+               _bypass->area();
+    if (_intWindow) {
+        a += _intWindow->area() + _rob->area();
+        if (_fpWindow)
+            a += _fpWindow->area();
+    }
+    return a;
+}
+
+double
+ExecutionUnit::criticalPath() const
+{
+    double path = std::max(_intRegfile->accessDelay(), _bypass->delay());
+    if (_intWindow)
+        path = std::max(path, _intWindow->delay());
+    return path;
+}
+
+} // namespace core
+} // namespace mcpat

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Execution unit: register files, instruction scheduler (issue windows +
+ * reorder buffer), functional units, and the bypass network.
+ */
+
+#ifndef MCPAT_CORE_EXU_HH
+#define MCPAT_CORE_EXU_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/activity.hh"
+#include "core/core_params.hh"
+#include "logic/bypass.hh"
+#include "logic/functional_unit.hh"
+#include "logic/scheduler_logic.hh"
+
+namespace mcpat {
+namespace core {
+
+/**
+ * The execution back end of one core.
+ */
+class ExecutionUnit
+{
+  public:
+    ExecutionUnit(const CoreParams &p, const Technology &t);
+
+    Report makeReport(const CoreStats &tdp, const CoreStats &rt) const;
+
+    double area() const;
+
+    /** Scheduler / regfile / bypass critical path, s. */
+    double criticalPath() const;
+
+  private:
+    const CoreParams &_params;
+    double _frequency;
+
+    std::unique_ptr<array::ArrayModel> _intRegfile;
+    std::unique_ptr<array::ArrayModel> _fpRegfile;
+
+    std::unique_ptr<logic::InstructionWindow> _intWindow;
+    std::unique_ptr<logic::InstructionWindow> _fpWindow;
+    std::unique_ptr<array::ArrayModel> _rob;
+
+    std::unique_ptr<logic::FunctionalUnit> _alu;
+    std::unique_ptr<logic::FunctionalUnit> _fpu;
+    std::unique_ptr<logic::FunctionalUnit> _mul;
+
+    std::unique_ptr<logic::BypassNetwork> _bypass;
+};
+
+} // namespace core
+} // namespace mcpat
+
+#endif // MCPAT_CORE_EXU_HH

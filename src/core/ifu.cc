@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Instruction-fetch unit implementation.
+ */
+
+#include "core/ifu.hh"
+
+#include <algorithm>
+
+namespace mcpat {
+namespace core {
+
+using array::ArrayModel;
+using array::ArrayParams;
+using array::AccessRates;
+
+InstFetchUnit::InstFetchUnit(const CoreParams &p, const Technology &t)
+    : _params(p), _frequency(p.clockRate)
+{
+    array::CacheParams ic = p.icache;
+    ic.targetCycleTime = (ic.targetCycleTime > 0.0)
+        ? ic.targetCycleTime
+        : 2.0 / p.clockRate;  // pipelined 2-cycle L1 target
+    _icache = std::make_unique<array::CacheModel>(ic, t);
+
+    if (p.hasBranchPredictor) {
+        ArrayParams btb;
+        btb.name = "Branch Target Buffer";
+        btb.rows = p.predictor.btbEntries;
+        btb.bits = p.predictor.btbTargetBits;
+        btb.flavor = t.flavor();
+        _btb = std::make_unique<ArrayModel>(btb, t);
+
+        ArrayParams lp;
+        lp.name = "Local Predictor";
+        lp.rows = p.predictor.localEntries;
+        lp.bits = p.predictor.localBits;
+        _localPredictor = std::make_unique<ArrayModel>(lp, t);
+
+        ArrayParams gp;
+        gp.name = "Global Predictor";
+        gp.rows = p.predictor.globalEntries;
+        gp.bits = 2;
+        _globalPredictor = std::make_unique<ArrayModel>(gp, t);
+
+        ArrayParams ch;
+        ch.name = "Chooser";
+        ch.rows = p.predictor.chooserEntries;
+        ch.bits = 2;
+        _chooser = std::make_unique<ArrayModel>(ch, t);
+
+        ArrayParams ras;
+        ras.name = "Return Address Stack";
+        ras.rows = std::max(4, p.predictor.rasEntries * p.threads);
+        ras.bits = p.virtualAddressBits;
+        _ras = std::make_unique<ArrayModel>(ras, t);
+    }
+
+    _decoder = std::make_unique<logic::InstDecoder>(
+        p.decodeWidth, p.x86, p.x86 ? 8 : 7, t);
+
+    // Fetch buffer: two fetch-width-deep stages of instruction bytes.
+    const int inst_bits = p.x86 ? 120 : 32;
+    _fetchBuffer = std::make_unique<logic::PipelineRegisters>(
+        2, p.fetchWidth * inst_bits * std::max(1, p.threads / 2), t);
+}
+
+Report
+InstFetchUnit::makeReport(const CoreStats &tdp, const CoreStats &rt) const
+{
+    Report r;
+    r.name = "Instruction Fetch Unit";
+
+    r.addChild(_icache->makeReport(_frequency, tdp.icacheRates,
+                                   rt.icacheRates));
+
+    if (_btb) {
+        // Every fetch group probes BTB + direction predictors; branch
+        // commits update them.
+        auto rates = [](const CoreStats &s) {
+            return AccessRates::rw(s.icacheRates.accesses() + s.branches,
+                                   s.branches * 0.5);
+        };
+        r.addChild(_btb->makeReport(_frequency, rates(tdp), rates(rt)));
+
+        Report bp;
+        bp.name = "Branch Predictor";
+        bp.addChild(_localPredictor->makeReport(_frequency, rates(tdp),
+                                                rates(rt)));
+        bp.addChild(_globalPredictor->makeReport(_frequency, rates(tdp),
+                                                 rates(rt)));
+        bp.addChild(_chooser->makeReport(_frequency, rates(tdp),
+                                         rates(rt)));
+        auto ras_rates = [](const CoreStats &s) {
+            // Call/return traffic ~ 15% of branches.
+            return AccessRates::rw(s.branches * 0.15, s.branches * 0.15);
+        };
+        bp.addChild(_ras->makeReport(_frequency, ras_rates(tdp),
+                                     ras_rates(rt)));
+        r.addChild(std::move(bp));
+    }
+
+    r.addChild(_decoder->makeReport(_frequency, tdp.decodes, rt.decodes));
+    r.addChild(_fetchBuffer->makeReport(_frequency, tdp.pipelineActivity,
+                                        rt.pipelineActivity));
+    return r;
+}
+
+double
+InstFetchUnit::area() const
+{
+    double a = _icache->area() + _decoder->area() + _fetchBuffer->area();
+    if (_btb) {
+        a += _btb->area() + _localPredictor->area() +
+             _globalPredictor->area() + _chooser->area() + _ras->area();
+    }
+    return a;
+}
+
+double
+InstFetchUnit::cacheArea() const
+{
+    return _icache->area();
+}
+
+double
+InstFetchUnit::criticalPath() const
+{
+    // The predictor + BTB must resolve in a cycle; the I-cache may be
+    // pipelined over two.
+    double path = _decoder->delay();
+    if (_btb)
+        path = std::max({path, _btb->accessDelay(),
+                         _globalPredictor->accessDelay()});
+    path = std::max(path, _icache->hitDelay() / 2.0);
+    return path;
+}
+
+} // namespace core
+} // namespace mcpat

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Instruction-fetch unit: L1 I-cache, branch predictor (tournament:
+ * local/global/chooser + BTB + RAS), fetch buffer, and the instruction
+ * decoders.
+ */
+
+#ifndef MCPAT_CORE_IFU_HH
+#define MCPAT_CORE_IFU_HH
+
+#include <memory>
+
+#include "core/activity.hh"
+#include "core/core_params.hh"
+#include "logic/inst_decoder.hh"
+#include "logic/pipeline_reg.hh"
+
+namespace mcpat {
+namespace core {
+
+/**
+ * The front end of one core.
+ */
+class InstFetchUnit
+{
+  public:
+    InstFetchUnit(const CoreParams &p, const Technology &t);
+
+    Report makeReport(const CoreStats &tdp, const CoreStats &rt) const;
+
+    double area() const;
+    /** Area of the I-cache alone (excluded from glue-logic scaling). */
+    double cacheArea() const;
+    double clockLoad() const { return _fetchBuffer->clockLoad(); }
+
+    /** Single-cycle-limiting path in the front end, s. */
+    double criticalPath() const;
+
+  private:
+    const CoreParams &_params;
+    double _frequency;
+
+    std::unique_ptr<array::CacheModel> _icache;
+    std::unique_ptr<array::ArrayModel> _btb;
+    std::unique_ptr<array::ArrayModel> _localPredictor;
+    std::unique_ptr<array::ArrayModel> _globalPredictor;
+    std::unique_ptr<array::ArrayModel> _chooser;
+    std::unique_ptr<array::ArrayModel> _ras;
+    std::unique_ptr<logic::InstDecoder> _decoder;
+    std::unique_ptr<logic::PipelineRegisters> _fetchBuffer;
+};
+
+} // namespace core
+} // namespace mcpat
+
+#endif // MCPAT_CORE_IFU_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Load/store unit implementation.
+ */
+
+#include "core/lsu.hh"
+
+#include <algorithm>
+
+namespace mcpat {
+namespace core {
+
+using array::AccessRates;
+using array::ArrayModel;
+using array::ArrayParams;
+using array::CellType;
+
+LoadStoreUnit::LoadStoreUnit(const CoreParams &p, const Technology &t)
+    : _params(p), _frequency(p.clockRate)
+{
+    array::CacheParams dc = p.dcache;
+    dc.targetCycleTime = (dc.targetCycleTime > 0.0)
+        ? dc.targetCycleTime
+        : 2.0 / p.clockRate;
+    _dcache = std::make_unique<array::CacheModel>(dc, t);
+
+    // Load queue: searched by store addresses (forwarding/violation
+    // checks); store queue searched by load addresses (forwarding).
+    ArrayParams lq;
+    lq.name = "Load Queue";
+    lq.rows = p.loadQueueEntries * (p.outOfOrder ? 1 : p.threads);
+    lq.bits = p.physicalAddressBits + 16;
+    lq.cellType = CellType::CAM;
+    lq.searchPorts = 1;
+    lq.readPorts = 1;
+    lq.writePorts = 1;
+    lq.readWritePorts = 0;
+    _loadQueue = std::make_unique<ArrayModel>(lq, t);
+
+    ArrayParams sq = lq;
+    sq.name = "Store Queue";
+    sq.rows = p.storeQueueEntries * (p.outOfOrder ? 1 : p.threads);
+    sq.bits = p.physicalAddressBits + p.datapathWidth;
+    _storeQueue = std::make_unique<ArrayModel>(sq, t);
+}
+
+Report
+LoadStoreUnit::makeReport(const CoreStats &tdp, const CoreStats &rt) const
+{
+    Report r;
+    r.name = "Load Store Unit";
+
+    r.addChild(_dcache->makeReport(_frequency, tdp.dcacheRates,
+                                   rt.dcacheRates));
+
+    // Every load searches the store queue; every store searches the
+    // load queue; entries are written at dispatch and read at commit.
+    auto lq_rates = [](const CoreStats &s) {
+        AccessRates a;
+        a.reads = s.loads;
+        a.writes = s.loads;
+        a.searches = s.stores;
+        return a;
+    };
+    auto sq_rates = [](const CoreStats &s) {
+        AccessRates a;
+        a.reads = s.stores;
+        a.writes = s.stores;
+        a.searches = s.loads;
+        return a;
+    };
+    r.addChild(_loadQueue->makeReport(_frequency, lq_rates(tdp),
+                                      lq_rates(rt)));
+    r.addChild(_storeQueue->makeReport(_frequency, sq_rates(tdp),
+                                       sq_rates(rt)));
+    return r;
+}
+
+double
+LoadStoreUnit::area() const
+{
+    return _dcache->area() + _loadQueue->area() + _storeQueue->area();
+}
+
+double
+LoadStoreUnit::cacheArea() const
+{
+    return _dcache->area();
+}
+
+double
+LoadStoreUnit::criticalPath() const
+{
+    return std::max({_dcache->hitDelay() / 2.0,
+                     _loadQueue->accessDelay(),
+                     _storeQueue->accessDelay()});
+}
+
+} // namespace core
+} // namespace mcpat

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Load/store unit: L1 D-cache and the load/store queues (address-matching
+ * CAMs, the structures behind memory disambiguation).
+ */
+
+#ifndef MCPAT_CORE_LSU_HH
+#define MCPAT_CORE_LSU_HH
+
+#include <memory>
+
+#include "core/activity.hh"
+#include "core/core_params.hh"
+
+namespace mcpat {
+namespace core {
+
+/**
+ * The memory pipeline of one core.
+ */
+class LoadStoreUnit
+{
+  public:
+    LoadStoreUnit(const CoreParams &p, const Technology &t);
+
+    Report makeReport(const CoreStats &tdp, const CoreStats &rt) const;
+
+    double area() const;
+
+    /** Area of the D-cache alone (excluded from glue-logic scaling). */
+    double cacheArea() const;
+
+    /** D-cache/LSQ critical path, s. */
+    double criticalPath() const;
+
+  private:
+    const CoreParams &_params;
+    double _frequency;
+
+    std::unique_ptr<array::CacheModel> _dcache;
+    std::unique_ptr<array::ArrayModel> _loadQueue;
+    std::unique_ptr<array::ArrayModel> _storeQueue;
+};
+
+} // namespace core
+} // namespace mcpat
+
+#endif // MCPAT_CORE_LSU_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * MMU implementation.
+ */
+
+#include "core/mmu.hh"
+
+#include <algorithm>
+
+namespace mcpat {
+namespace core {
+
+using array::AccessRates;
+using array::ArrayModel;
+using array::ArrayParams;
+using array::CellType;
+
+MemManUnit::MemManUnit(const CoreParams &p, const Technology &t)
+    : _frequency(p.clockRate)
+{
+    const int vpn_bits = p.virtualAddressBits - 12;  // 4 KiB pages
+
+    ArrayParams it;
+    it.name = "Instruction TLB";
+    it.rows = p.itlbEntries * p.threads;
+    it.bits = vpn_bits;
+    it.cellType = CellType::CAM;
+    it.searchPorts = 1;
+    it.readPorts = 1;
+    it.writePorts = 1;
+    it.readWritePorts = 0;
+    _itlb = std::make_unique<ArrayModel>(it, t);
+
+    ArrayParams dt = it;
+    dt.name = "Data TLB";
+    dt.rows = p.dtlbEntries * p.threads;
+    _dtlb = std::make_unique<ArrayModel>(dt, t);
+}
+
+Report
+MemManUnit::makeReport(const CoreStats &tdp, const CoreStats &rt) const
+{
+    Report r;
+    r.name = "Memory Management Unit";
+
+    auto itlb_rates = [](const CoreStats &s) {
+        AccessRates a;
+        a.searches = s.itlbAccesses;
+        a.writes = s.itlbMisses;
+        return a;
+    };
+    auto dtlb_rates = [](const CoreStats &s) {
+        AccessRates a;
+        a.searches = s.dtlbAccesses;
+        a.writes = s.dtlbMisses;
+        return a;
+    };
+    r.addChild(_itlb->makeReport(_frequency, itlb_rates(tdp),
+                                 itlb_rates(rt)));
+    r.addChild(_dtlb->makeReport(_frequency, dtlb_rates(tdp),
+                                 dtlb_rates(rt)));
+    return r;
+}
+
+double
+MemManUnit::area() const
+{
+    return _itlb->area() + _dtlb->area();
+}
+
+double
+MemManUnit::criticalPath() const
+{
+    return std::max(_itlb->accessDelay(), _dtlb->accessDelay());
+}
+
+} // namespace core
+} // namespace mcpat

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Memory-management unit: instruction and data TLBs (fully associative
+ * CAMs, the standard organization at these sizes).
+ */
+
+#ifndef MCPAT_CORE_MMU_HH
+#define MCPAT_CORE_MMU_HH
+
+#include <memory>
+
+#include "core/activity.hh"
+#include "core/core_params.hh"
+
+namespace mcpat {
+namespace core {
+
+/**
+ * The TLBs of one core.
+ */
+class MemManUnit
+{
+  public:
+    MemManUnit(const CoreParams &p, const Technology &t);
+
+    Report makeReport(const CoreStats &tdp, const CoreStats &rt) const;
+
+    double area() const;
+    double criticalPath() const;
+
+  private:
+    double _frequency;
+    std::unique_ptr<array::ArrayModel> _itlb;
+    std::unique_ptr<array::ArrayModel> _dtlb;
+};
+
+} // namespace core
+} // namespace mcpat
+
+#endif // MCPAT_CORE_MMU_HH

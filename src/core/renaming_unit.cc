@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Renaming-unit implementation.
+ */
+
+#include "core/renaming_unit.hh"
+
+#include <algorithm>
+
+namespace mcpat {
+namespace core {
+
+using array::AccessRates;
+
+RenamingUnit::RenamingUnit(const CoreParams &p, const Technology &t)
+    : _params(p), _frequency(p.clockRate)
+{
+    if (p.outOfOrder) {
+        _intRat = std::make_unique<logic::Rat>(
+            p.archIntRegs, p.physIntRegs, p.decodeWidth, p.threads,
+            p.ratStyle, t);
+        _intFreeList = std::make_unique<logic::FreeList>(
+            p.physIntRegs, p.decodeWidth, t);
+        if (p.hasFpu) {
+            _fpRat = std::make_unique<logic::Rat>(
+                p.archFpRegs, p.physFpRegs, p.decodeWidth, p.threads,
+                p.ratStyle, t);
+            _fpFreeList = std::make_unique<logic::FreeList>(
+                p.physFpRegs, p.decodeWidth, t);
+        }
+        _dcl = std::make_unique<logic::DependencyCheck>(
+            p.decodeWidth, p.intTagBits(), t);
+    } else {
+        // Scoreboard: one in-flight tag per architectural register.
+        array::ArrayParams sb;
+        sb.name = "Scoreboard";
+        sb.rows = (p.archIntRegs + (p.hasFpu ? p.archFpRegs : 0)) *
+                  p.threads;
+        sb.bits = 8;
+        sb.readPorts = 2 * p.issueWidth;
+        sb.writePorts = p.issueWidth;
+        sb.readWritePorts = 0;
+        _scoreboard = std::make_unique<array::ArrayModel>(sb, t);
+    }
+}
+
+Report
+RenamingUnit::makeReport(const CoreStats &tdp, const CoreStats &rt) const
+{
+    Report r;
+    r.name = "Renaming Unit";
+
+    if (_params.outOfOrder) {
+        // ~75% of renames touch the INT side.
+        r.addChild(_intRat->makeReport("Int RAT", _frequency,
+                                       tdp.renames * 0.75,
+                                       rt.renames * 0.75));
+        r.addChild(_intFreeList->makeReport(_frequency,
+                                            tdp.renames * 0.75,
+                                            rt.renames * 0.75));
+        if (_fpRat) {
+            r.addChild(_fpRat->makeReport("FP RAT", _frequency,
+                                          tdp.renames * 0.25,
+                                          rt.renames * 0.25));
+            r.addChild(_fpFreeList->makeReport(_frequency,
+                                               tdp.renames * 0.25,
+                                               rt.renames * 0.25));
+        }
+        // One dependency-check evaluation per rename group.
+        const double group_w = std::max(1, _params.decodeWidth);
+        r.addChild(_dcl->makeReport(_frequency, tdp.renames / group_w,
+                                    rt.renames / group_w));
+    } else {
+        auto rates = [](const CoreStats &s) {
+            return AccessRates::rw(2.0 * s.decodes, s.commits);
+        };
+        r.addChild(_scoreboard->makeReport(_frequency, rates(tdp),
+                                           rates(rt)));
+    }
+    return r;
+}
+
+double
+RenamingUnit::area() const
+{
+    if (!_params.outOfOrder)
+        return _scoreboard->area();
+    double a = _intRat->area() + _intFreeList->area() + _dcl->area();
+    if (_fpRat)
+        a += _fpRat->area() + _fpFreeList->area();
+    return a;
+}
+
+double
+RenamingUnit::criticalPath() const
+{
+    if (!_params.outOfOrder)
+        return _scoreboard->accessDelay();
+    return std::max(_intRat->delay(), _dcl->delay());
+}
+
+} // namespace core
+} // namespace mcpat

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Renaming unit: INT/FP alias tables, free lists, and the intra-group
+ * dependency-check logic.  In-order cores replace all of it with a small
+ * scoreboard.
+ */
+
+#ifndef MCPAT_CORE_RENAMING_UNIT_HH
+#define MCPAT_CORE_RENAMING_UNIT_HH
+
+#include <memory>
+
+#include "core/activity.hh"
+#include "core/core_params.hh"
+#include "logic/dependency_check.hh"
+#include "logic/renaming_logic.hh"
+
+namespace mcpat {
+namespace core {
+
+/**
+ * Register renaming for an out-of-order core, or the scoreboard of an
+ * in-order core.
+ */
+class RenamingUnit
+{
+  public:
+    RenamingUnit(const CoreParams &p, const Technology &t);
+
+    Report makeReport(const CoreStats &tdp, const CoreStats &rt) const;
+
+    double area() const;
+
+    /** Rename-stage critical path, s. */
+    double criticalPath() const;
+
+  private:
+    const CoreParams &_params;
+    double _frequency;
+
+    // Out-of-order structures.
+    std::unique_ptr<logic::Rat> _intRat;
+    std::unique_ptr<logic::Rat> _fpRat;
+    std::unique_ptr<logic::FreeList> _intFreeList;
+    std::unique_ptr<logic::FreeList> _fpFreeList;
+    std::unique_ptr<logic::DependencyCheck> _dcl;
+
+    // In-order scoreboard.
+    std::unique_ptr<array::ArrayModel> _scoreboard;
+};
+
+} // namespace core
+} // namespace mcpat
+
+#endif // MCPAT_CORE_RENAMING_UNIT_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Matrix-arbiter implementation.
+ */
+
+#include "logic/arbiter.hh"
+
+#include <cmath>
+
+#include "circuit/dff.hh"
+#include "circuit/transistor.hh"
+#include "logic/functional_unit.hh"
+
+namespace mcpat {
+namespace logic {
+
+using namespace circuit;
+
+Arbiter::Arbiter(int requestors, const Technology &t)
+    : _requestors(requestors)
+{
+    fatalIf(requestors < 1, "arbiter needs at least one requestor");
+
+    const double r = requestors;
+    const double priority_flops = r * (r - 1.0) / 2.0;
+    const double grant_gates = r * (r + 2.0);
+
+    const Dff flop(t);
+    _area = priority_flops * flop.area() +
+            grant_gates * t.logicGateArea();
+
+    const double gate_energy = logicGateEnergy(t);
+    // One arbitration flips ~2 priority rows and evaluates every grant
+    // tree.
+    _energyPerArb = 2.0 * (r - 1.0) * flop.dataEnergy() +
+                    0.5 * grant_gates * gate_energy;
+
+    const LogicLeakage l =
+        logicBlockLeakage(grant_gates * t.logicGateArea(), t);
+    _subLeak = priority_flops * flop.subthresholdLeakage() +
+               l.subthreshold;
+    _gateLeak = priority_flops * flop.gateLeakage() + l.gate;
+
+    _delay = (std::ceil(std::log2(std::max(2.0, r))) + 2.0) * t.fo4();
+}
+
+Report
+Arbiter::makeReport(const std::string &name, double frequency,
+                    double tdp_arbs, double runtime_arbs) const
+{
+    Report r;
+    r.name = name;
+    r.area = _area;
+    r.peakDynamic = _energyPerArb * tdp_arbs * frequency;
+    r.runtimeDynamic = _energyPerArb * runtime_arbs * frequency;
+    r.subthresholdLeakage = _subLeak;
+    r.gateLeakage = _gateLeak;
+    r.criticalPath = _delay;
+    return r;
+}
+
+} // namespace logic
+} // namespace mcpat

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Arbitration logic: matrix arbiters (used in NoC routers and the
+ * instruction-select tree) following the Orion-style gate model.
+ */
+
+#ifndef MCPAT_LOGIC_ARBITER_HH
+#define MCPAT_LOGIC_ARBITER_HH
+
+#include "common/report.hh"
+#include "tech/technology.hh"
+
+namespace mcpat {
+namespace logic {
+
+using tech::Technology;
+
+/**
+ * A matrix arbiter granting one of @c requestors per cycle.
+ *
+ * State: R(R-1)/2 priority flops; logic: R grant AND-OR trees of R-1
+ * inputs each.
+ */
+class Arbiter
+{
+  public:
+    Arbiter(int requestors, const Technology &t);
+
+    int requestors() const { return _requestors; }
+
+    /** Energy per arbitration, J. */
+    double energyPerArb() const { return _energyPerArb; }
+
+    double area() const { return _area; }
+    double subthresholdLeakage() const { return _subLeak; }
+    double gateLeakage() const { return _gateLeak; }
+    double delay() const { return _delay; }
+
+    Report makeReport(const std::string &name, double frequency,
+                      double tdp_arbs, double runtime_arbs) const;
+
+  private:
+    int _requestors;
+    double _energyPerArb = 0.0;
+    double _area = 0.0;
+    double _subLeak = 0.0;
+    double _gateLeak = 0.0;
+    double _delay = 0.0;
+};
+
+} // namespace logic
+} // namespace mcpat
+
+#endif // MCPAT_LOGIC_ARBITER_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Bypass-network implementation: repeated wires with per-consumer mux
+ * loads.
+ */
+
+#include "logic/bypass.hh"
+
+#include "circuit/wire.hh"
+#include "logic/functional_unit.hh"
+
+namespace mcpat {
+namespace logic {
+
+using namespace circuit;
+
+BypassNetwork::BypassNetwork(int producers, int consumers, int data_bits,
+                             int tag_bits, double cluster_span,
+                             const Technology &t)
+{
+    fatalIf(producers < 1 || consumers < 1, "empty bypass network");
+    fatalIf(cluster_span <= 0.0, "bypass span must be positive");
+
+    const int wires_per_bus = data_bits + tag_bits;
+    const RepeatedWire bus(cluster_span, tech::WireLayer::Intermediate, t);
+
+    // Consumer mux loads along each wire.
+    const double wmin = minWidth(t);
+    const double mux_load = consumers * gateC(2.0 * wmin, t);
+    const double mux_energy = mux_load * t.vdd() * t.vdd();
+
+    // A bypass event drives one bus: ~half the wires toggle.
+    _energyPerBypass =
+        0.5 * wires_per_bus * (bus.energyPerEvent() + mux_energy);
+
+    const double total_wires =
+        static_cast<double>(producers) * wires_per_bus;
+    _subLeak = total_wires * bus.subthresholdLeakage();
+    _gateLeak = total_wires * bus.gateLeakage();
+    _area = total_wires * bus.area() +
+            producers * consumers * (data_bits + tag_bits) * 0.5 *
+                t.logicGateArea();
+
+    _delay = bus.delay() + 2.0 * t.fo4();  // wire + receiving mux
+}
+
+Report
+BypassNetwork::makeReport(double frequency, double tdp_bypasses,
+                          double runtime_bypasses) const
+{
+    Report r;
+    r.name = "Bypass Network";
+    r.area = _area;
+    r.peakDynamic = _energyPerBypass * tdp_bypasses * frequency;
+    r.runtimeDynamic = _energyPerBypass * runtime_bypasses * frequency;
+    r.subthresholdLeakage = _subLeak;
+    r.gateLeakage = _gateLeak;
+    r.criticalPath = _delay;
+    return r;
+}
+
+} // namespace logic
+} // namespace mcpat

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Result-broadcast (bypass) network: the wires and drivers that forward
+ * functional-unit results to dependent instructions and the register
+ * files.
+ */
+
+#ifndef MCPAT_LOGIC_BYPASS_HH
+#define MCPAT_LOGIC_BYPASS_HH
+
+#include "common/report.hh"
+#include "tech/technology.hh"
+
+namespace mcpat {
+namespace logic {
+
+using tech::Technology;
+
+/**
+ * Bypass network for an execution cluster.
+ *
+ * Each producer (ALU/FPU port) drives data + tag wires spanning the
+ * cluster; consumers hang muxes off the lines.
+ */
+class BypassNetwork
+{
+  public:
+    /**
+     * @param producers     result buses (FU output ports)
+     * @param consumers     mux drop-offs per bus (FU inputs + RF ports)
+     * @param data_bits     datapath width
+     * @param tag_bits      destination-tag width
+     * @param cluster_span  physical length each bus must cross, m
+     */
+    BypassNetwork(int producers, int consumers, int data_bits,
+                  int tag_bits, double cluster_span, const Technology &t);
+
+    /** Energy per forwarded result, J. */
+    double energyPerBypass() const { return _energyPerBypass; }
+
+    double area() const { return _area; }
+    double subthresholdLeakage() const { return _subLeak; }
+    double gateLeakage() const { return _gateLeak; }
+    double delay() const { return _delay; }
+
+    Report makeReport(double frequency, double tdp_bypasses,
+                      double runtime_bypasses) const;
+
+  private:
+    double _energyPerBypass = 0.0;
+    double _area = 0.0;
+    double _subLeak = 0.0;
+    double _gateLeak = 0.0;
+    double _delay = 0.0;
+};
+
+} // namespace logic
+} // namespace mcpat
+
+#endif // MCPAT_LOGIC_BYPASS_HH

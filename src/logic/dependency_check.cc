@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dependency-check logic implementation.
+ */
+
+#include "logic/dependency_check.hh"
+
+#include <cmath>
+
+#include "circuit/transistor.hh"
+#include "logic/functional_unit.hh"
+
+namespace mcpat {
+namespace logic {
+
+using namespace circuit;
+
+DependencyCheck::DependencyCheck(int width, int tag_bits,
+                                 const Technology &t)
+{
+    fatalIf(width < 1, "dependency check width must be >= 1");
+    fatalIf(tag_bits < 1, "dependency check needs tag bits");
+
+    // Comparators: 2 sources x dest of every older instruction.
+    const double comparators = 2.0 * width * (width - 1) / 2.0 *
+                               2.0;  // plus dest-vs-dest WAW checks
+    const double gates_per_cmp = tag_bits * 1.5 + 4.0;  // XNOR + AND tree
+    const double mux_gates = 2.0 * width * tag_bits;    // select muxes
+    const double gates = comparators * gates_per_cmp + mux_gates;
+
+    _area = gates * t.logicGateArea();
+
+    const double gate_energy = logicGateEnergy(t);
+    _energyPerGroup = 0.3 * gates * gate_energy;
+
+    const LogicLeakage l = logicBlockLeakage(_area, t);
+    _subLeak = l.subthreshold;
+    _gateLeak = l.gate;
+
+    // Comparator + priority mux depth.
+    _delay = (std::ceil(std::log2(std::max(2, tag_bits))) + 3.0) *
+             t.fo4();
+}
+
+Report
+DependencyCheck::makeReport(double frequency, double tdp_groups,
+                            double runtime_groups) const
+{
+    Report r;
+    r.name = "Dependency Check";
+    r.area = _area;
+    r.peakDynamic = _energyPerGroup * tdp_groups * frequency;
+    r.runtimeDynamic = _energyPerGroup * runtime_groups * frequency;
+    r.subthresholdLeakage = _subLeak;
+    r.gateLeakage = _gateLeak;
+    r.criticalPath = _delay;
+    return r;
+}
+
+} // namespace logic
+} // namespace mcpat

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Dependency-check logic (DCL): the comparator matrix that detects
+ * producer/consumer relations among co-renamed instructions and the
+ * operand-forwarding muxes it controls.
+ */
+
+#ifndef MCPAT_LOGIC_DEPENDENCY_CHECK_HH
+#define MCPAT_LOGIC_DEPENDENCY_CHECK_HH
+
+#include "common/report.hh"
+#include "tech/technology.hh"
+
+namespace mcpat {
+namespace logic {
+
+using tech::Technology;
+
+/**
+ * Intra-group dependency checking for a rename group of @c width
+ * instructions over @c tag_bits register specifiers.
+ *
+ * Each younger instruction compares both of its sources against every
+ * older destination in the group: width*(width-1) comparators per source
+ * port pair, each tag_bits wide.
+ */
+class DependencyCheck
+{
+  public:
+    DependencyCheck(int width, int tag_bits, const Technology &t);
+
+    /** Energy per renamed group, J. */
+    double energyPerGroup() const { return _energyPerGroup; }
+
+    double area() const { return _area; }
+    double subthresholdLeakage() const { return _subLeak; }
+    double gateLeakage() const { return _gateLeak; }
+    double delay() const { return _delay; }
+
+    Report makeReport(double frequency, double tdp_groups,
+                      double runtime_groups) const;
+
+  private:
+    double _energyPerGroup = 0.0;
+    double _area = 0.0;
+    double _subLeak = 0.0;
+    double _gateLeak = 0.0;
+    double _delay = 0.0;
+};
+
+} // namespace logic
+} // namespace mcpat
+
+#endif // MCPAT_LOGIC_DEPENDENCY_CHECK_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Functional-unit empirical datapoints and scaling.
+ *
+ * CALIBRATION SURFACE.  Together with tech/tech_tables.cc these constants
+ * are the only tuned values in the framework; they are anchored at 90 nm
+ * and scaled per DESIGN.md section 5.  Reference points follow published
+ * 64-bit datapath implementations of the mid-2000s.
+ */
+
+#include "logic/functional_unit.hh"
+
+#include "circuit/transistor.hh"
+#include "common/units.hh"
+
+namespace mcpat {
+namespace logic {
+
+namespace {
+
+/** Reference node for the empirical datapoints. */
+constexpr double refFeature = 90.0 * nm;
+constexpr double refVdd = 1.2;
+
+struct FuDatapoint
+{
+    double area90;     ///< m^2 at 90 nm
+    double energy90;   ///< J per op at 90 nm, 1.2 V
+    double fo4Latency; ///< latency in FO4 units
+};
+
+FuDatapoint
+datapoint(FuType type)
+{
+    switch (type) {
+      case FuType::IntAlu:
+        return {0.050 * mm2, 30.0 * pJ, 18.0};
+      case FuType::Fpu:
+        return {0.55 * mm2, 160.0 * pJ, 90.0};
+      case FuType::Mul:
+      default:
+        return {0.130 * mm2, 60.0 * pJ, 55.0};
+    }
+}
+
+} // namespace
+
+LogicLeakage
+logicBlockLeakage(double area, const Technology &t)
+{
+    using namespace circuit;
+    // NAND2-equivalent gate count at ~70% placement utilization.
+    const double gates = 0.7 * area / t.logicGateArea();
+    const double wmin = minWidth(t);
+    LogicLeakage l;
+    l.subthreshold =
+        gates * circuit::subthresholdLeakage(4.0 * wmin, 4.0 * wmin, t,
+                                             0.7);
+    l.gate = gates * circuit::gateLeakage(8.0 * wmin, t);
+    return l;
+}
+
+FunctionalUnit::FunctionalUnit(FuType type, const Technology &t)
+    : _type(type)
+{
+    const FuDatapoint d = datapoint(type);
+    const double f_ratio = t.feature() / refFeature;
+    const double v_ratio = t.vdd() / refVdd;
+
+    _area = d.area90 * f_ratio * f_ratio;
+    // Switched capacitance scales with linear dimension; energy with
+    // C * Vdd^2.
+    _energyPerOp = d.energy90 * f_ratio * v_ratio * v_ratio;
+    _latency = d.fo4Latency * t.fo4();
+
+    const LogicLeakage l = logicBlockLeakage(_area, t);
+    _subLeak = l.subthreshold;
+    _gateLeak = l.gate;
+}
+
+Report
+FunctionalUnit::makeReport(const std::string &name, double frequency,
+                           double tdp_ops, double runtime_ops) const
+{
+    Report r;
+    r.name = name;
+    r.area = _area;
+    r.peakDynamic = _energyPerOp * tdp_ops * frequency;
+    r.runtimeDynamic = _energyPerOp * runtime_ops * frequency;
+    r.subthresholdLeakage = _subLeak;
+    r.gateLeakage = _gateLeak;
+    r.criticalPath = _latency;
+    return r;
+}
+
+} // namespace logic
+} // namespace mcpat

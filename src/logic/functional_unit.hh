@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Empirical functional-unit models (ALU / FPU / multiplier).
+ *
+ * Custom datapath layouts defeat purely analytical modeling, so — exactly
+ * as the paper does — functional units use empirical area/energy
+ * datapoints from published implementations, scaled across technology
+ * (area ~ F^2, energy ~ F * Vdd^2) and derated for voltage/frequency.
+ */
+
+#ifndef MCPAT_LOGIC_FUNCTIONAL_UNIT_HH
+#define MCPAT_LOGIC_FUNCTIONAL_UNIT_HH
+
+#include "common/report.hh"
+#include "tech/technology.hh"
+
+namespace mcpat {
+namespace logic {
+
+using tech::Technology;
+
+/** Kind of execution unit. */
+enum class FuType
+{
+    IntAlu,   ///< 64-bit integer ALU (add/sub/logic/shift)
+    Fpu,      ///< double-precision FPU (add/mul/FMA pipeline)
+    Mul       ///< integer multiply/divide unit
+};
+
+/**
+ * One functional-unit instance.
+ */
+class FunctionalUnit
+{
+  public:
+    FunctionalUnit(FuType type, const Technology &t);
+
+    FuType type() const { return _type; }
+
+    /** Dynamic energy per operation, J. */
+    double energyPerOp() const { return _energyPerOp; }
+
+    double area() const { return _area; }
+    double subthresholdLeakage() const { return _subLeak; }
+    double gateLeakage() const { return _gateLeak; }
+
+    /** Pipeline latency of the unit, s (for timing checks). */
+    double latency() const { return _latency; }
+
+    /**
+     * Report at a clock frequency given TDP and runtime utilization
+     * (operations per cycle through this unit).
+     */
+    Report makeReport(const std::string &name, double frequency,
+                      double tdp_ops, double runtime_ops) const;
+
+  private:
+    FuType _type;
+    double _energyPerOp = 0.0;
+    double _area = 0.0;
+    double _subLeak = 0.0;
+    double _gateLeak = 0.0;
+    double _latency = 0.0;
+};
+
+/**
+ * Leakage of a block of synthesized random logic occupying @p area,
+ * derived from its NAND2-equivalent gate count.  Shared by all
+ * gate-counting logic models.
+ */
+struct LogicLeakage
+{
+    double subthreshold;  ///< W
+    double gate;          ///< W
+};
+LogicLeakage logicBlockLeakage(double area, const Technology &t);
+
+} // namespace logic
+} // namespace mcpat
+
+#endif // MCPAT_LOGIC_FUNCTIONAL_UNIT_HH

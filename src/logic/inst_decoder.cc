@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Instruction-decoder implementation: gate-counted PLAs plus an optional
+ * microcode ROM (modeled as an SRAM array) for x86.
+ */
+
+#include "logic/inst_decoder.hh"
+
+#include "circuit/transistor.hh"
+#include "logic/functional_unit.hh"
+
+namespace mcpat {
+namespace logic {
+
+using namespace circuit;
+
+InstDecoder::InstDecoder(int width, bool x86, int opcode_bits,
+                         const Technology &t)
+    : _width(width)
+{
+    fatalIf(width < 1, "decoder width must be >= 1");
+    fatalIf(opcode_bits < 4 || opcode_bits > 32,
+            "opcode field outside 4-32 bits");
+
+    // Gate count per decode lane: two-level PLA over the opcode field
+    // plus operand steering.  CISC lanes are ~5x larger (prefixes,
+    // mod/rm, uop cracking).
+    const double gates_per_lane =
+        (x86 ? 5.0 : 1.0) * (opcode_bits * 90.0 + 600.0);
+    const double lane_area = gates_per_lane * t.logicGateArea();
+    _area = width * lane_area;
+
+    const double gate_energy = logicGateEnergy(t);
+    // ~20% of gates toggle per decoded instruction.
+    _energyPerInst = 0.2 * gates_per_lane * gate_energy;
+
+    const LogicLeakage l = logicBlockLeakage(_area, t);
+    _subLeak = l.subthreshold;
+    _gateLeak = l.gate;
+
+    // Two PLA levels plus steering muxes.
+    _delay = (x86 ? 12.0 : 6.0) * t.fo4();
+
+    if (x86) {
+        array::ArrayParams rom;
+        rom.name = "Microcode ROM";
+        rom.sizeBytes = 16 * 1024;
+        rom.blockWidthBits = 64;
+        rom.flavor = t.flavor();
+        _ucodeRom = std::make_unique<array::ArrayModel>(rom, t);
+        _area += _ucodeRom->area();
+        _subLeak += _ucodeRom->subthresholdLeakage();
+        _gateLeak += _ucodeRom->gateLeakage();
+        // ~10% of x86 instructions hit the microcode sequencer.
+        _energyPerInst += 0.1 * _ucodeRom->readEnergy();
+    }
+}
+
+Report
+InstDecoder::makeReport(double frequency, double tdp_insts,
+                        double runtime_insts) const
+{
+    Report r;
+    r.name = "Instruction Decoder";
+    r.area = _area;
+    r.peakDynamic = _energyPerInst * tdp_insts * frequency;
+    r.runtimeDynamic = _energyPerInst * runtime_insts * frequency;
+    r.subthresholdLeakage = _subLeak;
+    r.gateLeakage = _gateLeak;
+    r.criticalPath = _delay;
+    return r;
+}
+
+} // namespace logic
+} // namespace mcpat

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Instruction-decoder model: RISC decoders are modest random logic; x86
+ * decoders add a microcode ROM and much larger translation PLAs.
+ */
+
+#ifndef MCPAT_LOGIC_INST_DECODER_HH
+#define MCPAT_LOGIC_INST_DECODER_HH
+
+#include <memory>
+
+#include "array/array_model.hh"
+#include "common/report.hh"
+
+namespace mcpat {
+namespace logic {
+
+using tech::Technology;
+
+/**
+ * Decode stage for @c width instructions per cycle.
+ */
+class InstDecoder
+{
+  public:
+    /**
+     * @param width   decode width, instructions per cycle
+     * @param x86     CISC decode (adds microcode ROM + bigger PLAs)
+     * @param opcode_bits primary opcode field width
+     */
+    InstDecoder(int width, bool x86, int opcode_bits, const Technology &t);
+
+    /** Energy per decoded instruction, J. */
+    double energyPerInst() const { return _energyPerInst; }
+
+    double area() const { return _area; }
+    double subthresholdLeakage() const { return _subLeak; }
+    double gateLeakage() const { return _gateLeak; }
+    double delay() const { return _delay; }
+
+    Report makeReport(double frequency, double tdp_insts,
+                      double runtime_insts) const;
+
+  private:
+    int _width;
+    double _energyPerInst = 0.0;
+    double _area = 0.0;
+    double _subLeak = 0.0;
+    double _gateLeak = 0.0;
+    double _delay = 0.0;
+    std::unique_ptr<array::ArrayModel> _ucodeRom;
+};
+
+} // namespace logic
+} // namespace mcpat
+
+#endif // MCPAT_LOGIC_INST_DECODER_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Pipeline-register implementation.
+ */
+
+#include "logic/pipeline_reg.hh"
+
+namespace mcpat {
+namespace logic {
+
+PipelineRegisters::PipelineRegisters(int stages, int bits_per_stage,
+                                     const Technology &t)
+    : _totalBits(stages * bits_per_stage), _bank(_totalBits, t)
+{
+    fatalIf(stages < 1 || bits_per_stage < 1,
+            "pipeline registers need stages >= 1 and width >= 1");
+}
+
+double
+PipelineRegisters::energyPerCycle(double alpha) const
+{
+    // Data-toggle energy only; the clock pins belong to the clock tree.
+    return _totalBits * alpha * _bank.cell.dataEnergy();
+}
+
+double
+PipelineRegisters::clockLoad() const
+{
+    return _bank.clockLoad();
+}
+
+double
+PipelineRegisters::area() const
+{
+    return _bank.area();
+}
+
+double
+PipelineRegisters::subthresholdLeakage() const
+{
+    return _bank.subthresholdLeakage();
+}
+
+double
+PipelineRegisters::gateLeakage() const
+{
+    return _bank.gateLeakage();
+}
+
+Report
+PipelineRegisters::makeReport(double frequency, double tdp_alpha,
+                              double runtime_alpha) const
+{
+    Report r;
+    r.name = "Pipeline Registers";
+    r.area = area();
+    r.peakDynamic = energyPerCycle(tdp_alpha) * frequency;
+    r.runtimeDynamic = energyPerCycle(runtime_alpha) * frequency;
+    r.subthresholdLeakage = subthresholdLeakage();
+    r.gateLeakage = gateLeakage();
+    return r;
+}
+
+} // namespace logic
+} // namespace mcpat

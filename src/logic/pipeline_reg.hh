@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pipeline registers: banks of flip-flops between pipeline stages.  They
+ * contribute a large share of core clock load — the reason deep pipelines
+ * burn clock power, clearly visible in the Xeon Tulsa validation.
+ */
+
+#ifndef MCPAT_LOGIC_PIPELINE_REG_HH
+#define MCPAT_LOGIC_PIPELINE_REG_HH
+
+#include "circuit/dff.hh"
+#include "common/report.hh"
+
+namespace mcpat {
+namespace logic {
+
+using tech::Technology;
+
+/**
+ * All pipeline latches of a core (or a unit): @c stages stage boundaries
+ * each @c bits_per_stage wide.
+ */
+class PipelineRegisters
+{
+  public:
+    PipelineRegisters(int stages, int bits_per_stage, const Technology &t);
+
+    int totalBits() const { return _totalBits; }
+
+    /** Energy per cycle at data activity alpha, J. */
+    double energyPerCycle(double alpha) const;
+
+    /** Total clock-pin capacitance (feeds the clock-network model), F. */
+    double clockLoad() const;
+
+    double area() const;
+    double subthresholdLeakage() const;
+    double gateLeakage() const;
+
+    /**
+     * Report; dynamic power excludes the clock-pin energy (owned by the
+     * clock network model) and covers data toggling only.
+     */
+    Report makeReport(double frequency, double tdp_alpha,
+                      double runtime_alpha) const;
+
+  private:
+    int _totalBits;
+    circuit::DffBank _bank;
+};
+
+} // namespace logic
+} // namespace mcpat
+
+#endif // MCPAT_LOGIC_PIPELINE_REG_HH

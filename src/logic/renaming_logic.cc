@@ -1,0 +1,154 @@
+/**
+ * @file
+ * RAT and free-list implementations on top of the array model.
+ */
+
+#include "logic/renaming_logic.hh"
+
+#include <cmath>
+
+namespace mcpat {
+namespace logic {
+
+using array::ArrayModel;
+using array::ArrayParams;
+using array::CellType;
+
+Rat::Rat(int arch_regs, int phys_regs, int decode_width, int threads,
+         RatStyle style, const Technology &t)
+    : _style(style), _threads(std::max(1, threads))
+{
+    fatalIf(arch_regs < 1 || phys_regs < arch_regs,
+            "RAT needs phys_regs >= arch_regs >= 1");
+    const int tag_bits = std::max(1, static_cast<int>(std::ceil(
+        std::log2(static_cast<double>(phys_regs)))));
+
+    ArrayParams p;
+    p.flavor = t.flavor();
+    if (style == RatStyle::Ram) {
+        // One mapping entry per architectural register per thread.
+        p.name = "RAT (RAM)";
+        p.rows = arch_regs * _threads;
+        p.bits = tag_bits;
+        p.readWritePorts = 0;
+        p.readPorts = 2 * decode_width;   // two sources per instruction
+        p.writePorts = decode_width;      // one destination
+    } else {
+        // One entry per physical register, searched on lookups.
+        p.name = "RAT (CAM)";
+        p.rows = phys_regs;
+        p.bits = static_cast<int>(std::ceil(std::log2(
+                     static_cast<double>(arch_regs)))) +
+                 _threads;  // arch tag + per-thread valid bits
+        p.cellType = CellType::CAM;
+        p.searchPorts = 2 * decode_width;
+        p.readWritePorts = 0;
+        p.readPorts = 1;
+        p.writePorts = decode_width;
+    }
+    _table = std::make_unique<ArrayModel>(p, t);
+}
+
+double
+Rat::energyPerRename() const
+{
+    if (_style == RatStyle::Ram)
+        return 2.0 * _table->readEnergy() + _table->writeEnergy();
+    return 2.0 * _table->searchEnergy() + _table->writeEnergy();
+}
+
+double
+Rat::area() const
+{
+    return _table->area();
+}
+
+double
+Rat::subthresholdLeakage() const
+{
+    return _table->subthresholdLeakage();
+}
+
+double
+Rat::gateLeakage() const
+{
+    return _table->gateLeakage();
+}
+
+double
+Rat::delay() const
+{
+    return _table->accessDelay();
+}
+
+Report
+Rat::makeReport(const std::string &name, double frequency,
+                double tdp_renames, double runtime_renames) const
+{
+    Report r;
+    r.name = name;
+    r.area = area();
+    r.peakDynamic = energyPerRename() * tdp_renames * frequency;
+    r.runtimeDynamic = energyPerRename() * runtime_renames * frequency;
+    r.subthresholdLeakage = subthresholdLeakage();
+    r.gateLeakage = gateLeakage();
+    r.criticalPath = delay();
+    return r;
+}
+
+FreeList::FreeList(int phys_regs, int decode_width, const Technology &t)
+{
+    fatalIf(phys_regs < 2, "free list needs at least two registers");
+    ArrayParams p;
+    p.name = "Free List";
+    p.rows = phys_regs;
+    p.bits = std::max(1, static_cast<int>(std::ceil(std::log2(
+        static_cast<double>(phys_regs)))));
+    p.readPorts = decode_width;
+    p.writePorts = decode_width;  // commit-time returns
+    p.readWritePorts = 0;
+    p.flavor = t.flavor();
+    _fifo = std::make_unique<ArrayModel>(p, t);
+}
+
+double
+FreeList::energyPerAlloc() const
+{
+    return _fifo->readEnergy() + _fifo->writeEnergy();
+}
+
+double
+FreeList::area() const
+{
+    return _fifo->area();
+}
+
+double
+FreeList::subthresholdLeakage() const
+{
+    return _fifo->subthresholdLeakage();
+}
+
+double
+FreeList::gateLeakage() const
+{
+    return _fifo->gateLeakage();
+}
+
+Report
+FreeList::makeReport(double frequency, double tdp_allocs,
+                     double runtime_allocs) const
+{
+    Report r;
+    r.name = "Free List";
+    r.area = area();
+    r.peakDynamic = energyPerAlloc() * tdp_allocs * frequency;
+    r.runtimeDynamic = energyPerAlloc() * runtime_allocs * frequency;
+    r.subthresholdLeakage = subthresholdLeakage();
+    r.gateLeakage = gateLeakage();
+    r.criticalPath = _fifo->accessDelay();
+    return r;
+}
+
+} // namespace logic
+} // namespace mcpat

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Register-renaming structures: the register alias table (RAM- or
+ * CAM-based) and the free list, per the paper's renaming-unit models.
+ */
+
+#ifndef MCPAT_LOGIC_RENAMING_LOGIC_HH
+#define MCPAT_LOGIC_RENAMING_LOGIC_HH
+
+#include <memory>
+
+#include "array/array_model.hh"
+#include "common/report.hh"
+
+namespace mcpat {
+namespace logic {
+
+using tech::Technology;
+
+/** RAT implementation style. */
+enum class RatStyle
+{
+    Ram,  ///< indexed by architectural register (MIPS R10k style)
+    Cam   ///< searched by physical register (Alpha 21264 style)
+};
+
+/**
+ * A register alias table for one register class (INT or FP).
+ */
+class Rat
+{
+  public:
+    /**
+     * @param arch_regs  architectural registers
+     * @param phys_regs  physical registers
+     * @param decode_width instructions renamed per cycle
+     * @param threads    SMT thread count (replicates the table)
+     * @param style      RAM or CAM organization
+     */
+    Rat(int arch_regs, int phys_regs, int decode_width, int threads,
+        RatStyle style, const Technology &t);
+
+    /** Energy to rename one instruction (2 lookups + 1 update), J. */
+    double energyPerRename() const;
+
+    double area() const;
+    double subthresholdLeakage() const;
+    double gateLeakage() const;
+    double delay() const;
+
+    Report makeReport(const std::string &name, double frequency,
+                      double tdp_renames, double runtime_renames) const;
+
+  private:
+    RatStyle _style;
+    int _threads;
+    std::unique_ptr<array::ArrayModel> _table;
+};
+
+/**
+ * Free list of physical registers (a circular RAM queue).
+ */
+class FreeList
+{
+  public:
+    FreeList(int phys_regs, int decode_width, const Technology &t);
+
+    double energyPerAlloc() const;
+    double area() const;
+    double subthresholdLeakage() const;
+    double gateLeakage() const;
+
+    Report makeReport(double frequency, double tdp_allocs,
+                      double runtime_allocs) const;
+
+  private:
+    std::unique_ptr<array::ArrayModel> _fifo;
+};
+
+} // namespace logic
+} // namespace mcpat
+
+#endif // MCPAT_LOGIC_RENAMING_LOGIC_HH

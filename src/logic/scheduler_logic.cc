@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Instruction-window implementation.
+ */
+
+#include "logic/scheduler_logic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logic/arbiter.hh"
+
+namespace mcpat {
+namespace logic {
+
+using array::ArrayModel;
+using array::ArrayParams;
+using array::CellType;
+
+SelectionLogic::SelectionLogic(int entries, int grants, const Technology &t)
+{
+    fatalIf(entries < 1 || grants < 1, "empty selection logic");
+
+    // A tree of radix-4 arbiter cells per grant port.
+    const Arbiter cell(4, t);
+    int level_nodes = (entries + 3) / 4;
+    double total_nodes = 0.0;
+    int levels = 1;
+    while (true) {
+        total_nodes += level_nodes;
+        if (level_nodes == 1)
+            break;
+        level_nodes = (level_nodes + 3) / 4;
+        ++levels;
+    }
+
+    _energy = grants * total_nodes * cell.energyPerArb() * 0.5;
+    _area = grants * total_nodes * cell.area();
+    _subLeak = grants * total_nodes * cell.subthresholdLeakage();
+    _gateLeak = grants * total_nodes * cell.gateLeakage();
+    // Request propagates up the tree and the grant back down.
+    _delay = 2.0 * levels * cell.delay() / 2.0 + cell.delay();
+}
+
+InstructionWindow::InstructionWindow(int entries, int tag_bits,
+                                     int payload_bits, int issue_width,
+                                     const Technology &t)
+    : _issueWidth(issue_width)
+{
+    fatalIf(entries < 1, "instruction window needs entries");
+
+    // Wakeup CAM: each entry holds two source tags; every completing
+    // instruction broadcasts its destination tag on a search port.
+    ArrayParams cam;
+    cam.name = "Wakeup CAM";
+    cam.rows = entries;
+    cam.bits = 2 * tag_bits;
+    cam.cellType = CellType::CAM;
+    cam.searchPorts = issue_width;
+    cam.readPorts = issue_width;
+    cam.writePorts = issue_width;
+    cam.readWritePorts = 0;
+    cam.flavor = t.flavor();
+    _wakeupCam = std::make_unique<ArrayModel>(cam, t);
+
+    ArrayParams pay;
+    pay.name = "Payload RAM";
+    pay.rows = entries;
+    pay.bits = payload_bits;
+    pay.readPorts = issue_width;
+    pay.writePorts = issue_width;
+    pay.readWritePorts = 0;
+    pay.flavor = t.flavor();
+    _payload = std::make_unique<ArrayModel>(pay, t);
+
+    const SelectionLogic sel(entries, issue_width, t);
+    _selectEnergy = sel.energyPerSelection();
+    _selectDelay = sel.delay();
+    _selectArea = sel.area();
+    _selectSubLeak = sel.subthresholdLeakage();
+    _selectGateLeak = sel.gateLeakage();
+}
+
+double
+InstructionWindow::wakeupEnergy() const
+{
+    return _wakeupCam->searchEnergy();
+}
+
+double
+InstructionWindow::issueEnergy() const
+{
+    return _selectEnergy / std::max(1, _issueWidth) +
+           _payload->readEnergy();
+}
+
+double
+InstructionWindow::dispatchEnergy() const
+{
+    return _wakeupCam->writeEnergy() + _payload->writeEnergy();
+}
+
+double
+InstructionWindow::area() const
+{
+    return _wakeupCam->area() + _payload->area() + _selectArea;
+}
+
+double
+InstructionWindow::subthresholdLeakage() const
+{
+    return _wakeupCam->subthresholdLeakage() +
+           _payload->subthresholdLeakage() + _selectSubLeak;
+}
+
+double
+InstructionWindow::gateLeakage() const
+{
+    return _wakeupCam->gateLeakage() + _payload->gateLeakage() +
+           _selectGateLeak;
+}
+
+double
+InstructionWindow::delay() const
+{
+    // Wakeup search followed by select: the single-cycle scheduling loop.
+    return _wakeupCam->accessDelay() + _selectDelay;
+}
+
+Report
+InstructionWindow::makeReport(const std::string &name, double frequency,
+                              double tdp_issued_per_cycle,
+                              double runtime_issued_per_cycle) const
+{
+    auto dynamic = [this](double issued) {
+        // Each issued instruction was dispatched once, woken by ~1
+        // broadcast, selected, and read out.
+        return issued * (dispatchEnergy() + wakeupEnergy() +
+                         issueEnergy());
+    };
+    Report r;
+    r.name = name;
+    r.area = area();
+    r.peakDynamic = dynamic(tdp_issued_per_cycle) * frequency;
+    r.runtimeDynamic = dynamic(runtime_issued_per_cycle) * frequency;
+    r.subthresholdLeakage = subthresholdLeakage();
+    r.gateLeakage = gateLeakage();
+    r.criticalPath = delay();
+    return r;
+}
+
+} // namespace logic
+} // namespace mcpat

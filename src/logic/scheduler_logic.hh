@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Out-of-order instruction scheduler: CAM-based wakeup, payload RAM, and
+ * the selection tree — the classic Palacharla-style decomposition used
+ * by the paper.
+ */
+
+#ifndef MCPAT_LOGIC_SCHEDULER_LOGIC_HH
+#define MCPAT_LOGIC_SCHEDULER_LOGIC_HH
+
+#include <memory>
+
+#include "array/array_model.hh"
+#include "common/report.hh"
+
+namespace mcpat {
+namespace logic {
+
+using tech::Technology;
+
+/**
+ * An issue queue (instruction window) of @c entries instructions with
+ * @c issue_width grants per cycle.
+ */
+class InstructionWindow
+{
+  public:
+    /**
+     * @param entries     window entries
+     * @param tag_bits    physical-register tag width
+     * @param payload_bits bits of payload per entry (opcode, operands)
+     * @param issue_width grants (and result-tag broadcasts) per cycle
+     */
+    InstructionWindow(int entries, int tag_bits, int payload_bits,
+                      int issue_width, const Technology &t);
+
+    /** Energy of one wakeup broadcast (all entries compared), J. */
+    double wakeupEnergy() const;
+
+    /** Energy of one instruction issue (select + payload read), J. */
+    double issueEnergy() const;
+
+    /** Energy of inserting one instruction, J. */
+    double dispatchEnergy() const;
+
+    double area() const;
+    double subthresholdLeakage() const;
+    double gateLeakage() const;
+
+    /** Wakeup + select loop delay (the scheduler critical path), s. */
+    double delay() const;
+
+    Report makeReport(const std::string &name, double frequency,
+                      double tdp_issued_per_cycle,
+                      double runtime_issued_per_cycle) const;
+
+  private:
+    int _issueWidth;
+    std::unique_ptr<array::ArrayModel> _wakeupCam;
+    std::unique_ptr<array::ArrayModel> _payload;
+    double _selectEnergy = 0.0;
+    double _selectDelay = 0.0;
+    double _selectArea = 0.0;
+    double _selectSubLeak = 0.0;
+    double _selectGateLeak = 0.0;
+};
+
+/**
+ * Selection tree choosing @c grants winners among @c entries requests
+ * (a tree of arbiters).
+ */
+class SelectionLogic
+{
+  public:
+    SelectionLogic(int entries, int grants, const Technology &t);
+
+    double energyPerSelection() const { return _energy; }
+    double area() const { return _area; }
+    double subthresholdLeakage() const { return _subLeak; }
+    double gateLeakage() const { return _gateLeak; }
+    double delay() const { return _delay; }
+
+  private:
+    double _energy = 0.0;
+    double _area = 0.0;
+    double _subLeak = 0.0;
+    double _gateLeak = 0.0;
+    double _delay = 0.0;
+};
+
+} // namespace logic
+} // namespace mcpat
+
+#endif // MCPAT_LOGIC_SCHEDULER_LOGIC_HH

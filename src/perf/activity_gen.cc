@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Performance-to-activity bridge implementation.
+ */
+
+#include "perf/activity_gen.hh"
+
+#include <algorithm>
+
+namespace mcpat {
+namespace perf {
+
+stats::ChipStats
+makeRuntimeStats(const chip::SystemParams &sys, const Workload &w,
+                 const SystemPerformance &perf)
+{
+    stats::ChipStats s;
+
+    const double ipc = perf.perCoreIpc;
+    const auto &ct = perf.coreDetail;
+    core::CoreStats &c = s.perCore;
+
+    c.fetches = ipc * (1.0 + w.fracBranch * w.branchMispredictRate *
+                                 4.0);  // wrong-path overfetch
+    c.decodes = c.fetches;
+    c.commits = ipc;
+
+    if (sys.core.outOfOrder) {
+        c.renames = c.decodes;
+        c.dispatches = c.decodes;
+        c.intIssues = ipc * (w.fracInt + w.fracMul + w.fracLoad +
+                             w.fracStore + w.fracBranch);
+        c.fpIssues = ipc * w.fracFp;
+    }
+
+    c.intOps = ipc * (w.fracInt + w.fracBranch);
+    c.fpOps = sys.core.hasFpu ? ipc * w.fracFp : 0.0;
+    c.mulOps = ipc * w.fracMul;
+    c.branches = ipc * w.fracBranch;
+    c.bypasses = ipc * 0.5;
+
+    c.intRegReads = 1.6 * (c.intOps + c.mulOps + ipc * (w.fracLoad +
+                                                        w.fracStore));
+    c.intRegWrites = 0.8 * (c.intOps + c.mulOps + ipc * w.fracLoad);
+    c.fpRegReads = 1.6 * c.fpOps;
+    c.fpRegWrites = 0.8 * c.fpOps;
+
+    c.loads = ipc * w.fracLoad;
+    c.stores = ipc * w.fracStore;
+
+    const double fetch_reuse = (sys.core.threads > 1) ? 1.5 : 4.0;
+    const double if_accesses = c.fetches / fetch_reuse;
+    const double ii_misses = ipc * ct.l1iMissesPerInst;
+    s.perCore.icacheRates.readHits =
+        std::max(0.0, if_accesses - ii_misses);
+    s.perCore.icacheRates.readMisses = ii_misses;
+
+    const double d_misses = ipc * ct.l1dMissesPerInst;
+    const double d_accesses = c.loads + c.stores;
+    const double d_miss_split =
+        std::min(d_misses, d_accesses);
+    s.perCore.dcacheRates.readHits =
+        std::max(0.0, c.loads - 0.7 * d_miss_split);
+    s.perCore.dcacheRates.readMisses = 0.7 * d_miss_split;
+    s.perCore.dcacheRates.writeHits =
+        std::max(0.0, c.stores - 0.3 * d_miss_split);
+    s.perCore.dcacheRates.writeMisses = 0.3 * d_miss_split;
+
+    c.itlbAccesses = if_accesses;
+    c.dtlbAccesses = d_accesses;
+    c.itlbMisses = if_accesses * 0.001;
+    c.dtlbMisses = d_accesses * 0.001;
+
+    // Pipeline data activity and clock gating track utilization.
+    const double peak_ipc = 0.8 * sys.core.issueWidth;
+    const double busy = std::min(1.0, ipc / peak_ipc);
+    c.pipelineActivity = 0.1 + 0.25 * busy;
+    c.clockGating = 0.35 + 0.65 * busy;
+    if (sys.core.powerGating)
+        c.sleepFraction = 0.8 * (1.0 - busy);
+
+    // --- Shared caches. -----------------------------------------------------
+    const double l2_acc = perf.l2AccessesPerCycle;
+    const double l2_miss =
+        std::min(perf.l2MissesPerCycle, l2_acc);
+    s.l2Rates.readHits = std::max(0.0, 0.75 * l2_acc - l2_miss);
+    s.l2Rates.readMisses = 0.75 * l2_miss;
+    s.l2Rates.writeHits = 0.25 * l2_acc;
+    s.l2Rates.writeMisses = 0.25 * l2_miss;
+
+    if (sys.numL3 > 0) {
+        const double l3_acc =
+            l2_miss * sys.numL2 / std::max(1, sys.numL3);
+        s.l3Rates.readHits = 0.6 * l3_acc;
+        s.l3Rates.readMisses = 0.25 * l3_acc;
+        s.l3Rates.writeHits = 0.1 * l3_acc;
+        s.l3Rates.writeMisses = 0.05 * l3_acc;
+    }
+
+    s.nocFlitsPerCycle = perf.nocFlitsPerCycle;
+    s.mcUtilization = perf.memBandwidthUtil;
+    s.ioActivityScale = std::min(1.0, perf.memBandwidthUtil + 0.1);
+    return s;
+}
+
+} // namespace perf
+} // namespace mcpat

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Bridge from performance results to McPAT activity statistics: turns a
+ * SystemPerformance (per-instruction event rates and throughput) into
+ * the per-cycle ChipStats the power models consume — the "runtime
+ * statistics" input of the paper's framework diagram.
+ */
+
+#ifndef MCPAT_PERF_ACTIVITY_GEN_HH
+#define MCPAT_PERF_ACTIVITY_GEN_HH
+
+#include "perf/system_model.hh"
+#include "stats/activity_stats.hh"
+
+namespace mcpat {
+namespace perf {
+
+/**
+ * Build the runtime activity vector for a workload result on a system.
+ */
+stats::ChipStats makeRuntimeStats(const chip::SystemParams &sys,
+                                  const Workload &w,
+                                  const SystemPerformance &perf);
+
+} // namespace perf
+} // namespace mcpat
+
+#endif // MCPAT_PERF_ACTIVITY_GEN_HH

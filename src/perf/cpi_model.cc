@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CPI-stack implementation.
+ */
+
+#include "perf/cpi_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcpat {
+namespace perf {
+
+CoreThroughput
+computeCoreThroughput(const core::CoreParams &core, const Workload &w,
+                      const MemoryHierarchy &mem)
+{
+    CoreThroughput out;
+
+    // --- Event rates per instruction. -----------------------------------
+    out.l1dMissesPerInst =
+        w.l1dMissesPerInst(core.dcache.capacityBytes) *
+        (w.fracLoad + w.fracStore) / 0.37;  // normalize to mem mix
+    out.l1iMissesPerInst =
+        w.l1iMissesPerInst(core.icache.capacityBytes);
+    out.l2MissesPerInst = std::min(
+        w.l2MissesPerInst(mem.l2CapacityPerCore),
+        out.l1dMissesPerInst + out.l1iMissesPerInst);
+
+    const double l2_accesses =
+        out.l1dMissesPerInst + out.l1iMissesPerInst;
+    const double l2_hits = l2_accesses - out.l2MissesPerInst;
+
+    CpiBreakdown cpi;
+
+    // --- Base: issue-width and inherent-ILP limited. ---------------------
+    // In-order issue loses slots to scheduling hazards.
+    const double width_eff =
+        core.outOfOrder ? 0.85 * core.issueWidth
+                        : 0.65 * core.issueWidth + 0.35;
+    cpi.base = 1.0 / std::min(width_eff, w.ilp);
+
+    // --- Branch flushes. ---------------------------------------------------
+    const double flush_penalty = 0.75 * core.pipelineStages;
+    const double mispredict_rate = core.hasBranchPredictor
+        ? w.branchMispredictRate
+        : std::min(0.5, w.branchMispredictRate * 3.0);
+    cpi.branch = w.fracBranch * mispredict_rate * flush_penalty;
+
+    // --- Memory-level parallelism: how much of a stall overlaps. --------
+    double mlp = 1.0;
+    if (core.outOfOrder) {
+        mlp = std::min({std::sqrt(core.robEntries / 8.0),
+                        static_cast<double>(core.dcache.mshrs),
+                        6.0});
+    }
+
+    // --- L2 and memory stalls (per instruction). -------------------------
+    cpi.l2 = l2_hits * mem.l2HitCycles / mlp;
+    cpi.memory = out.l2MissesPerInst * mem.memoryCycles / mlp;
+
+    out.threadCpi = cpi;
+
+    // --- Multithreading: threads fill each other's stall slots; the
+    //     core saturates at its effective issue width. -------------------
+    const double per_thread_ipc = cpi.ipc();
+    const double mt_demand = core.threads * per_thread_ipc;
+    out.coreIpc = std::min(mt_demand,
+                           std::min(width_eff, w.ilp * 1.5));
+    return out;
+}
+
+} // namespace perf
+} // namespace mcpat

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Analytical CPI-stack model for one core running one workload.
+ *
+ * Captures the first-order performance effects the case study depends
+ * on: issue-width/ILP limits, branch-misprediction flushes, cache-
+ * hierarchy stalls with MLP-limited overlap in out-of-order cores, and
+ * latency hiding from fine-grained multithreading in in-order cores.
+ */
+
+#ifndef MCPAT_PERF_CPI_MODEL_HH
+#define MCPAT_PERF_CPI_MODEL_HH
+
+#include "core/core_params.hh"
+#include "perf/workload.hh"
+
+namespace mcpat {
+namespace perf {
+
+/** Latencies/capacities of everything past the L1s, in core cycles. */
+struct MemoryHierarchy
+{
+    double l2HitCycles = 15.0;       ///< incl. fabric traversal
+    double l2CapacityPerCore = 1.0e6;///< bytes visible to one core
+    double memoryCycles = 200.0;     ///< DRAM access latency
+};
+
+/** CPI decomposition of one hardware thread. */
+struct CpiBreakdown
+{
+    double base = 0.0;     ///< issue/ILP-limited component
+    double branch = 0.0;   ///< misprediction flushes
+    double l2 = 0.0;       ///< L1-miss / L2-hit stalls
+    double memory = 0.0;   ///< L2-miss / DRAM stalls
+
+    double total() const { return base + branch + l2 + memory; }
+    double ipc() const { return 1.0 / total(); }
+};
+
+/** Per-core throughput result. */
+struct CoreThroughput
+{
+    CpiBreakdown threadCpi;  ///< CPI of one hardware thread
+    double coreIpc = 0.0;    ///< all threads combined, per core cycle
+
+    // Per-instruction event rates used for power activity factors.
+    double l1dMissesPerInst = 0.0;
+    double l1iMissesPerInst = 0.0;
+    double l2MissesPerInst = 0.0;
+};
+
+/**
+ * Compute a single core's throughput on a workload.
+ *
+ * Out-of-order cores overlap memory stalls up to their MLP (bounded by
+ * ROB depth and MSHRs); multithreaded in-order cores hide thread
+ * stalls behind other threads, saturating at the issue width.
+ */
+CoreThroughput computeCoreThroughput(const core::CoreParams &core,
+                                     const Workload &w,
+                                     const MemoryHierarchy &mem);
+
+} // namespace perf
+} // namespace mcpat
+
+#endif // MCPAT_PERF_CPI_MODEL_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Multicore contention model implementation.
+ */
+
+#include "perf/system_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcpat {
+namespace perf {
+
+namespace {
+
+/** DRAM access latency (controller + device + queue floor), s. */
+constexpr double dramLatency = 60.0e-9;
+
+/** Router pipeline depth per hop, fabric cycles. */
+constexpr double hopCycles = 3.0;
+
+/** Cache line size used for bandwidth accounting, bytes. */
+constexpr double lineBytes = 64.0;
+
+double
+fabricHops(const chip::SystemParams &sys)
+{
+    if (!sys.hasNoc)
+        return 0.0;
+    switch (sys.noc.topology) {
+      case uncore::NocTopology::Mesh2D:
+        return (sys.noc.nodesX + sys.noc.nodesY) / 3.0;
+      case uncore::NocTopology::Ring:
+        return sys.noc.nodes() / 4.0 + 1.0;
+      default:
+        return 1.0;
+    }
+}
+
+double
+memPeakBandwidth(const chip::SystemParams &sys)
+{
+    if (!sys.hasMemCtrl)
+        return 1e18;  // effectively unlimited
+    const auto &m = sys.memCtrl;
+    const double per_channel = (m.peakBandwidth > 0.0)
+        ? m.peakBandwidth
+        : m.busClock * 2.0 * (m.dataBusBits / 8.0);
+    return per_channel * m.channels;
+}
+
+} // namespace
+
+SystemPerformance
+evaluateSystem(const chip::SystemParams &sys, const Workload &w)
+{
+    SystemPerformance perf;
+    perf.workload = w.name;
+
+    const double f = sys.core.clockRate;
+    const int cores = sys.numCores;
+    const int l2_instances = std::max(1, sys.numL2);
+    const int l2_banks_total = l2_instances * std::max(1, sys.l2.banks);
+
+    MemoryHierarchy mem;
+    mem.l2CapacityPerCore = (sys.numL2 > 0)
+        ? sys.l2.capacityBytes * sys.numL2 / cores
+        : 0.0;
+    mem.memoryCycles = dramLatency * f + 2.0 * fabricHops(sys) *
+                       hopCycles;
+
+    // L2 hit latency grows with bank capacity (longer wordlines and
+    // H-trees) and with intra-cluster arbitration among sharers.
+    const double l2_capacity = (sys.numL2 > 0) ? sys.l2.capacityBytes
+                                               : 256.0 * 1024;
+    const int sharers = std::max(1, cores / l2_instances);
+    const double base_l2_hit =
+        8.0 + 2.5 * std::log2(std::max(1.0, l2_capacity / (256.0 * 1024))) +
+        0.6 * (sharers - 1) + 2.0 * fabricHops(sys) * hopCycles;
+
+    // Fixed point between throughput and contention.
+    double queue_factor = 1.0;
+    double bw_scale = 1.0;
+    CoreThroughput core_tp;
+    double agg_ipc = 0.0;
+    for (int iter = 0; iter < 8; ++iter) {
+        mem.l2HitCycles = base_l2_hit * queue_factor;
+        core_tp = computeCoreThroughput(sys.core, w, mem);
+
+        const double par_eff = w.parallelEfficiency(cores);
+        agg_ipc = core_tp.coreIpc * cores * par_eff * bw_scale;
+
+        // Shared-cache bank queueing (M/D/1-flavored penalty).
+        const double l2_accesses_per_cycle =
+            agg_ipc * (core_tp.l1dMissesPerInst +
+                       core_tp.l1iMissesPerInst);
+        const double rho = std::min(
+            0.95, l2_accesses_per_cycle / l2_banks_total);
+        queue_factor = 1.0 + 0.5 * rho / (1.0 - rho);
+
+        // Memory bandwidth cap.
+        const double misses_per_sec =
+            agg_ipc * f * core_tp.l2MissesPerInst;
+        const double demand =
+            misses_per_sec * lineBytes * (1.0 + w.dirtyFraction);
+        perf.memBandwidthDemand = demand;
+        const double peak = memPeakBandwidth(sys);
+        const double new_scale = std::min(1.0, peak / std::max(demand,
+                                                               1.0));
+        // Damped update for stable convergence.
+        bw_scale = 0.5 * bw_scale + 0.5 * std::min(bw_scale * new_scale /
+                                                   std::max(bw_scale,
+                                                            1e-9),
+                                                   new_scale);
+    }
+
+    perf.coreDetail = core_tp;
+    perf.parallelEfficiency = w.parallelEfficiency(cores);
+    perf.aggregateIpc = agg_ipc;
+    perf.perCoreIpc = agg_ipc / cores;
+    perf.throughput = agg_ipc * f;
+    perf.bandwidthLimited = bw_scale < 0.99;
+    perf.memBandwidthUtil = std::min(
+        1.0, perf.memBandwidthDemand * bw_scale /
+                 memPeakBandwidth(sys));
+
+    const double l2_accesses_per_cycle =
+        agg_ipc * (core_tp.l1dMissesPerInst + core_tp.l1iMissesPerInst);
+    perf.l2AccessesPerCycle = l2_accesses_per_cycle / l2_instances;
+    perf.l2MissesPerCycle =
+        agg_ipc * core_tp.l2MissesPerInst / l2_instances;
+    perf.nocFlitsPerCycle = 2.0 * l2_accesses_per_cycle;
+    return perf;
+}
+
+} // namespace perf
+} // namespace mcpat

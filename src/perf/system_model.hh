@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Multicore system performance: per-core CPI stacks composed with
+ * shared-cache contention, fabric latency, memory-bandwidth limits,
+ * and parallel-efficiency losses.
+ */
+
+#ifndef MCPAT_PERF_SYSTEM_MODEL_HH
+#define MCPAT_PERF_SYSTEM_MODEL_HH
+
+#include "chip/system_params.hh"
+#include "perf/cpi_model.hh"
+
+namespace mcpat {
+namespace perf {
+
+/** System-level performance result for one workload. */
+struct SystemPerformance
+{
+    std::string workload;
+
+    double perCoreIpc = 0.0;     ///< average, per core clock
+    double aggregateIpc = 0.0;   ///< all cores, per core clock
+    double throughput = 0.0;     ///< instructions per second
+
+    CoreThroughput coreDetail;   ///< representative core's stacks
+
+    double l2AccessesPerCycle = 0.0;  ///< per L2 instance
+    double l2MissesPerCycle = 0.0;    ///< per L2 instance
+    double memBandwidthDemand = 0.0;  ///< B/s before capping
+    double memBandwidthUtil = 0.0;    ///< fraction of peak after capping
+    double nocFlitsPerCycle = 0.0;    ///< aggregate fabric injection
+    double parallelEfficiency = 1.0;
+
+    /** True when the DRAM interface capped throughput. */
+    bool bandwidthLimited = false;
+};
+
+/**
+ * Evaluate a system configuration running a workload.
+ *
+ * The model iterates to a fixed point between throughput and shared-
+ * resource contention (bank queueing, bandwidth capping).
+ */
+SystemPerformance evaluateSystem(const chip::SystemParams &sys,
+                                 const Workload &w);
+
+} // namespace perf
+} // namespace mcpat
+
+#endif // MCPAT_PERF_SYSTEM_MODEL_HH

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * SPLASH-2-like workload table and miss-curve math.
+ */
+
+#include "perf/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcpat {
+namespace perf {
+
+namespace {
+
+constexpr double refL1 = 32.0 * 1024;
+constexpr double refL2 = 1024.0 * 1024;
+
+double
+powerLawMpki(double mpki_ref, double ref, double capacity, double alpha)
+{
+    if (capacity <= 0.0)
+        return mpki_ref * 4.0;  // degenerate: treat as tiny cache
+    const double mpki = mpki_ref * std::pow(ref / capacity, alpha);
+    return std::min(mpki, 250.0);  // physical cap: ~1 miss / 4 insts
+}
+
+} // namespace
+
+double
+Workload::l1dMissesPerInst(double capacity_bytes) const
+{
+    return powerLawMpki(l1dMpkiAt32k, refL1, capacity_bytes,
+                        l1MissExponent) / 1000.0;
+}
+
+double
+Workload::l1iMissesPerInst(double capacity_bytes) const
+{
+    return powerLawMpki(l1iMpkiAt32k, refL1, capacity_bytes,
+                        l1MissExponent) / 1000.0;
+}
+
+double
+Workload::l2MissesPerInst(double capacity_bytes) const
+{
+    return powerLawMpki(l2MpkiAt1M, refL2, capacity_bytes,
+                        l2MissExponent) / 1000.0;
+}
+
+double
+Workload::parallelEfficiency(int cores) const
+{
+    if (cores <= 1)
+        return 1.0;
+    const double loss_at_64 = 1.0 - parallelEfficiencyAt64;
+    const double eff =
+        1.0 - loss_at_64 * std::log2(static_cast<double>(cores)) / 6.0;
+    return std::max(0.05, eff);
+}
+
+const std::vector<Workload> &
+splash2Workloads()
+{
+    static const std::vector<Workload> table = [] {
+        std::vector<Workload> w;
+
+        Workload barnes;
+        barnes.name = "barnes";
+        barnes.fracInt = 0.38; barnes.fracFp = 0.22;
+        barnes.fracMul = 0.02; barnes.fracLoad = 0.23;
+        barnes.fracStore = 0.09; barnes.fracBranch = 0.06;
+        barnes.branchMispredictRate = 0.02;
+        barnes.ilp = 2.6;
+        barnes.l1dMpkiAt32k = 5.0; barnes.l1iMpkiAt32k = 1.0;
+        barnes.l2MpkiAt1M = 0.8;
+        barnes.parallelEfficiencyAt64 = 0.82;
+        w.push_back(barnes);
+
+        Workload cholesky;
+        cholesky.name = "cholesky";
+        cholesky.fracInt = 0.34; cholesky.fracFp = 0.28;
+        cholesky.fracMul = 0.03; cholesky.fracLoad = 0.22;
+        cholesky.fracStore = 0.07; cholesky.fracBranch = 0.06;
+        cholesky.branchMispredictRate = 0.025;
+        cholesky.ilp = 2.9;
+        cholesky.l1dMpkiAt32k = 11.0; cholesky.l1iMpkiAt32k = 0.8;
+        cholesky.l2MpkiAt1M = 2.2;
+        cholesky.parallelEfficiencyAt64 = 0.55;
+        w.push_back(cholesky);
+
+        Workload fft;
+        fft.name = "fft";
+        fft.fracInt = 0.30; fft.fracFp = 0.30;
+        fft.fracMul = 0.04; fft.fracLoad = 0.22;
+        fft.fracStore = 0.10; fft.fracBranch = 0.04;
+        fft.branchMispredictRate = 0.01;
+        fft.ilp = 3.2;
+        fft.l1dMpkiAt32k = 16.0; fft.l1iMpkiAt32k = 0.5;
+        fft.l2MpkiAt1M = 4.5; fft.l2MissExponent = 0.45;
+        fft.parallelEfficiencyAt64 = 0.75;
+        w.push_back(fft);
+
+        Workload lu;
+        lu.name = "lu";
+        lu.fracInt = 0.33; lu.fracFp = 0.30;
+        lu.fracMul = 0.03; lu.fracLoad = 0.21;
+        lu.fracStore = 0.08; lu.fracBranch = 0.05;
+        lu.branchMispredictRate = 0.015;
+        lu.ilp = 3.0;
+        lu.l1dMpkiAt32k = 7.0; lu.l1iMpkiAt32k = 0.4;
+        lu.l2MpkiAt1M = 1.5;
+        lu.parallelEfficiencyAt64 = 0.70;
+        w.push_back(lu);
+
+        Workload ocean;
+        ocean.name = "ocean";
+        ocean.fracInt = 0.28; ocean.fracFp = 0.28;
+        ocean.fracMul = 0.02; ocean.fracLoad = 0.26;
+        ocean.fracStore = 0.11; ocean.fracBranch = 0.05;
+        ocean.branchMispredictRate = 0.02;
+        ocean.ilp = 2.4;
+        ocean.l1dMpkiAt32k = 28.0; ocean.l1iMpkiAt32k = 0.6;
+        ocean.l2MpkiAt1M = 9.0; ocean.l2MissExponent = 0.35;
+        ocean.parallelEfficiencyAt64 = 0.62;
+        w.push_back(ocean);
+
+        Workload radix;
+        radix.name = "radix";
+        radix.fracInt = 0.48; radix.fracFp = 0.02;
+        radix.fracMul = 0.02; radix.fracLoad = 0.27;
+        radix.fracStore = 0.14; radix.fracBranch = 0.07;
+        radix.branchMispredictRate = 0.03;
+        radix.ilp = 2.2;
+        radix.l1dMpkiAt32k = 24.0; radix.l1iMpkiAt32k = 0.3;
+        radix.l2MpkiAt1M = 11.0; radix.l2MissExponent = 0.3;
+        radix.parallelEfficiencyAt64 = 0.68;
+        w.push_back(radix);
+
+        Workload raytrace;
+        raytrace.name = "raytrace";
+        raytrace.fracInt = 0.40; raytrace.fracFp = 0.18;
+        raytrace.fracMul = 0.02; raytrace.fracLoad = 0.24;
+        raytrace.fracStore = 0.07; raytrace.fracBranch = 0.09;
+        raytrace.branchMispredictRate = 0.05;
+        raytrace.ilp = 1.9;
+        raytrace.l1dMpkiAt32k = 14.0; raytrace.l1iMpkiAt32k = 3.0;
+        raytrace.l2MpkiAt1M = 3.5;
+        raytrace.parallelEfficiencyAt64 = 0.58;
+        w.push_back(raytrace);
+
+        Workload water;
+        water.name = "water";
+        water.fracInt = 0.32; water.fracFp = 0.32;
+        water.fracMul = 0.03; water.fracLoad = 0.20;
+        water.fracStore = 0.07; water.fracBranch = 0.06;
+        water.branchMispredictRate = 0.02;
+        water.ilp = 2.8;
+        water.l1dMpkiAt32k = 3.0; water.l1iMpkiAt32k = 0.8;
+        water.l2MpkiAt1M = 0.5;
+        water.parallelEfficiencyAt64 = 0.85;
+        w.push_back(water);
+
+        return w;
+    }();
+    return table;
+}
+
+const std::vector<Workload> &
+serverWorkloads()
+{
+    static const std::vector<Workload> table = [] {
+        std::vector<Workload> w;
+
+        // TPC-C-like transaction processing: pointer chasing, huge
+        // instruction footprint, branchy, almost no FP.
+        Workload oltp;
+        oltp.name = "oltp";
+        oltp.fracInt = 0.42; oltp.fracFp = 0.01;
+        oltp.fracMul = 0.01; oltp.fracLoad = 0.28;
+        oltp.fracStore = 0.12; oltp.fracBranch = 0.16;
+        oltp.branchMispredictRate = 0.08;
+        oltp.ilp = 1.3;
+        oltp.l1dMpkiAt32k = 35.0; oltp.l1iMpkiAt32k = 40.0;
+        oltp.l2MpkiAt1M = 12.0; oltp.l2MissExponent = 0.4;
+        oltp.dirtyFraction = 0.4;
+        oltp.parallelEfficiencyAt64 = 0.88;  // independent transactions
+        w.push_back(oltp);
+
+        // Web serving: similar shape, slightly better locality.
+        Workload web;
+        web.name = "web";
+        web.fracInt = 0.44; web.fracFp = 0.01;
+        web.fracMul = 0.01; web.fracLoad = 0.26;
+        web.fracStore = 0.13; web.fracBranch = 0.15;
+        web.branchMispredictRate = 0.07;
+        web.ilp = 1.4;
+        web.l1dMpkiAt32k = 25.0; web.l1iMpkiAt32k = 30.0;
+        web.l2MpkiAt1M = 8.0;
+        web.parallelEfficiencyAt64 = 0.9;
+        w.push_back(web);
+
+        // Decision support: streaming scans, bandwidth-hungry, more
+        // regular control flow.
+        Workload dss;
+        dss.name = "dss";
+        dss.fracInt = 0.45; dss.fracFp = 0.04;
+        dss.fracMul = 0.02; dss.fracLoad = 0.30;
+        dss.fracStore = 0.08; dss.fracBranch = 0.11;
+        dss.branchMispredictRate = 0.03;
+        dss.ilp = 2.2;
+        dss.l1dMpkiAt32k = 30.0; dss.l1iMpkiAt32k = 8.0;
+        dss.l2MpkiAt1M = 14.0; dss.l2MissExponent = 0.25;
+        dss.dirtyFraction = 0.15;
+        dss.parallelEfficiencyAt64 = 0.85;
+        w.push_back(dss);
+
+        // SPECjbb-like Java middleware.
+        Workload jbb;
+        jbb.name = "jbb";
+        jbb.fracInt = 0.43; jbb.fracFp = 0.02;
+        jbb.fracMul = 0.02; jbb.fracLoad = 0.25;
+        jbb.fracStore = 0.13; jbb.fracBranch = 0.15;
+        jbb.branchMispredictRate = 0.06;
+        jbb.ilp = 1.6;
+        jbb.l1dMpkiAt32k = 22.0; jbb.l1iMpkiAt32k = 20.0;
+        jbb.l2MpkiAt1M = 7.0;
+        jbb.parallelEfficiencyAt64 = 0.86;
+        w.push_back(jbb);
+
+        return w;
+    }();
+    return table;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : splash2Workloads())
+        if (w.name == name)
+            return w;
+    for (const auto &w : serverWorkloads())
+        if (w.name == name)
+            return w;
+    throw ConfigError("unknown workload '" + name + "'");
+}
+
+} // namespace perf
+} // namespace mcpat

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Workload characterizations for the analytical performance model.
+ *
+ * SUBSTITUTION (DESIGN.md section 5): the paper drives its manycore
+ * case study with the M5 simulator running SPLASH-2.  Offline, this
+ * reproduction characterizes eight SPLASH-2-like workloads by their
+ * first-order parameters — instruction mix, branch behavior, inherent
+ * ILP, cache miss curves (power-law in capacity), and parallel
+ * efficiency — and feeds them to an analytical CPI model.  The curves
+ * follow the well-known published behavior of the suite (e.g. ocean
+ * and radix are memory/bandwidth-bound, barnes and water compute-
+ * bound), which is what the case study's trends depend on.
+ */
+
+#ifndef MCPAT_PERF_WORKLOAD_HH
+#define MCPAT_PERF_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+namespace mcpat {
+namespace perf {
+
+/**
+ * First-order characterization of one parallel workload.
+ */
+struct Workload
+{
+    std::string name;
+
+    // Dynamic instruction mix (fractions of all instructions).
+    double fracInt = 0.4;
+    double fracFp = 0.1;
+    double fracMul = 0.02;
+    double fracLoad = 0.25;
+    double fracStore = 0.12;
+    double fracBranch = 0.11;
+
+    /** Mispredictions per branch with a tournament predictor. */
+    double branchMispredictRate = 0.04;
+
+    /** Inherent instruction-level parallelism (issue-limit cap). */
+    double ilp = 2.0;
+
+    // Cache miss curves: MPKI at a reference capacity, scaled by
+    // (ref / capacity)^exponent (power-law working sets).
+    double l1dMpkiAt32k = 20.0;
+    double l1iMpkiAt32k = 2.0;
+    double l1MissExponent = 0.5;
+    double l2MpkiAt1M = 3.0;
+    double l2MissExponent = 0.6;
+
+    /** Fraction of dirty L2 evictions (write-back traffic). */
+    double dirtyFraction = 0.3;
+
+    /**
+     * Parallel efficiency at 64 cores (speedup / 64); efficiency at
+     * other counts interpolates on log2 scale.
+     */
+    double parallelEfficiencyAt64 = 0.7;
+
+    /** L1D misses per instruction at a given capacity (bytes). */
+    double l1dMissesPerInst(double capacity_bytes) const;
+    /** L1I misses per instruction at a given capacity (bytes). */
+    double l1iMissesPerInst(double capacity_bytes) const;
+    /** L2 misses per instruction at a given per-core capacity. */
+    double l2MissesPerInst(double capacity_bytes) const;
+
+    /** Parallel efficiency for n cores (1.0 at n = 1). */
+    double parallelEfficiency(int cores) const;
+};
+
+/** The eight SPLASH-2-like workloads used by the case study. */
+const std::vector<Workload> &splash2Workloads();
+
+/**
+ * Four commercial server workloads (OLTP / web / DSS / Java business
+ * logic): low ILP, large instruction footprints, branchy control, and
+ * heavy cache pressure — the throughput-computing profile that
+ * motivated Niagara-class designs.
+ */
+const std::vector<Workload> &serverWorkloads();
+
+/** Look up a workload by name in either suite (throws ConfigError
+ *  when unknown). */
+const Workload &findWorkload(const std::string &name);
+
+} // namespace perf
+} // namespace mcpat
+
+#endif // MCPAT_PERF_WORKLOAD_HH

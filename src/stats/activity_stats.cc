@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Chip-level TDP activity vector.
+ */
+
+#include "stats/activity_stats.hh"
+
+#include <algorithm>
+
+#include "chip/system_params.hh"
+
+namespace mcpat {
+namespace stats {
+
+ChipStats
+ChipStats::tdp(const chip::SystemParams &p)
+{
+    ChipStats s;
+    const auto groups = p.resolvedCoreGroups();
+    s.perCore = core::CoreStats::tdp(groups.front().core);
+    double core_l2_traffic = 0.0;
+    for (const auto &g : groups) {
+        const core::CoreStats gs = core::CoreStats::tdp(g.core);
+        core_l2_traffic += (gs.dcacheRates.misses() +
+                            gs.icacheRates.misses()) *
+                           g.count;
+        s.perGroup.push_back(gs);
+    }
+    if (groups.size() == 1)
+        s.perGroup.clear();  // homogeneous: perCore suffices
+    if (p.numL2 > 0) {
+        // TDP assumes sustained high load on the shared caches: at
+        // least a 0.25 accesses/cycle duty per instance even when the
+        // modeled L1 miss traffic is lower.
+        const double per_l2 =
+            std::max(core_l2_traffic / p.numL2, 0.7);
+        s.l2Rates.readHits = per_l2 * 0.6;
+        s.l2Rates.readMisses = per_l2 * 0.15;
+        s.l2Rates.writeHits = per_l2 * 0.2;
+        s.l2Rates.writeMisses = per_l2 * 0.05;
+    }
+    if (p.numL3 > 0) {
+        const double per_l3 =
+            (s.l2Rates.misses() * p.numL2) / p.numL3;
+        s.l3Rates.readHits = per_l3 * 0.55;
+        s.l3Rates.readMisses = per_l3 * 0.2;
+        s.l3Rates.writeHits = per_l3 * 0.2;
+        s.l3Rates.writeMisses = per_l3 * 0.05;
+    }
+
+    // Fabric traffic: every shared-cache access crosses the fabric
+    // (request + response), with a sustained TDP floor.
+    s.nocFlitsPerCycle =
+        std::max(core_l2_traffic * 2.0, 0.25 * p.totalCores());
+
+    // Directory: every shared-cache miss and a share of hits (write
+    // upgrades, remote reads) consult the directory.
+    s.directoryRates.lookups =
+        s.l2Rates.misses() * p.numL2 + 0.2 * s.l2Rates.accesses();
+    s.directoryRates.updates = 0.5 * s.directoryRates.lookups;
+
+    s.mcUtilization = 0.7;
+    s.ioActivityScale = 1.0;
+    return s;
+}
+
+} // namespace stats
+} // namespace mcpat

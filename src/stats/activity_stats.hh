@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Chip-level activity statistics: the per-component rates that a
+ * performance simulator feeds back into McPAT for runtime power.
+ */
+
+#ifndef MCPAT_STATS_ACTIVITY_STATS_HH
+#define MCPAT_STATS_ACTIVITY_STATS_HH
+
+#include <vector>
+
+#include "array/cache_model.hh"
+#include "uncore/directory.hh"
+#include "core/activity.hh"
+
+namespace mcpat {
+namespace chip {
+struct SystemParams;
+} // namespace chip
+
+namespace stats {
+
+/**
+ * Activity rates for the whole chip.  Core rates are per core clock
+ * cycle (average across cores); cache rates per cache clock cycle per
+ * instance; NoC injection in flits per fabric cycle aggregate.
+ */
+struct ChipStats
+{
+    core::CoreStats perCore;
+
+    /**
+     * Heterogeneous chips: one activity vector per core group (same
+     * order as SystemParams::coreGroups).  When empty or mismatched,
+     * @c perCore applies to every group.
+     */
+    std::vector<core::CoreStats> perGroup;
+
+    array::CacheRates l2Rates;   ///< per L2 instance
+    array::CacheRates l3Rates;   ///< per L3 instance
+
+    uncore::DirectoryRates directoryRates;  ///< coherence traffic
+
+    double nocFlitsPerCycle = 0.0;   ///< aggregate injection
+    double mcUtilization = 0.0;      ///< fraction of peak bandwidth
+    double ioActivityScale = 0.0;    ///< relative to ChipIoParams toggle
+
+    /** TDP (near-peak sustained) vector for a system configuration. */
+    static ChipStats tdp(const chip::SystemParams &p);
+};
+
+} // namespace stats
+} // namespace mcpat
+
+#endif // MCPAT_STATS_ACTIVITY_STATS_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Metric implementations.
+ */
+
+#include "study/metrics.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcpat {
+namespace study {
+
+Metrics
+computeMetrics(const RunFigures &f)
+{
+    panicIf(f.delay <= 0.0 || f.energy < 0.0 || f.area < 0.0,
+            "metrics require positive delay and non-negative energy/area");
+    Metrics m;
+    m.ed = f.energy * f.delay;
+    m.ed2 = m.ed * f.delay;
+    m.eda = m.ed * f.area;
+    m.ed2a = m.ed2 * f.area;
+    return m;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    panicIf(values.empty(), "geomean of an empty set");
+    double log_sum = 0.0;
+    for (double v : values) {
+        panicIf(v <= 0.0, "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / values.size());
+}
+
+} // namespace study
+} // namespace mcpat

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Combined efficiency metrics for design-space exploration: the
+ * energy-delay and energy-delay-area products the paper's case study
+ * ranks designs by.
+ */
+
+#ifndef MCPAT_STUDY_METRICS_HH
+#define MCPAT_STUDY_METRICS_HH
+
+#include <vector>
+
+namespace mcpat {
+namespace study {
+
+/** Raw figures for one (design, workload) pair. */
+struct RunFigures
+{
+    double delay = 0.0;   ///< execution time for the fixed work, s
+    double energy = 0.0;  ///< energy over that time, J
+    double area = 0.0;    ///< die area, m^2
+    double power = 0.0;   ///< average power, W
+};
+
+/** Combined metrics (lower is better for all). */
+struct Metrics
+{
+    double ed = 0.0;    ///< energy x delay
+    double ed2 = 0.0;   ///< energy x delay^2
+    double eda = 0.0;   ///< energy x delay x area
+    double ed2a = 0.0;  ///< energy x delay^2 x area
+};
+
+/** Compute the combined metrics for one run. */
+Metrics computeMetrics(const RunFigures &f);
+
+/** Geometric mean over per-workload metric values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace study
+} // namespace mcpat
+
+#endif // MCPAT_STUDY_METRICS_HH

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Case-study sweep implementation.
+ */
+
+#include "study/sweep.hh"
+
+#include <cmath>
+
+#include "chip/processor.hh"
+
+namespace mcpat {
+namespace study {
+
+namespace {
+
+core::CoreParams
+makeCore(const CaseStudyConfig &cfg)
+{
+    core::CoreParams c;
+    c.clockRate = cfg.clockRate;
+    if (cfg.style == CoreStyle::InOrderMT) {
+        c.name = "InOrderMT Core";
+        c.outOfOrder = false;
+        c.threads = 4;
+        c.fetchWidth = c.decodeWidth = c.issueWidth = c.commitWidth = 2;
+        c.pipelineStages = 8;
+        c.intAlus = 2;
+        c.fpus = 1;
+        c.muls = 1;
+        c.icache.capacityBytes = 16 * 1024;
+        c.dcache.capacityBytes = 8 * 1024;
+        c.loadQueueEntries = 8;
+        c.storeQueueEntries = 8;
+        c.hasBranchPredictor = false;
+        c.dynamicMargin = 1.8;
+    } else {
+        c.name = "OoO Core";
+        c.outOfOrder = true;
+        c.threads = 1;
+        c.fetchWidth = c.decodeWidth = c.commitWidth = 4;
+        c.issueWidth = 4;
+        c.pipelineStages = 12;
+        c.robEntries = 128;
+        c.intWindowEntries = 48;
+        c.fpWindowEntries = 24;
+        c.physIntRegs = 160;
+        c.physFpRegs = 128;
+        c.intAlus = 3;
+        c.fpus = 2;
+        c.muls = 1;
+        c.icache.capacityBytes = 32 * 1024;
+        c.dcache.capacityBytes = 32 * 1024;
+        c.loadQueueEntries = 32;
+        c.storeQueueEntries = 24;
+        c.dynamicMargin = 1.8;
+    }
+    return c;
+}
+
+/** Near-square factorization for the cluster mesh. */
+std::pair<int, int>
+meshDims(int n)
+{
+    int x = static_cast<int>(std::sqrt(static_cast<double>(n)));
+    while (x > 1 && n % x != 0)
+        --x;
+    return {x, n / x};
+}
+
+} // namespace
+
+std::string
+CaseStudyConfig::label() const
+{
+    const std::string style_name =
+        (style == CoreStyle::InOrderMT) ? "inorder" : "ooo";
+    return style_name + "-c" + std::to_string(coresPerCluster);
+}
+
+chip::SystemParams
+makeCaseStudySystem(const CaseStudyConfig &cfg)
+{
+    fatalIf(cfg.totalCores % cfg.coresPerCluster != 0,
+            "cluster size must divide the core count");
+
+    chip::SystemParams s;
+    s.name = cfg.label();
+    s.nodeNm = cfg.nodeNm;
+    s.numCores = cfg.totalCores;
+    s.core = makeCore(cfg);
+
+    // One L2 per cluster, sized by its share of the per-core budget;
+    // banked per sharer to keep port pressure flat across clusterings.
+    s.numL2 = cfg.clusters();
+    s.l2.name = "L2";
+    s.l2.capacityBytes = cfg.l2BytesPerCore * cfg.coresPerCluster;
+    s.l2.assoc = 8;
+    s.l2.banks = cfg.coresPerCluster;
+    s.l2.clockRate = cfg.clockRate / 2.0;
+    s.l2.directorySharers = cfg.coresPerCluster;
+    s.l2.flavor = tech::DeviceFlavor::LSTP;
+
+    s.hasNoc = true;
+    const auto [nx, ny] = meshDims(cfg.clusters());
+    s.noc.topology = (cfg.clusters() >= 8)
+        ? uncore::NocTopology::Mesh2D
+        : uncore::NocTopology::Crossbar;
+    s.noc.nodesX = nx;
+    s.noc.nodesY = ny;
+    s.noc.flitBits = 128;
+    s.noc.linkLength = 1.5 * mm;
+    s.noc.clockRate = cfg.clockRate / 2.0;
+
+    s.hasMemCtrl = true;
+    s.memCtrl.channels = 4;
+    s.memCtrl.dataBusBits = 64;
+    s.memCtrl.busClock = 800.0 * MHz;
+    s.memCtrl.dramType = uncore::DramType::DDR3;
+
+    s.hasIo = true;
+    s.io.signalPins = 300;
+    s.io.ioVoltage = 1.2;
+    s.io.staticPower = 1.5;
+
+    s.whiteSpaceFraction = 0.10;
+    return s;
+}
+
+DesignPointResult
+evaluateDesignPoint(const CaseStudyConfig &cfg, double work)
+{
+    DesignPointResult result;
+    result.config = cfg;
+
+    const chip::SystemParams sys = makeCaseStudySystem(cfg);
+    const chip::Processor proc(sys);
+    result.area = proc.area();
+    result.tdp = proc.tdp();
+
+    std::vector<double> eds, ed2s, edas, ed2as, powers;
+    double tput_sum = 0.0;
+
+    for (const auto &w : perf::splash2Workloads()) {
+        WorkloadResult wr;
+        wr.workload = w.name;
+        wr.performance = perf::evaluateSystem(sys, w);
+
+        const stats::ChipStats rt =
+            perf::makeRuntimeStats(sys, w, wr.performance);
+        const Report rep = proc.makeReport(rt);
+        wr.runtimePower = rep.runtimePower();
+
+        wr.figures.delay = work / wr.performance.throughput;
+        wr.figures.power = wr.runtimePower;
+        wr.figures.energy = wr.runtimePower * wr.figures.delay;
+        wr.figures.area = result.area;
+        wr.metrics = computeMetrics(wr.figures);
+
+        tput_sum += wr.performance.throughput;
+        powers.push_back(wr.runtimePower);
+        eds.push_back(wr.metrics.ed);
+        ed2s.push_back(wr.metrics.ed2);
+        edas.push_back(wr.metrics.eda);
+        ed2as.push_back(wr.metrics.ed2a);
+        result.workloads.push_back(std::move(wr));
+    }
+
+    result.meanThroughput = tput_sum / result.workloads.size();
+    result.meanPower = geomean(powers);
+    result.meanMetrics.ed = geomean(eds);
+    result.meanMetrics.ed2 = geomean(ed2s);
+    result.meanMetrics.eda = geomean(edas);
+    result.meanMetrics.ed2a = geomean(ed2as);
+    return result;
+}
+
+std::vector<DesignPointResult>
+runCaseStudy(double work)
+{
+    std::vector<DesignPointResult> results;
+    for (CoreStyle style :
+         {CoreStyle::InOrderMT, CoreStyle::OutOfOrder}) {
+        for (int cluster : {1, 2, 4, 8}) {
+            CaseStudyConfig cfg;
+            cfg.style = style;
+            cfg.coresPerCluster = cluster;
+            results.push_back(evaluateDesignPoint(cfg, work));
+        }
+    }
+    return results;
+}
+
+} // namespace study
+} // namespace mcpat

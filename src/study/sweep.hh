@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The paper's 22 nm manycore case study: in-order (Niagara2-like) vs
+ * out-of-order (Alpha-like) cores, with 1/2/4/8 cores per cluster
+ * sharing an L2, evaluated on the SPLASH-2-like workloads for
+ * throughput, power, and combined ED/ED2/EDA/ED2A metrics.
+ */
+
+#ifndef MCPAT_STUDY_SWEEP_HH
+#define MCPAT_STUDY_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "perf/activity_gen.hh"
+#include "study/metrics.hh"
+
+namespace mcpat {
+namespace study {
+
+/** Core microarchitecture style for the case study. */
+enum class CoreStyle
+{
+    InOrderMT,   ///< dual-issue, 4-thread, Niagara2-like
+    OutOfOrder   ///< 4-wide OoO, Alpha-like
+};
+
+/** One design point of the case study. */
+struct CaseStudyConfig
+{
+    int nodeNm = 22;
+    double clockRate = 2.5e9;
+    int totalCores = 64;
+    int coresPerCluster = 4;      ///< 1, 2, 4, or 8
+    CoreStyle style = CoreStyle::InOrderMT;
+
+    /** Per-core L2 allocation (cluster L2 = this x cluster size). */
+    double l2BytesPerCore = 1.0 * 1024 * 1024;
+
+    std::string label() const;
+    int clusters() const { return totalCores / coresPerCluster; }
+};
+
+/** Full chip description for a design point. */
+chip::SystemParams makeCaseStudySystem(const CaseStudyConfig &cfg);
+
+/** Per-workload evaluation of one design point. */
+struct WorkloadResult
+{
+    std::string workload;
+    perf::SystemPerformance performance;
+    double runtimePower = 0.0;   ///< W
+    RunFigures figures;
+    Metrics metrics;
+};
+
+/** Aggregated evaluation of one design point. */
+struct DesignPointResult
+{
+    CaseStudyConfig config;
+    double area = 0.0;           ///< m^2
+    double tdp = 0.0;            ///< W
+    std::vector<WorkloadResult> workloads;
+
+    // Workload aggregates (arithmetic mean throughput; geometric mean
+    // for ratio-like metrics, as the paper does).
+    double meanThroughput = 0.0; ///< instructions/s
+    double meanPower = 0.0;      ///< W
+    Metrics meanMetrics;
+};
+
+/**
+ * Evaluate one design point on all case-study workloads.
+ *
+ * @param work the fixed work per run, instructions (delay = work /
+ *             throughput)
+ */
+DesignPointResult evaluateDesignPoint(const CaseStudyConfig &cfg,
+                                      double work = 1.0e12);
+
+/** The paper's sweep: both core styles x cluster sizes {1,2,4,8}. */
+std::vector<DesignPointResult> runCaseStudy(double work = 1.0e12);
+
+} // namespace study
+} // namespace mcpat
+
+#endif // MCPAT_STUDY_SWEEP_HH

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Per-node device parameter tables.
+ *
+ * CALIBRATION SURFACE.  These tables are one of the two places (with
+ * logic/functional_unit.cc) holding empirical constants.  Values follow
+ * ITRS-era publications: drive currents rise from ~600 uA/um at 180 nm to
+ * ~1500 uA/um at 22 nm (HP flavor); HP subthreshold leakage explodes from
+ * ~0.5 nA/um at 180 nm to hundreds of nA/um below 90 nm, while LSTP stays
+ * near tens of pA/um at the cost of ~2x slower gates; gate leakage grows
+ * until high-k/metal-gate arrives (modeled at 32/22 nm); FO4 delay tracks
+ * ~0.36 ps per nm of feature size for HP devices.
+ */
+
+#include "tech/technology.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace mcpat {
+namespace tech {
+
+// Implemented in wire_tables.cc.
+void fillWireParams(TechNode &node);
+
+namespace {
+
+/**
+ * Build one device flavor entry.
+ *
+ * @param vdd   nominal supply, V
+ * @param vth   threshold, V
+ * @param ion_n NMOS drive density, uA/um
+ * @param ioff_n NMOS subthreshold density at 300 K, nA/um
+ * @param igate gate-leakage density, nA/um
+ * @param cgate gate cap per width, fF/um
+ * @param cjunc junction cap per width, fF/um
+ * @param fo4_ps FO4 delay, ps
+ */
+DeviceParams
+makeDevice(double vdd, double vth, double ion_n, double ioff_n,
+           double igate, double cgate, double cjunc, double fo4_ps)
+{
+    DeviceParams d;
+    d.vdd = vdd;
+    d.vth = vth;
+    d.ionN = ion_n * uA / um;
+    d.ionP = 0.5 * d.ionN;  // PMOS mobility penalty
+    d.ioffN = ioff_n * nA / um;
+    d.ioffP = d.ioffN;      // similar off currents after sizing
+    d.igate = igate * nA / um;
+    d.cGate = cgate * fF / um;
+    d.cJunction = cjunc * fF / um;
+    d.fo4 = fo4_ps * ps;
+    return d;
+}
+
+TechNode
+makeNode(int node_nm,
+         const DeviceParams &hp,
+         const DeviceParams &lstp,
+         const DeviceParams &lop)
+{
+    TechNode n;
+    n.nodeNm = node_nm;
+    n.feature = node_nm * nm;
+    n.device = {hp, lstp, lop};
+
+    // Layout densities are roughly constant in F^2 across generations.
+    n.sramCellAreaF2 = 146.0;   // 6T cell
+    n.camCellAreaF2 = 336.0;    // storage + match/search devices
+    n.dffAreaF2 = 700.0;        // scan-less edge-triggered DFF
+    n.logicGateAreaF2 = 560.0;  // routed NAND2-equivalent incl. overhead
+    n.sramCellAspect = 0.46;    // short, wide cells (height/width)
+
+    fillWireParams(n);
+    return n;
+}
+
+/** The full table, keyed by node.  Built once, on first use. */
+const std::map<int, TechNode> &
+table()
+{
+    static const std::map<int, TechNode> nodes = [] {
+        std::map<int, TechNode> t;
+
+        // 180 nm (aluminum-era; Alpha 21364 validation target).
+        t.emplace(180, makeNode(180,
+            //         vdd   vth   ion   ioff   igate cgate cjunc fo4
+            makeDevice(1.70, 0.42,  600,   0.5, 0.001, 1.05, 0.90, 65.0),
+            makeDevice(1.80, 0.55,  300,  0.02, 0.000, 1.05, 0.90, 120.0),
+            makeDevice(1.50, 0.34,  420,   0.2, 0.000, 1.05, 0.90, 85.0)));
+
+        // 90 nm (Niagara validation target).
+        t.emplace(90, makeNode(90,
+            makeDevice(1.20, 0.28, 1080, 100.0,  30.0, 1.00, 0.80, 32.0),
+            makeDevice(1.20, 0.50,  480,  0.03, 0.030, 1.00, 0.80, 61.0),
+            makeDevice(1.00, 0.32,  720,   4.0,   4.0, 1.00, 0.80, 42.0)));
+
+        // 65 nm (Niagara2 and Xeon Tulsa validation targets).
+        t.emplace(65, makeNode(65,
+            makeDevice(1.10, 0.24, 1180, 200.0,  80.0, 0.95, 0.78, 23.0),
+            makeDevice(1.20, 0.52,  520,  0.03, 0.060, 0.95, 0.78, 44.0),
+            makeDevice(0.90, 0.31,  790,   5.0,   8.0, 0.95, 0.78, 30.0)));
+
+        // 45 nm.
+        t.emplace(45, makeNode(45,
+            makeDevice(1.00, 0.22, 1280, 220.0, 120.0, 0.90, 0.75, 16.2),
+            makeDevice(1.10, 0.50,  560,  0.04, 0.090, 0.90, 0.75, 31.0),
+            makeDevice(0.80, 0.29,  840,   6.0,  12.0, 0.90, 0.75, 21.0)));
+
+        // 32 nm (high-k/metal gate cuts gate leakage).
+        t.emplace(32, makeNode(32,
+            makeDevice(0.90, 0.21, 1380, 280.0,  60.0, 0.85, 0.72, 11.5),
+            makeDevice(1.00, 0.48,  610,  0.05, 0.045, 0.85, 0.72, 22.0),
+            makeDevice(0.70, 0.27,  900,   8.0,   6.0, 0.85, 0.72, 15.0)));
+
+        // 22 nm (the paper's case-study node).
+        t.emplace(22, makeNode(22,
+            makeDevice(0.80, 0.20, 1480, 320.0,  45.0, 0.80, 0.68, 8.0),
+            makeDevice(0.90, 0.45,  660,  0.06, 0.034, 0.80, 0.68, 15.3),
+            makeDevice(0.65, 0.25,  960,  10.0,   4.5, 0.80, 0.68, 10.4)));
+
+        return t;
+    }();
+    return nodes;
+}
+
+} // namespace
+
+namespace {
+
+/** log-space interpolation weight of node_nm between lo and hi. */
+double
+logWeight(int node_nm, int lo, int hi)
+{
+    return (std::log(double(node_nm)) - std::log(double(lo))) /
+           (std::log(double(hi)) - std::log(double(lo)));
+}
+
+DeviceParams
+interpolateDevice(const DeviceParams &lo, const DeviceParams &hi,
+                  double w)
+{
+    auto lin = [w](double a, double b) { return a + w * (b - a); };
+    auto geo = [w](double a, double b) {
+        if (a <= 0.0 || b <= 0.0)
+            return a + w * (b - a);
+        return std::exp(std::log(a) + w * (std::log(b) - std::log(a)));
+    };
+    DeviceParams d;
+    d.vdd = lin(lo.vdd, hi.vdd);
+    d.vth = lin(lo.vth, hi.vth);
+    d.ionN = geo(lo.ionN, hi.ionN);
+    d.ionP = geo(lo.ionP, hi.ionP);
+    d.ioffN = geo(lo.ioffN, hi.ioffN);
+    d.ioffP = geo(lo.ioffP, hi.ioffP);
+    d.igate = geo(lo.igate, hi.igate);
+    d.cGate = lin(lo.cGate, hi.cGate);
+    d.cJunction = lin(lo.cJunction, hi.cJunction);
+    d.fo4 = geo(lo.fo4, hi.fo4);
+    return d;
+}
+
+/** Build (and cache) an interpolated node entry. */
+const TechNode &
+interpolatedNode(int node_nm)
+{
+    static std::map<int, TechNode> cache;
+    auto it = cache.find(node_nm);
+    if (it != cache.end())
+        return it->second;
+
+    // Find the bracketing table nodes (table is ascending by key).
+    const auto &t = table();
+    auto hi_it = t.lower_bound(node_nm);  // first key >= node_nm
+    panicIf(hi_it == t.begin() || hi_it == t.end(),
+            "interpolation called outside the table range");
+    auto lo_it = std::prev(hi_it);
+
+    // Interpolation runs in *feature-size* order: the smaller node is
+    // the more advanced one.
+    const TechNode &small = lo_it->second;
+    const TechNode &big = hi_it->second;
+    const double w = logWeight(node_nm, small.nodeNm, big.nodeNm);
+
+    TechNode n;
+    n.nodeNm = node_nm;
+    n.feature = node_nm * nm;
+    for (int f = 0; f < numDeviceFlavors; ++f)
+        n.device[f] = interpolateDevice(small.device[f], big.device[f],
+                                        w);
+    n.sramCellAreaF2 = small.sramCellAreaF2;
+    n.camCellAreaF2 = small.camCellAreaF2;
+    n.dffAreaF2 = small.dffAreaF2;
+    n.logicGateAreaF2 = small.logicGateAreaF2;
+    n.sramCellAspect = small.sramCellAspect;
+    fillWireParams(n);  // exact geometry at the actual node
+    return cache.emplace(node_nm, n).first->second;
+}
+
+} // namespace
+
+const TechNode &
+lookupTechNode(int node_nm)
+{
+    const auto &t = table();
+    auto it = t.find(node_nm);
+    if (it != t.end())
+        return it->second;
+    fatalIf(node_nm < 22 || node_nm > 180,
+            "technology node " + std::to_string(node_nm) +
+            " nm outside the covered 22-180 nm range");
+    return interpolatedNode(node_nm);
+}
+
+const std::vector<int> &
+Technology::availableNodes()
+{
+    static const std::vector<int> nodes = [] {
+        std::vector<int> v;
+        for (const auto &[nm_key, node] : table())
+            v.push_back(nm_key);
+        std::sort(v.rbegin(), v.rend());
+        return v;
+    }();
+    return nodes;
+}
+
+} // namespace tech
+} // namespace mcpat

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Wire electrical parameters derived from layer geometry.
+ *
+ * Wires are modeled the CACTI/McPAT way: a layer class fixes the pitch as
+ * a multiple of the feature size; resistance follows from the conductor
+ * cross-section with a size-effect-corrected copper resistivity; total
+ * capacitance combines sidewall coupling and plate capacitance through an
+ * effective dielectric constant.  The ITRS "aggressive" projection assumes
+ * low-k dielectrics and thinner barriers; "conservative" keeps higher
+ * resistivity and permittivity (the paper evaluates both).
+ */
+
+#include "tech/technology.hh"
+
+#include <cmath>
+
+namespace mcpat {
+namespace tech {
+
+namespace {
+
+/** Pitch in multiples of F for each layer class. */
+constexpr double layerPitchF[numWireLayers] = {2.5, 4.0, 8.0};
+
+/** Aspect ratio (thickness / width) for each layer class. */
+constexpr double layerAspect[numWireLayers] = {1.8, 2.0, 2.2};
+
+/**
+ * Effective copper resistivity including barrier and surface-scattering
+ * size effects, which worsen as geometries shrink.
+ *
+ * @param width conductor width, m
+ * @param conservative use the pessimistic ITRS projection
+ */
+double
+effectiveResistivity(double width, bool conservative)
+{
+    constexpr double rho_bulk = 1.8e-8;   // ohm*m, bulk copper
+    // Size effect: resistivity rises roughly inversely with width below
+    // ~0.4 um; the conservative projection assumes thicker barriers.
+    const double size_term = 1.0 + (conservative ? 0.9 : 0.5) *
+        (0.10 * um) / width;
+    const double barrier = conservative ? 1.25 : 1.10;
+    return rho_bulk * size_term * barrier;
+}
+
+/**
+ * Dielectric constant of the inter-level dielectric.  Aggressive scaling
+ * introduces low-k materials below 90 nm.
+ */
+double
+dielectricK(int node_nm, bool conservative)
+{
+    double k;
+    if (node_nm >= 180)
+        k = 3.9;       // SiO2
+    else if (node_nm >= 90)
+        k = 3.3;
+    else if (node_nm >= 65)
+        k = 2.9;
+    else if (node_nm >= 45)
+        k = 2.7;
+    else if (node_nm >= 32)
+        k = 2.5;
+    else
+        k = 2.3;
+    if (conservative)
+        k += 0.5;      // slower low-k adoption
+    return k;
+}
+
+WireParams
+makeWire(int node_nm, WireLayer layer, WireProjection proj)
+{
+    const bool conservative = (proj == WireProjection::Conservative);
+    const int li = static_cast<int>(layer);
+
+    WireParams w;
+    w.pitch = layerPitchF[li] * node_nm * nm;
+    w.width = 0.5 * w.pitch;
+    w.thickness = layerAspect[li] * w.width;
+
+    const double rho = effectiveResistivity(w.width, conservative);
+    w.resPerM = rho / (w.width * w.thickness);
+
+    // Capacitance per length: two sidewall components (aspect-ratio
+    // scaled) plus top/bottom plate components with fringe factor 1.15.
+    const double k = dielectricK(node_nm, conservative);
+    w.capPerM = 2.0 * eps0 * k * (layerAspect[li] + 1.15);
+    return w;
+}
+
+} // namespace
+
+void
+fillWireParams(TechNode &node)
+{
+    for (int layer = 0; layer < numWireLayers; ++layer) {
+        for (int proj = 0; proj < numWireProjections; ++proj) {
+            node.wire[layer][proj] =
+                makeWire(node.nodeNm, static_cast<WireLayer>(layer),
+                         static_cast<WireProjection>(proj));
+        }
+    }
+}
+
+} // namespace tech
+} // namespace mcpat

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Chip-I/O implementation.
+ */
+
+#include "uncore/chip_io.hh"
+
+#include "common/logging.hh"
+
+namespace mcpat {
+namespace uncore {
+
+ChipIo::ChipIo(ChipIoParams params, const Technology &t)
+    : _params(std::move(params))
+{
+    fatalIf(_params.signalPins < 0, "negative pin count");
+    (void)t;
+
+    // Pad cells: ~0.025 mm^2 per signal pad (ESD + driver + level
+    // shifting), roughly node-independent at the generations modeled.
+    _area = _params.signalPins * 0.025 * mm2;
+
+    _dynPerScale = _params.signalPins * _params.pinCap *
+                   _params.ioVoltage * _params.ioVoltage *
+                   _params.toggleRate * _params.busClock;
+}
+
+Report
+ChipIo::makeReport(double tdp_activity_scale,
+                   double rt_activity_scale) const
+{
+    Report r;
+    r.name = _params.name;
+    r.area = _area;
+    r.peakDynamic = _dynPerScale * tdp_activity_scale +
+                    _params.staticPower;
+    r.runtimeDynamic = _dynPerScale * rt_activity_scale +
+                       _params.staticPower;
+    return r;
+}
+
+} // namespace uncore
+} // namespace mcpat

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Coherence-directory implementation.
+ */
+
+#include "uncore/directory.hh"
+
+#include <cmath>
+
+namespace mcpat {
+namespace uncore {
+
+Directory::Directory(DirectoryParams params, const Technology &t)
+    : _params(std::move(params))
+{
+    fatalIf(_params.trackedLines < 1, "directory tracks no lines");
+    fatalIf(_params.sharers < 1, "directory needs at least one sharer");
+
+    const int offset_bits = static_cast<int>(
+        std::ceil(std::log2(std::max(2, _params.blockBytes))));
+    const int line_addr_bits = _params.physicalAddressBits - offset_bits;
+
+    array::ArrayParams p;
+    p.name = _params.name;
+    p.banks = _params.banks;
+    p.flavor = _params.flavor;
+    p.targetCycleTime = 2.0 / _params.clockRate;
+
+    if (_params.style == DirectoryStyle::DuplicateTags) {
+        // One CAM entry per mirrored tag: searched by line address,
+        // the match vector itself is the sharer list.
+        p.rows = _params.trackedLines;
+        p.bits = line_addr_bits + 2;  // tag + state
+        p.cellType = array::CellType::CAM;
+        p.searchPorts = 1;
+        p.readPorts = 1;
+        p.writePorts = 1;
+        p.readWritePorts = 0;
+    } else {
+        // Sparse full map: indexed by line address hash; each entry
+        // holds a tag fragment, state, and the presence vector.
+        const int index_bits = static_cast<int>(std::ceil(
+            std::log2(std::max(2, _params.trackedLines))));
+        p.rows = _params.trackedLines;
+        p.bits = (line_addr_bits - index_bits) + 4 + _params.sharers;
+    }
+    _array = std::make_unique<array::ArrayModel>(p, t);
+}
+
+double
+Directory::area() const
+{
+    return _array->area();
+}
+
+double
+Directory::lookupEnergy() const
+{
+    return _params.style == DirectoryStyle::DuplicateTags
+        ? _array->searchEnergy()
+        : _array->readEnergy();
+}
+
+double
+Directory::updateEnergy() const
+{
+    return _array->writeEnergy();
+}
+
+double
+Directory::accessDelay() const
+{
+    return _array->accessDelay();
+}
+
+Report
+Directory::makeReport(const DirectoryRates &tdp,
+                      const DirectoryRates &rt) const
+{
+    auto dynamic = [this](const DirectoryRates &r) {
+        return (r.lookups * lookupEnergy() +
+                r.updates * updateEnergy()) * _params.clockRate;
+    };
+    Report rep;
+    rep.name = _params.name;
+    rep.area = area();
+    rep.peakDynamic = dynamic(tdp);
+    rep.runtimeDynamic = dynamic(rt);
+    rep.subthresholdLeakage = _array->subthresholdLeakage();
+    rep.gateLeakage = _array->gateLeakage();
+    rep.criticalPath = accessDelay();
+    return rep;
+}
+
+} // namespace uncore
+} // namespace mcpat

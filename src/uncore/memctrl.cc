@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Memory-controller implementation.
+ *
+ * The PHY dominates: off-chip signaling costs tens of pJ/bit (I/O
+ * swing, termination, SerDes for FB-DIMM), dwarfing the on-chip
+ * transaction logic.  PHY energies below follow published interface
+ * figures of the DDR2/DDR3/FB-DIMM era.
+ */
+
+#include "uncore/memctrl.hh"
+
+#include "logic/functional_unit.hh"
+
+namespace mcpat {
+namespace uncore {
+
+namespace {
+
+/** Pin-interface energy per transferred bit, J. */
+double
+phyEnergyPerBit(DramType type)
+{
+    switch (type) {
+      case DramType::DDR2:
+        return 38.0 * pJ;
+      case DramType::DDR3:
+        return 28.0 * pJ;
+      case DramType::FbDimm:
+        return 45.0 * pJ;  // serial links + AMB protocol overhead
+      case DramType::Rdram:
+      default:
+        return 50.0 * pJ;
+    }
+}
+
+/** Static bias/termination power per channel, W. */
+double
+phyStaticPerChannel(DramType type)
+{
+    switch (type) {
+      case DramType::DDR2:
+        return 0.25;
+      case DramType::DDR3:
+        return 0.20;
+      case DramType::FbDimm:
+        return 0.9;  // always-on SerDes lanes
+      case DramType::Rdram:
+      default:
+        return 0.6;
+    }
+}
+
+/** Data-rate multiplier on the bus clock. */
+double
+transfersPerClock(DramType type)
+{
+    (void)type;
+    return 2.0;  // double-data-rate signaling on all modeled families
+}
+
+} // namespace
+
+MemoryController::MemoryController(MemCtrlParams params,
+                                   const Technology &t)
+    : _params(std::move(params))
+{
+    fatalIf(_params.channels < 1, "memory controller needs channels");
+    fatalIf(_params.dataBusBits < 8, "data bus narrower than a byte");
+
+    const double per_channel = (_params.peakBandwidth > 0.0)
+        ? _params.peakBandwidth
+        : _params.busClock * transfersPerClock(_params.dramType) *
+              (_params.dataBusBits / 8.0);
+    _peakBandwidth = per_channel * _params.channels;
+
+    // --- Front end: request queue + scheduler per channel. ----------------
+    array::ArrayParams rq;
+    rq.name = "Request Queue";
+    rq.rows = _params.requestQueueEntries;
+    rq.bits = _params.physicalAddressBits + 32;  // address + command
+    rq.readPorts = 1;
+    rq.writePorts = 1;
+    rq.readWritePorts = 0;
+    _requestQueue = std::make_unique<array::ArrayModel>(rq, t);
+    _scheduler = std::make_unique<logic::Arbiter>(
+        _params.requestQueueEntries, t);
+
+    // --- Back end: transaction engine as synthesized logic. ---------------
+    const double backend_area = 35000.0 * t.logicGateArea();
+    const logic::LogicLeakage backend_leak =
+        logic::logicBlockLeakage(backend_area, t);
+
+    // --- PHY: area scales with pins; energy with bits moved.  I/O
+    //     cells (drivers, ESD, DLLs) are pad-limited at ~0.04 mm^2 per
+    //     interface pin — DRAM PHYs are among the largest uncore blocks.
+    const int pins_per_channel = _params.dataBusBits + 40;  // addr/cmd
+    const double phy_area =
+        _params.channels * pins_per_channel * 0.04 * mm2;
+    _phyStaticPower = _params.channels *
+                      phyStaticPerChannel(_params.dramType);
+
+    // Per-byte energy: PHY bits + a slice of queue/scheduler work per
+    // 64-byte transaction.
+    const double queue_e_per_txn =
+        _requestQueue->readEnergy() + _requestQueue->writeEnergy() +
+        _scheduler->energyPerArb();
+    _energyPerByte = phyEnergyPerBit(_params.dramType) * 8.0 +
+                     queue_e_per_txn / 64.0;
+
+    _area = _params.channels *
+                (_requestQueue->area() + _scheduler->area()) +
+            backend_area + phy_area;
+    _subLeak = _params.channels *
+                   (_requestQueue->subthresholdLeakage() +
+                    _scheduler->subthresholdLeakage()) +
+               backend_leak.subthreshold;
+    _gateLeak = _params.channels *
+                    (_requestQueue->gateLeakage() +
+                     _scheduler->gateLeakage()) +
+                backend_leak.gate;
+}
+
+Report
+MemoryController::makeReport(double tdp_utilization,
+                             double rt_utilization) const
+{
+    fatalIf(tdp_utilization < 0.0 || tdp_utilization > 1.0 ||
+                rt_utilization < 0.0 || rt_utilization > 1.0,
+            "MC utilization must be within [0, 1]");
+    Report r;
+    r.name = _params.name;
+    r.area = _area;
+    r.peakDynamic = _energyPerByte * _peakBandwidth * tdp_utilization +
+                    _phyStaticPower;
+    r.runtimeDynamic = _energyPerByte * _peakBandwidth * rt_utilization +
+                       _phyStaticPower;
+    r.subthresholdLeakage = _subLeak;
+    r.gateLeakage = _gateLeak;
+    return r;
+}
+
+} // namespace uncore
+} // namespace mcpat

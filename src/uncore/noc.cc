@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Interconnect-fabric implementation.
+ */
+
+#include "uncore/noc.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/wire.hh"
+
+namespace mcpat {
+namespace uncore {
+
+using namespace circuit;
+
+Noc::Noc(NocParams params, const Technology &t)
+    : _params(std::move(params))
+{
+    fatalIf(_params.nodes() < 1, "NoC with no nodes");
+
+    RouterParams rp = _params.router;
+    rp.flitBits = _params.flitBits;
+    rp.clockRate = _params.clockRate;
+    switch (_params.topology) {
+      case NocTopology::Mesh2D:
+        rp.ports = 5;
+        _numLinks = 2 * _params.nodes();  // ~2 unidirectional per node
+        break;
+      case NocTopology::Torus2D:
+        rp.ports = 5;
+        // Wraparound channels double the link count; folded-torus
+        // layout doubles each hop's physical span.
+        _numLinks = 4 * _params.nodes();
+        break;
+      case NocTopology::Ring:
+        rp.ports = 3;
+        _numLinks = 2 * _params.nodes();
+        break;
+      case NocTopology::Bus:
+        rp.ports = 2;  // bus interface, no real router
+        _numLinks = 1;
+        break;
+      case NocTopology::Crossbar:
+        rp.ports = std::max(2, _params.nodes());
+        _numLinks = _params.nodes();
+        break;
+    }
+    _router = std::make_unique<Router>(rp, t);
+
+    // Links: repeated wires, one per flit bit.  Bus/crossbar links span
+    // a large fraction of the fabric rather than one hop.
+    double link_len = _params.linkLength;
+    if (_params.topology == NocTopology::Bus)
+        link_len = _params.linkLength * _params.nodes() * 0.5;
+    else if (_params.topology == NocTopology::Torus2D)
+        link_len = _params.linkLength * 2.0;  // folded layout
+    const double eff_len = std::max(link_len, 10.0 * um);
+    if (_params.lowSwingLinks) {
+        const LowSwingWire link(eff_len, tech::WireLayer::Global, t);
+        _linkEnergyPerFlit =
+            0.5 * _params.flitBits * link.energyPerEvent();
+        _linkDelay = link.delay();
+        _linkSubLeak = _numLinks * _params.flitBits *
+                       link.subthresholdLeakage();
+        _linkGateLeak =
+            _numLinks * _params.flitBits * link.gateLeakage();
+        _linkArea = _numLinks * _params.flitBits * link.area();
+    } else {
+        const RepeatedWire link(eff_len, tech::WireLayer::Global, t);
+        _linkEnergyPerFlit =
+            0.5 * _params.flitBits * link.energyPerEvent();
+        _linkDelay = link.delay();
+        _linkSubLeak = _numLinks * _params.flitBits *
+                       link.subthresholdLeakage();
+        _linkGateLeak =
+            _numLinks * _params.flitBits * link.gateLeakage();
+        _linkArea = _numLinks * _params.flitBits * link.area();
+    }
+
+    // Flat fabrics (bus, Niagara-style crossbar) occupy a dedicated
+    // die channel: count the routing tracks of all per-node buses as
+    // silicon area, unlike mesh/ring links that ride over the tiles.
+    if (_params.topology == NocTopology::Bus ||
+        _params.topology == NocTopology::Crossbar) {
+        const double pitch =
+            t.wire(tech::WireLayer::Intermediate).pitch;
+        _linkArea += 2.0 * _params.nodes() * _params.flitBits * pitch *
+                     link_len;
+    }
+}
+
+double
+Noc::energyPerFlitHop() const
+{
+    const bool routed = _params.topology == NocTopology::Mesh2D ||
+                        _params.topology == NocTopology::Torus2D ||
+                        _params.topology == NocTopology::Ring;
+    const double router_e = routed || _params.topology ==
+                                NocTopology::Crossbar
+        ? _router->energyPerFlit()
+        : _router->energyPerFlit() * 0.3;  // bus: interface only
+    return router_e + _linkEnergyPerFlit;
+}
+
+double
+Noc::averageHops() const
+{
+    switch (_params.topology) {
+      case NocTopology::Mesh2D:
+        return (_params.nodesX + _params.nodesY) / 3.0;
+      case NocTopology::Torus2D:
+        // Wraparound halves the average Manhattan distance.
+        return (_params.nodesX + _params.nodesY) / 6.0 + 0.5;
+      case NocTopology::Ring:
+        return _params.nodes() / 4.0 + 1.0;
+      case NocTopology::Bus:
+      case NocTopology::Crossbar:
+      default:
+        return 1.0;
+    }
+}
+
+double
+Noc::averageLatency() const
+{
+    return averageHops() * (_router->delay() + _linkDelay);
+}
+
+double
+Noc::area() const
+{
+    const int routers = (_params.topology == NocTopology::Bus ||
+                         _params.topology == NocTopology::Crossbar)
+        ? 1
+        : _params.nodes();
+    return routers * _router->area() + _linkArea;
+}
+
+Report
+Noc::makeReport(double tdp_flits, double rt_flits) const
+{
+    const double hops = averageHops();
+    const double e = energyPerFlitHop();
+
+    Report r;
+    r.name = _params.name;
+    r.area = area();
+    r.peakDynamic = tdp_flits * hops * e * _params.clockRate;
+    r.runtimeDynamic = rt_flits * hops * e * _params.clockRate;
+
+    const int routers = (_params.topology == NocTopology::Bus ||
+                         _params.topology == NocTopology::Crossbar)
+        ? 1
+        : _params.nodes();
+    r.subthresholdLeakage =
+        routers * _router->subthresholdLeakage() + _linkSubLeak;
+    r.gateLeakage = routers * _router->gateLeakage() + _linkGateLeak;
+    r.criticalPath = _router->delay() + _linkDelay;
+    return r;
+}
+
+} // namespace uncore
+} // namespace mcpat

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Router implementation.
+ */
+
+#include "uncore/router.hh"
+
+#include <cmath>
+
+#include "circuit/elmore.hh"
+#include "circuit/logical_effort.hh"
+#include "circuit/wire.hh"
+
+namespace mcpat {
+namespace uncore {
+
+using namespace circuit;
+using array::ArrayModel;
+using array::ArrayParams;
+
+Router::Router(RouterParams params, const Technology &t)
+    : _params(params)
+{
+    fatalIf(params.ports < 2, "router needs at least 2 ports");
+    fatalIf(params.flitBits < 8, "flit narrower than 8 bits");
+
+    // --- Input buffers: one SRAM FIFO per port. -------------------------
+    ArrayParams buf;
+    buf.name = "Input Buffer";
+    buf.rows = std::max(2, params.virtualChannels * params.bufferDepth);
+    buf.bits = params.flitBits;
+    buf.readPorts = 1;
+    buf.writePorts = 1;
+    buf.readWritePorts = 0;
+    _inputBuffer = std::make_unique<ArrayModel>(buf, t);
+
+    // --- Allocators. -------------------------------------------------------
+    _vcAllocator = std::make_unique<logic::Arbiter>(
+        std::max(2, params.virtualChannels * (params.ports - 1)), t);
+    _swAllocator = std::make_unique<logic::Arbiter>(
+        std::max(2, params.ports), t);
+
+    // --- Crossbar: flitBits wires per input crossing all outputs. -------
+    // Wire length across the crossbar matrix, with one pass-gate
+    // crosspoint load per output.
+    const double pitch = t.wire(tech::WireLayer::Intermediate).pitch;
+    const double xbar_span = params.ports * params.flitBits * pitch * 2.0;
+    const Wire cross_wire(xbar_span, tech::WireLayer::Intermediate, t);
+    const double wmin = minWidth(t);
+    const double crosspoint_c = drainC(4.0 * wmin, t);
+    const double wire_c = cross_wire.capacitance() +
+                          params.ports * crosspoint_c;
+
+    const BufferChain driver(wire_c, t);
+    // In + out wires per flit bit.
+    _xbarEnergyPerFlit = params.flitBits *
+        (driver.energyPerEvent() + wire_c * t.vdd() * t.vdd()) * 0.5;
+    _xbarDelay = driver.delay() +
+        distributedLineDelay(0.0, cross_wire.resistance(), wire_c, 0.0);
+
+    const double n_wires = 2.0 * params.ports * params.flitBits;
+    _xbarSubLeak = n_wires * driver.subthresholdLeakage() +
+                   params.ports * params.ports * params.flitBits *
+                       circuit::subthresholdLeakage(4.0 * wmin,
+                                                    4.0 * wmin, t, 0.7);
+    _xbarGateLeak = n_wires * driver.gateLeakage() +
+                    params.ports * params.ports * params.flitBits *
+                        circuit::gateLeakage(8.0 * wmin, t);
+    _xbarArea = n_wires * driver.area() +
+                params.ports * params.ports * params.flitBits *
+                    t.logicGateArea();
+}
+
+double
+Router::energyPerFlit() const
+{
+    // Write into and read out of an input buffer, allocate, traverse.
+    return _inputBuffer->writeEnergy() + _inputBuffer->readEnergy() +
+           _vcAllocator->energyPerArb() + _swAllocator->energyPerArb() +
+           _xbarEnergyPerFlit;
+}
+
+double
+Router::area() const
+{
+    return _params.ports * _inputBuffer->area() +
+           _params.ports * (_vcAllocator->area() + _swAllocator->area()) +
+           _xbarArea;
+}
+
+double
+Router::subthresholdLeakage() const
+{
+    return _params.ports * _inputBuffer->subthresholdLeakage() +
+           _params.ports * (_vcAllocator->subthresholdLeakage() +
+                            _swAllocator->subthresholdLeakage()) +
+           _xbarSubLeak;
+}
+
+double
+Router::gateLeakage() const
+{
+    return _params.ports * _inputBuffer->gateLeakage() +
+           _params.ports * (_vcAllocator->gateLeakage() +
+                            _swAllocator->gateLeakage()) +
+           _xbarGateLeak;
+}
+
+double
+Router::delay() const
+{
+    return _inputBuffer->accessDelay() +
+           std::max(_vcAllocator->delay(), _swAllocator->delay()) +
+           _xbarDelay;
+}
+
+Report
+Router::makeReport(double tdp_flits, double rt_flits) const
+{
+    Report r;
+    r.name = "Router";
+    r.area = area();
+    r.peakDynamic = energyPerFlit() * tdp_flits * _params.clockRate;
+    r.runtimeDynamic = energyPerFlit() * rt_flits * _params.clockRate;
+    r.subthresholdLeakage = subthresholdLeakage();
+    r.gateLeakage = gateLeakage();
+    r.criticalPath = delay();
+    return r;
+}
+
+} // namespace uncore
+} // namespace mcpat

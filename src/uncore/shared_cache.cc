@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared-cache implementation.
+ */
+
+#include "uncore/shared_cache.hh"
+
+#include <cmath>
+
+#include "circuit/dff.hh"
+#include "circuit/transistor.hh"
+#include "logic/functional_unit.hh"
+
+namespace mcpat {
+namespace uncore {
+
+SharedCache::SharedCache(SharedCacheParams params, const Technology &t)
+    : _params(std::move(params))
+{
+    array::CacheParams cp;
+    cp.name = _params.name;
+    cp.capacityBytes = _params.capacityBytes;
+    cp.blockBytes = _params.blockBytes;
+    cp.assoc = _params.assoc;
+    cp.banks = _params.banks;
+    cp.readWritePorts = _params.ports;
+    cp.sequentialAccess = true;  // large caches probe tags first
+    cp.mshrs = _params.mshrs;
+    cp.writeBackEntries = _params.writeBackEntries;
+    cp.physicalAddressBits = _params.physicalAddressBits;
+    cp.flavor = _params.flavor;
+    cp.targetCycleTime = 2.0 / _params.clockRate;  // banked, pipelined
+
+    // Directory bits ride in the tags: state + one presence bit per
+    // sharer.
+    cp.extraTagBits = 6 + _params.directorySharers;
+    cp.ecc = _params.ecc;
+    cp.dataCell = _params.dataCell;
+
+    _cache = std::make_unique<array::CacheModel>(cp, t);
+
+    // --- Controller: coherence/scheduling logic, ~25k gates per bank.
+    const double ctrl_gates = 25000.0 * _params.banks;
+    _ctrlArea = ctrl_gates * t.logicGateArea();
+    const logic::LogicLeakage l = logic::logicBlockLeakage(_ctrlArea, t);
+    _ctrlSubLeak = l.subthreshold;
+    _ctrlGateLeak = l.gate;
+    _ctrlEnergyPerAccess =
+        0.15 * ctrl_gates / _params.banks * circuit::logicGateEnergy(t);
+
+    // --- Bank clock distribution: the macro's pipeline latches and
+    //     clock spine (large caches are clocked at the core rate).
+    const circuit::Dff flop(t);
+    const double macro_gates =
+        0.25 * _cache->area() / t.logicGateArea();  // periphery share
+    const double sink_cap = 0.08 * macro_gates * flop.clockC();
+    _clock = std::make_unique<circuit::ClockNetwork>(
+        _cache->area() + _ctrlArea, sink_cap, t);
+}
+
+Report
+SharedCache::makeReport(const array::CacheRates &tdp,
+                        const array::CacheRates &rt) const
+{
+    Report r = _cache->makeReport(_params.clockRate, tdp, rt);
+
+    Report ctrl;
+    ctrl.name = "Cache Controller";
+    ctrl.area = _ctrlArea;
+    ctrl.peakDynamic =
+        _ctrlEnergyPerAccess * tdp.accesses() * _params.clockRate;
+    ctrl.runtimeDynamic =
+        _ctrlEnergyPerAccess * rt.accesses() * _params.clockRate;
+    ctrl.subthresholdLeakage = _ctrlSubLeak;
+    ctrl.gateLeakage = _ctrlGateLeak;
+    r.addChild(std::move(ctrl));
+
+    // Clock tree runs at full rate; runtime assumes ~60% gating when
+    // the cache idles (approximated by access duty).
+    const double duty =
+        std::min(1.0, 0.4 + rt.accesses() / std::max(1e-9,
+                                                     tdp.accesses()));
+    r.addChild(_clock->makeReport(_params.clockRate, duty));
+    return r;
+}
+
+} // namespace uncore
+} // namespace mcpat

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Chip-assembly and configuration tests: processor construction,
+ * report structure, XML parsing, and the XML-to-parameters loader.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/processor.hh"
+#include "config/xml_loader.hh"
+
+using namespace mcpat;
+using namespace mcpat::chip;
+using namespace mcpat::config;
+
+namespace {
+
+SystemParams
+smallSystem()
+{
+    SystemParams s;
+    s.nodeNm = 45;
+    s.numCores = 2;
+    s.core.clockRate = 2.0 * GHz;
+    s.numL2 = 1;
+    s.l2.capacityBytes = 1024.0 * 1024;
+    s.l2.clockRate = 1.0 * GHz;
+    return s;
+}
+
+} // namespace
+
+TEST(Processor, ConstructsAndReports)
+{
+    const Processor p(smallSystem());
+    EXPECT_GT(p.area(), 5.0 * mm2);
+    EXPECT_GT(p.tdp(), 1.0);
+    const Report &r = p.tdpReport();
+    EXPECT_NE(r.child("Total Cores (2 cores)"), nullptr);
+    EXPECT_NE(r.child("Total L2s (1 instances)"), nullptr);
+    EXPECT_NE(r.child("Memory Controller"), nullptr);
+    EXPECT_NE(r.child("Decap + Power Grid"), nullptr);
+    EXPECT_NE(r.child("Pad Ring"), nullptr);
+}
+
+TEST(Processor, TdpIsPeakPlusLeakage)
+{
+    const Processor p(smallSystem());
+    const Report &r = p.tdpReport();
+    EXPECT_NEAR(p.tdp(), r.peakDynamic + r.leakage(), 1e-9);
+}
+
+TEST(Processor, CoreCountScalesCoreBlock)
+{
+    SystemParams two = smallSystem();
+    SystemParams eight = smallSystem();
+    eight.numCores = 8;
+    const Processor p2(two);
+    const Processor p8(eight);
+    const double c2 =
+        p2.tdpReport().child("Total Cores (2 cores)")->peakDynamic;
+    const double c8 =
+        p8.tdpReport().child("Total Cores (8 cores)")->peakDynamic;
+    EXPECT_NEAR(c8 / c2, 4.0, 0.01);
+    EXPECT_GT(p8.area(), p2.area());
+}
+
+TEST(Processor, WhiteSpaceGrowsArea)
+{
+    SystemParams tight = smallSystem();
+    tight.whiteSpaceFraction = 0.0;
+    SystemParams loose = smallSystem();
+    loose.whiteSpaceFraction = 0.3;
+    const Processor pt(tight);
+    const Processor pl(loose);
+    EXPECT_NEAR(pl.area() / pt.area(), 1.3, 0.01);
+}
+
+TEST(Processor, RuntimeBelowTdpForScaledActivity)
+{
+    const SystemParams sys = smallSystem();
+    const Processor p(sys);
+    stats::ChipStats rt = stats::ChipStats::tdp(sys);
+    rt.perCore = rt.perCore.scaled(0.3);
+    rt.mcUtilization *= 0.3;
+    rt.nocFlitsPerCycle *= 0.3;
+    const Report r = p.makeReport(rt);
+    EXPECT_LT(r.runtimeDynamic, r.peakDynamic);
+}
+
+TEST(Processor, Validation)
+{
+    SystemParams s = smallSystem();
+    s.numCores = 0;
+    EXPECT_THROW(Processor{s}, ConfigError);
+    s = smallSystem();
+    s.whiteSpaceFraction = 0.9;
+    EXPECT_THROW(Processor{s}, ConfigError);
+}
+
+TEST(ChipStats, TdpPopulatesUncore)
+{
+    const SystemParams sys = smallSystem();
+    const auto s = stats::ChipStats::tdp(sys);
+    EXPECT_GT(s.l2Rates.accesses(), 0.0);
+    EXPECT_GT(s.nocFlitsPerCycle, 0.0);
+    EXPECT_GT(s.mcUtilization, 0.0);
+    EXPECT_LE(s.mcUtilization, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// XML parser
+// ---------------------------------------------------------------------
+
+TEST(XmlParser, AttributesAndNesting)
+{
+    const XmlNode root = parseXmlString(
+        "<?xml version=\"1.0\"?>\n"
+        "<!-- comment -->\n"
+        "<a x=\"1\" y='two'>\n"
+        "  <b z=\"3\"/>\n"
+        "  <b z=\"4\"><c/></b>\n"
+        "</a>\n");
+    EXPECT_EQ(root.tag, "a");
+    EXPECT_EQ(root.attr("x"), "1");
+    EXPECT_EQ(root.attr("y"), "two");
+    EXPECT_TRUE(root.hasAttr("x"));
+    EXPECT_FALSE(root.hasAttr("q"));
+    ASSERT_EQ(root.children.size(), 2u);
+    EXPECT_EQ(root.childrenNamed("b").size(), 2u);
+    EXPECT_EQ(root.firstChild("b")->attr("z"), "3");
+    EXPECT_EQ(root.children[1].children.size(), 1u);
+}
+
+TEST(XmlParser, IgnoresTextContent)
+{
+    const XmlNode root =
+        parseXmlString("<a>hello <b/> world</a>");
+    EXPECT_EQ(root.children.size(), 1u);
+}
+
+TEST(XmlParser, MalformedInputRejected)
+{
+    EXPECT_THROW(parseXmlString(""), ConfigError);
+    EXPECT_THROW(parseXmlString("<a><b></a></b>"), ConfigError);
+    EXPECT_THROW(parseXmlString("<a x=1/>"), ConfigError);
+    EXPECT_THROW(parseXmlString("<a"), ConfigError);
+    EXPECT_THROW(parseXmlString("<a><b></a>"), ConfigError);
+    EXPECT_THROW(parseXmlFile("/nonexistent/file.xml"), ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// XML loader
+// ---------------------------------------------------------------------
+
+namespace {
+
+const char *minimalConfig = R"(
+<component id="sys" type="System">
+  <param name="technology_node" value="45"/>
+  <param name="core_count" value="4"/>
+  <component id="sys.core" type="Core">
+    <param name="clock_rate_mhz" value="2500"/>
+    <param name="issue_width" value="6"/>
+    <param name="out_of_order" value="true"/>
+  </component>
+  <component id="sys.l2" type="L2">
+    <param name="count" value="2"/>
+    <param name="size_kb" value="2048"/>
+  </component>
+</component>
+)";
+
+} // namespace
+
+TEST(XmlLoader, MinimalConfigRoundTrip)
+{
+    const auto loaded = loadSystemParams(parseXmlString(minimalConfig));
+    EXPECT_TRUE(loaded.warnings.empty());
+    const auto &s = loaded.system;
+    EXPECT_EQ(s.nodeNm, 45);
+    EXPECT_EQ(s.numCores, 4);
+    EXPECT_NEAR(s.core.clockRate, 2.5 * GHz, 1.0);
+    EXPECT_EQ(s.core.issueWidth, 6);
+    EXPECT_TRUE(s.core.outOfOrder);
+    EXPECT_EQ(s.numL2, 2);
+    EXPECT_NEAR(s.l2.capacityBytes, 2048.0 * 1024, 1.0);
+}
+
+TEST(XmlLoader, UnknownParamWarns)
+{
+    const char *cfg = R"(
+<component id="sys" type="System">
+  <param name="technology_node" value="45"/>
+  <param name="not_a_real_param" value="7"/>
+  <component id="sys.core" type="Core"/>
+</component>
+)";
+    const auto loaded = loadSystemParams(parseXmlString(cfg));
+    ASSERT_EQ(loaded.warnings.size(), 1u);
+    EXPECT_NE(loaded.warnings[0].find("not_a_real_param"),
+              std::string::npos);
+}
+
+TEST(XmlLoader, MissingCoreRejected)
+{
+    const char *cfg = R"(
+<component id="sys" type="System">
+  <param name="technology_node" value="45"/>
+</component>
+)";
+    EXPECT_THROW(loadSystemParams(parseXmlString(cfg)), ConfigError);
+}
+
+TEST(XmlLoader, WrongRootRejected)
+{
+    EXPECT_THROW(loadSystemParams(parseXmlString("<foo/>")),
+                 ConfigError);
+}
+
+TEST(XmlLoader, BadEnumValuesRejected)
+{
+    const char *cfg = R"(
+<component id="sys" type="System">
+  <param name="device_type" value="XYZ"/>
+  <component id="sys.core" type="Core"/>
+</component>
+)";
+    EXPECT_THROW(loadSystemParams(parseXmlString(cfg)), ConfigError);
+}
+
+TEST(XmlLoader, StatActivityScale)
+{
+    const XmlNode root = parseXmlString(R"(
+<component id="sys" type="System">
+  <param name="technology_node" value="45"/>
+  <component id="sys.core" type="Core"/>
+  <stat name="activity_scale" value="0.5"/>
+</component>
+)");
+    const auto loaded = loadSystemParams(root);
+    const auto full = stats::ChipStats::tdp(loaded.system);
+    const auto scaled = loadChipStats(root, loaded.system);
+    EXPECT_NEAR(scaled.perCore.intOps, 0.5 * full.perCore.intOps,
+                1e-12);
+    EXPECT_NEAR(scaled.mcUtilization, 0.5 * full.mcUtilization, 1e-12);
+}
+
+TEST(XmlLoader, LoadedConfigBuildsProcessor)
+{
+    const auto loaded = loadSystemParams(parseXmlString(minimalConfig));
+    const Processor p(loaded.system);
+    EXPECT_GT(p.tdp(), 0.0);
+}

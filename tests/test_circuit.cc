@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Circuit-primitive tests: transistor R/C helpers, logical-effort
+ * buffer chains, Elmore delay (against hand-computed references),
+ * wires with repeater insertion, flip-flops, and the clock network.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/clock_network.hh"
+#include "circuit/dff.hh"
+#include "circuit/elmore.hh"
+#include "circuit/logical_effort.hh"
+#include "circuit/wire.hh"
+
+using namespace mcpat;
+using namespace mcpat::circuit;
+using tech::Technology;
+using tech::WireLayer;
+
+namespace {
+const Technology &
+tech65()
+{
+    static const Technology t(65);
+    return t;
+}
+} // namespace
+
+TEST(Transistor, CapsLinearInWidth)
+{
+    const auto &t = tech65();
+    const double w = minWidth(t);
+    EXPECT_NEAR(gateC(2.0 * w, t), 2.0 * gateC(w, t), 1e-21);
+    EXPECT_NEAR(drainC(3.0 * w, t), 3.0 * drainC(w, t), 1e-21);
+}
+
+TEST(Transistor, ResistanceInverseInWidth)
+{
+    const auto &t = tech65();
+    const double w = minWidth(t);
+    EXPECT_NEAR(onResistanceN(2.0 * w, t), 0.5 * onResistanceN(w, t),
+                1.0);
+    EXPECT_GT(onResistanceP(w, t), onResistanceN(w, t) * 0.9);
+}
+
+TEST(Transistor, InverterBalanced)
+{
+    const auto &t = tech65();
+    const Inverter inv(minWidth(t), t);
+    EXPECT_DOUBLE_EQ(inv.wp, 2.0 * inv.wn);
+    EXPECT_GT(inv.inputC(t), 0.0);
+    EXPECT_GT(inv.selfC(t), 0.0);
+    EXPECT_GT(inv.outputRes(t), 0.0);
+}
+
+TEST(Transistor, ComputedFo4MatchesTableWithinFactor)
+{
+    // The resEffFactor calibration should place a computed FO4 within
+    // ~40% of the table's entry at every node.
+    for (int node : Technology::availableNodes()) {
+        const Technology t(node);
+        const Inverter inv(minWidth(t), t);
+        const double fo4 = rcDelayFactor * inv.outputRes(t) *
+                           (inv.selfC(t) + 4.0 * inv.inputC(t));
+        EXPECT_NEAR(fo4 / t.device().fo4, 1.0, 0.4) << "node " << node;
+    }
+}
+
+TEST(Transistor, LeakagePositiveAndStackDerated)
+{
+    const auto &t = tech65();
+    const double w = minWidth(t);
+    const double flat = subthresholdLeakage(w, w, t, 1.0);
+    const double stacked = subthresholdLeakage(w, w, t, 0.6);
+    EXPECT_GT(flat, 0.0);
+    EXPECT_NEAR(stacked / flat, 0.6, 1e-9);
+}
+
+TEST(Transistor, AverageNetCapDominatedByWire)
+{
+    const auto &t = tech65();
+    const double wmin = minWidth(t);
+    // The net model must charge clearly more than the bare gate load.
+    EXPECT_GT(averageNetCap(t), 3.0 * gateC(2.0 * wmin, t));
+    EXPECT_GT(logicGateEnergy(t), 0.0);
+}
+
+TEST(BufferChain, SingleStageForSmallLoad)
+{
+    const auto &t = tech65();
+    const Inverter unit(minWidth(t), t);
+    const BufferChain c(2.0 * unit.inputC(t), t);
+    EXPECT_LE(c.numStages(), 2);
+}
+
+TEST(BufferChain, StageCountGrowsLogarithmically)
+{
+    const auto &t = tech65();
+    const Inverter unit(minWidth(t), t);
+    const BufferChain small(10.0 * unit.inputC(t), t);
+    const BufferChain big(1000.0 * unit.inputC(t), t);
+    EXPECT_GT(big.numStages(), small.numStages());
+    EXPECT_LE(big.numStages(), small.numStages() + 4);
+}
+
+TEST(BufferChain, DelayMonotonicInLoad)
+{
+    const auto &t = tech65();
+    double prev = 0.0;
+    for (double load_ff : {1.0, 10.0, 100.0, 1000.0}) {
+        const BufferChain c(load_ff * fF, t);
+        EXPECT_GT(c.delay(), prev);
+        prev = c.delay();
+    }
+}
+
+TEST(BufferChain, EnergyAtLeastLoadEnergy)
+{
+    const auto &t = tech65();
+    const double load = 200.0 * fF;
+    const BufferChain c(load, t);
+    EXPECT_GE(c.energyPerEvent(), load * t.vdd() * t.vdd());
+}
+
+TEST(BufferChain, MinStagesRespected)
+{
+    const auto &t = tech65();
+    const BufferChain c(1.0 * fF, t, 0.0, 3);
+    EXPECT_GE(c.numStages(), 3);
+}
+
+TEST(Elmore, HandComputedLadder)
+{
+    // Driver 1k into two segments (1k, 1fF at the far node each) +
+    // 1 fF load.  Elmore by hand: the driver and the first segment
+    // each charge all 3 fF downstream of them (segment caps sit at
+    // the far node), the second charges its node + load (2 fF).
+    const std::vector<RcSegment> segs = {{1000.0, 1.0 * fF},
+                                         {1000.0, 1.0 * fF}};
+    const double d = elmoreLadderDelay(1000.0, segs, 1.0 * fF);
+    const double expected =
+        rcDelayFactor * (1000.0 * 3e-15 + 1000.0 * 3e-15 +
+                         1000.0 * 2e-15);
+    EXPECT_NEAR(d, expected, expected * 1e-9);
+}
+
+TEST(Elmore, DistributedLineLimits)
+{
+    // With no wire, reduces to lumped RC.
+    const double d = distributedLineDelay(1000.0, 0.0, 0.0, 2.0 * fF);
+    EXPECT_NEAR(d, rcDelayFactor * 1000.0 * 2e-15, 1e-18);
+    // Wire-only delay uses the 0.38 distributed factor.
+    const double dw = distributedLineDelay(0.0, 1000.0, 2.0 * fF, 0.0);
+    EXPECT_NEAR(dw, 0.38 * 1000.0 * 2e-15, 1e-18);
+}
+
+TEST(Elmore, TreeMatchesLadder)
+{
+    // A degenerate tree (chain) must match the ladder formula.
+    RcTree tree(0.0);
+    const auto n1 = tree.addNode(0, 1000.0, 1.0 * fF);
+    const auto n2 = tree.addNode(n1, 1000.0, 1.0 * fF);
+    tree.addCap(n2, 1.0 * fF);
+    const std::vector<RcSegment> segs = {{1000.0, 1.0 * fF},
+                                         {1000.0, 1.0 * fF}};
+    EXPECT_NEAR(tree.delayTo(n2, 500.0),
+                elmoreLadderDelay(500.0, segs, 1.0 * fF), 1e-18);
+}
+
+TEST(Elmore, BranchOffPathCountsOnlyForSharedResistance)
+{
+    RcTree tree(0.0);
+    const auto trunk = tree.addNode(0, 1000.0, 1.0 * fF);
+    const auto sink = tree.addNode(trunk, 1000.0, 1.0 * fF);
+    const auto branch = tree.addNode(trunk, 1000.0, 4.0 * fF);
+    (void)branch;
+    // Branch cap is charged through the trunk resistance but not the
+    // sink's own segment.
+    const double d = tree.delayTo(sink, 0.0);
+    const double expected = rcDelayFactor *
+        (1000.0 * (1e-15 + 1e-15 + 4e-15) + 1000.0 * 1e-15);
+    EXPECT_NEAR(d, expected, expected * 1e-9);
+}
+
+TEST(Elmore, TotalCap)
+{
+    RcTree tree(1.0 * fF);
+    tree.addNode(0, 100.0, 2.0 * fF);
+    EXPECT_NEAR(tree.totalCap(), 3.0 * fF, 1e-21);
+}
+
+TEST(Wire, RcProportionalToLength)
+{
+    const auto &t = tech65();
+    const Wire w1(1.0 * mm, WireLayer::Global, t);
+    const Wire w2(2.0 * mm, WireLayer::Global, t);
+    EXPECT_NEAR(w2.resistance(), 2.0 * w1.resistance(), 1e-6);
+    EXPECT_NEAR(w2.capacitance(), 2.0 * w1.capacitance(), 1e-20);
+}
+
+TEST(RepeatedWire, DelayLinearInLength)
+{
+    const auto &t = tech65();
+    const RepeatedWire w1(2.0 * mm, WireLayer::Global, t);
+    const RepeatedWire w4(8.0 * mm, WireLayer::Global, t);
+    EXPECT_NEAR(w4.delay() / w1.delay(), 4.0, 0.5);
+}
+
+TEST(RepeatedWire, BeatsUnrepeatedForLongWires)
+{
+    const auto &t = tech65();
+    const double len = 5.0 * mm;
+    const RepeatedWire rep(len, WireLayer::Global, t);
+    const Wire flat(len, WireLayer::Global, t);
+    const Inverter drv(8.0 * minWidth(t), t);
+    EXPECT_LT(rep.delay(),
+              flat.unrepeatedDelay(drv.outputRes(t), drv.inputC(t)));
+}
+
+TEST(RepeatedWire, DeratingTradesDelayForEnergy)
+{
+    const auto &t = tech65();
+    const RepeatedWire full(4.0 * mm, WireLayer::Global, t, 1.0);
+    const RepeatedWire derated(4.0 * mm, WireLayer::Global, t, 0.5);
+    EXPECT_GT(derated.delay(), full.delay());
+    EXPECT_LT(derated.energyPerEvent(), full.energyPerEvent());
+    EXPECT_LT(derated.subthresholdLeakage(),
+              full.subthresholdLeakage());
+}
+
+TEST(RepeatedWire, InvalidDeratingRejected)
+{
+    const auto &t = tech65();
+    EXPECT_THROW(RepeatedWire(1.0 * mm, WireLayer::Global, t, 0.0),
+                 ModelError);
+    EXPECT_THROW(RepeatedWire(1.0 * mm, WireLayer::Global, t, 1.5),
+                 ModelError);
+}
+
+TEST(LowSwingWire, SavesEnergyOverFullSwing)
+{
+    const auto &t = tech65();
+    const double len = 5.0 * mm;
+    const LowSwingWire low(len, WireLayer::Global, t);
+    const RepeatedWire full(len, WireLayer::Global, t);
+    EXPECT_LT(low.energyPerEvent(), full.energyPerEvent());
+}
+
+TEST(Dff, EnergiesAndAreaPositive)
+{
+    const auto &t = tech65();
+    const Dff d(t);
+    EXPECT_GT(d.inputC(), 0.0);
+    EXPECT_GT(d.clockC(), 0.0);
+    EXPECT_GT(d.dataEnergy(), 0.0);
+    EXPECT_GT(d.clockEnergyPerCycle(), 0.0);
+    EXPECT_DOUBLE_EQ(d.area(), t.dffArea());
+}
+
+TEST(DffBank, LinearInBits)
+{
+    const auto &t = tech65();
+    const DffBank b1(64, t);
+    const DffBank b2(128, t);
+    EXPECT_NEAR(b2.area(), 2.0 * b1.area(), 1e-15);
+    EXPECT_NEAR(b2.clockLoad(), 2.0 * b1.clockLoad(), 1e-20);
+    EXPECT_NEAR(b2.energyPerCycle(0.3), 2.0 * b1.energyPerCycle(0.3),
+                1e-18);
+}
+
+TEST(DffBank, ClockEnergyEvenWhenDataIdle)
+{
+    const auto &t = tech65();
+    const DffBank b(64, t);
+    EXPECT_GT(b.energyPerCycle(0.0), 0.0);
+    EXPECT_GT(b.energyPerCycle(0.5), b.energyPerCycle(0.0));
+}
+
+TEST(ClockNetwork, EnergyGrowsWithArea)
+{
+    const auto &t = tech65();
+    const ClockNetwork small(4.0 * mm2, 10.0 * pF, t);
+    const ClockNetwork big(100.0 * mm2, 10.0 * pF, t);
+    EXPECT_GT(big.energyPerCycle(), small.energyPerCycle());
+    EXPECT_GT(big.wireLength(), small.wireLength());
+}
+
+TEST(ClockNetwork, SinkCapAddsEnergy)
+{
+    const auto &t = tech65();
+    const ClockNetwork light(10.0 * mm2, 1.0 * pF, t);
+    const ClockNetwork heavy(10.0 * mm2, 100.0 * pF, t);
+    EXPECT_GT(heavy.energyPerCycle(), light.energyPerCycle());
+}
+
+TEST(ClockNetwork, CoarserGridCheaper)
+{
+    const auto &t = tech65();
+    const ClockNetwork dense(10.0 * mm2, 10.0 * pF, t, 20.0 * um);
+    const ClockNetwork sparse(10.0 * mm2, 10.0 * pF, t, 80.0 * um);
+    EXPECT_GT(dense.energyPerCycle(), sparse.energyPerCycle());
+}
+
+TEST(ClockNetwork, ReportScalesWithFrequencyAndGating)
+{
+    const auto &t = tech65();
+    const ClockNetwork net(10.0 * mm2, 10.0 * pF, t);
+    const Report r1 = net.makeReport(1.0 * GHz);
+    const Report r2 = net.makeReport(2.0 * GHz);
+    EXPECT_NEAR(r2.peakDynamic, 2.0 * r1.peakDynamic, 1e-9);
+    const Report gated = net.makeReport(1.0 * GHz, 0.5);
+    EXPECT_NEAR(gated.runtimeDynamic, 0.5 * r1.runtimeDynamic, 1e-12);
+    EXPECT_DOUBLE_EQ(gated.peakDynamic, r1.peakDynamic);
+}
+
+/** Property sweep: repeated wires behave physically on all layers and
+ *  lengths. */
+class RepeatedWireSweep
+    : public ::testing::TestWithParam<std::tuple<double, WireLayer>>
+{};
+
+TEST_P(RepeatedWireSweep, PhysicalResults)
+{
+    const auto [len_mm, layer] = GetParam();
+    const auto &t = tech65();
+    const RepeatedWire w(len_mm * mm, layer, t);
+    EXPECT_GT(w.delay(), 0.0);
+    EXPECT_GT(w.energyPerEvent(), 0.0);
+    EXPECT_GT(w.subthresholdLeakage(), 0.0);
+    EXPECT_GE(w.numRepeaters(), 1);
+    // Sub-30 ps/mm on any layer would beat speed of light in silicon
+    // interconnect practice; sanity-band the per-length delay.
+    const double d_per_mm = w.delay() / (len_mm);
+    EXPECT_GT(d_per_mm, 20.0 * ps);
+    EXPECT_LT(d_per_mm, 2000.0 * ps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthsAndLayers, RepeatedWireSweep,
+    ::testing::Combine(::testing::Values(0.25, 1.0, 4.0, 16.0),
+                       ::testing::Values(WireLayer::Local,
+                                         WireLayer::Intermediate,
+                                         WireLayer::Global)));

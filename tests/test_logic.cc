@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Regular-logic model tests: functional units, decoders, dependency
+ * check, arbiters, renaming structures, instruction windows, bypass
+ * networks, and pipeline registers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "logic/arbiter.hh"
+#include "logic/bypass.hh"
+#include "logic/dependency_check.hh"
+#include "logic/functional_unit.hh"
+#include "logic/inst_decoder.hh"
+#include "logic/pipeline_reg.hh"
+#include "logic/renaming_logic.hh"
+#include "logic/scheduler_logic.hh"
+
+using namespace mcpat;
+using namespace mcpat::logic;
+using tech::Technology;
+
+namespace {
+const Technology &
+tech65()
+{
+    static const Technology t(65);
+    return t;
+}
+} // namespace
+
+TEST(FunctionalUnit, EnergyAndAreaOrdering)
+{
+    const FunctionalUnit alu(FuType::IntAlu, tech65());
+    const FunctionalUnit mul(FuType::Mul, tech65());
+    const FunctionalUnit fpu(FuType::Fpu, tech65());
+    EXPECT_LT(alu.energyPerOp(), mul.energyPerOp());
+    EXPECT_LT(mul.energyPerOp(), fpu.energyPerOp());
+    EXPECT_LT(alu.area(), mul.area());
+    EXPECT_LT(mul.area(), fpu.area());
+    EXPECT_LT(alu.latency(), fpu.latency());
+}
+
+TEST(FunctionalUnit, TechnologyScaling)
+{
+    const Technology t90(90);
+    const Technology t22(22);
+    const FunctionalUnit f90(FuType::Fpu, t90);
+    const FunctionalUnit f22(FuType::Fpu, t22);
+    // Area ~ F^2, energy ~ F * Vdd^2.
+    EXPECT_NEAR(f90.area() / f22.area(), (90.0 * 90) / (22.0 * 22),
+                1e-6);
+    EXPECT_GT(f90.energyPerOp(), 2.0 * f22.energyPerOp());
+}
+
+TEST(FunctionalUnit, ReportArithmetic)
+{
+    const FunctionalUnit alu(FuType::IntAlu, tech65());
+    const Report r = alu.makeReport("ALU", 2.0 * GHz, 0.8, 0.4);
+    EXPECT_NEAR(r.peakDynamic, alu.energyPerOp() * 0.8 * 2.0 * GHz,
+                1e-12);
+    EXPECT_NEAR(r.runtimeDynamic, r.peakDynamic / 2.0, 1e-12);
+}
+
+TEST(LogicLeakage, ProportionalToArea)
+{
+    const auto l1 = logicBlockLeakage(1.0 * mm2, tech65());
+    const auto l2 = logicBlockLeakage(2.0 * mm2, tech65());
+    EXPECT_NEAR(l2.subthreshold, 2.0 * l1.subthreshold, 1e-9);
+    EXPECT_NEAR(l2.gate, 2.0 * l1.gate, 1e-9);
+}
+
+TEST(InstDecoder, CiscCostsMoreThanRisc)
+{
+    const InstDecoder risc(4, false, 7, tech65());
+    const InstDecoder cisc(4, true, 8, tech65());
+    EXPECT_GT(cisc.area(), 2.0 * risc.area());  // + microcode ROM
+    EXPECT_GT(cisc.energyPerInst(), risc.energyPerInst());
+    EXPECT_GT(cisc.delay(), risc.delay());
+}
+
+TEST(InstDecoder, WidthScalesArea)
+{
+    const InstDecoder w1(1, false, 7, tech65());
+    const InstDecoder w4(4, false, 7, tech65());
+    EXPECT_NEAR(w4.area() / w1.area(), 4.0, 1e-6);
+}
+
+TEST(InstDecoder, BadParamsRejected)
+{
+    EXPECT_THROW(InstDecoder(0, false, 7, tech65()), ConfigError);
+    EXPECT_THROW(InstDecoder(2, false, 2, tech65()), ConfigError);
+}
+
+TEST(DependencyCheck, GrowsQuadraticallyWithWidth)
+{
+    const DependencyCheck w2(2, 8, tech65());
+    const DependencyCheck w8(8, 8, tech65());
+    // width*(width-1) comparators: 8 wide has 28x the pairs of 2 wide.
+    EXPECT_GT(w8.area() / w2.area(), 8.0);
+    EXPECT_GT(w8.energyPerGroup(), w2.energyPerGroup());
+}
+
+TEST(DependencyCheck, SingleInstructionGroupIsCheap)
+{
+    const DependencyCheck w1(1, 8, tech65());
+    EXPECT_GT(w1.area(), 0.0);  // still has mux gates
+    const DependencyCheck w4(4, 8, tech65());
+    EXPECT_LT(w1.area(), w4.area());
+}
+
+TEST(Arbiter, CostsGrowWithRequestors)
+{
+    const Arbiter a4(4, tech65());
+    const Arbiter a16(16, tech65());
+    EXPECT_GT(a16.area(), a4.area());
+    EXPECT_GT(a16.energyPerArb(), a4.energyPerArb());
+    EXPECT_GT(a16.delay(), a4.delay());
+}
+
+TEST(Arbiter, DelayLogarithmic)
+{
+    const Arbiter a4(4, tech65());
+    const Arbiter a64(64, tech65());
+    // 16x requestors should cost ~2x delay (log growth), not 16x.
+    EXPECT_LT(a64.delay(), 3.0 * a4.delay());
+}
+
+TEST(Rat, CamCostsMoreSearchThanRamRead)
+{
+    const Rat ram(32, 128, 4, 1, RatStyle::Ram, tech65());
+    const Rat cam(32, 128, 4, 1, RatStyle::Cam, tech65());
+    EXPECT_GT(cam.energyPerRename(), ram.energyPerRename());
+}
+
+TEST(Rat, ThreadsReplicateRamTable)
+{
+    const Rat one(32, 128, 4, 1, RatStyle::Ram, tech65());
+    const Rat four(32, 128, 4, 4, RatStyle::Ram, tech65());
+    EXPECT_GT(four.area(), 2.0 * one.area());
+}
+
+TEST(Rat, InvalidSizesRejected)
+{
+    EXPECT_THROW(Rat(64, 32, 4, 1, RatStyle::Ram, tech65()),
+                 ConfigError);
+}
+
+TEST(FreeList, Physical)
+{
+    const FreeList fl(128, 4, tech65());
+    EXPECT_GT(fl.area(), 0.0);
+    EXPECT_GT(fl.energyPerAlloc(), 0.0);
+    EXPECT_THROW(FreeList(1, 4, tech65()), ConfigError);
+}
+
+TEST(InstructionWindow, WakeupScalesWithEntries)
+{
+    const InstructionWindow small(16, 8, 40, 4, tech65());
+    const InstructionWindow big(128, 8, 40, 4, tech65());
+    EXPECT_GT(big.wakeupEnergy(), 2.0 * small.wakeupEnergy());
+    EXPECT_GT(big.area(), small.area());
+    EXPECT_GT(big.delay(), small.delay());
+}
+
+TEST(InstructionWindow, EnergiesPositive)
+{
+    const InstructionWindow w(64, 8, 48, 4, tech65());
+    EXPECT_GT(w.wakeupEnergy(), 0.0);
+    EXPECT_GT(w.issueEnergy(), 0.0);
+    EXPECT_GT(w.dispatchEnergy(), 0.0);
+    EXPECT_GT(w.subthresholdLeakage(), 0.0);
+}
+
+TEST(SelectionLogic, DelayGrowsSlowly)
+{
+    const SelectionLogic s16(16, 4, tech65());
+    const SelectionLogic s256(256, 4, tech65());
+    EXPECT_GT(s256.delay(), s16.delay());
+    EXPECT_LT(s256.delay(), 4.0 * s16.delay());
+    EXPECT_GT(s256.area(), s16.area());
+}
+
+TEST(BypassNetwork, EnergyGrowsWithSpanAndWidth)
+{
+    const BypassNetwork narrow(4, 10, 64, 8, 1.0 * mm, tech65());
+    const BypassNetwork wide(4, 10, 128, 8, 1.0 * mm, tech65());
+    const BypassNetwork longer(4, 10, 64, 8, 3.0 * mm, tech65());
+    EXPECT_GT(wide.energyPerBypass(), narrow.energyPerBypass());
+    EXPECT_GT(longer.energyPerBypass(), narrow.energyPerBypass());
+    EXPECT_GT(longer.delay(), narrow.delay());
+}
+
+TEST(BypassNetwork, LeakageScalesWithProducers)
+{
+    const BypassNetwork few(2, 8, 64, 8, 1.0 * mm, tech65());
+    const BypassNetwork many(8, 8, 64, 8, 1.0 * mm, tech65());
+    EXPECT_GT(many.subthresholdLeakage(),
+              2.0 * few.subthresholdLeakage());
+}
+
+TEST(PipelineRegisters, LinearInStagesAndBits)
+{
+    const PipelineRegisters a(8, 256, tech65());
+    const PipelineRegisters b(16, 256, tech65());
+    const PipelineRegisters c(8, 512, tech65());
+    EXPECT_NEAR(b.area() / a.area(), 2.0, 1e-9);
+    EXPECT_NEAR(c.clockLoad() / a.clockLoad(), 2.0, 1e-9);
+    EXPECT_EQ(a.totalBits(), 8 * 256);
+}
+
+TEST(PipelineRegisters, ActivityScalesDataEnergy)
+{
+    const PipelineRegisters p(8, 256, tech65());
+    EXPECT_NEAR(p.energyPerCycle(0.4), 2.0 * p.energyPerCycle(0.2),
+                1e-15);
+    EXPECT_DOUBLE_EQ(p.energyPerCycle(0.0), 0.0);
+}
+
+/** Property sweep: instruction windows across sizes and widths. */
+class WindowSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(WindowSweep, Physical)
+{
+    const auto [entries, width] = GetParam();
+    const InstructionWindow w(entries, 8, 48, width, tech65());
+    EXPECT_GT(w.area(), 0.0);
+    EXPECT_GT(w.wakeupEnergy(), 0.0);
+    EXPECT_GT(w.delay(), 0.0);
+    EXPECT_LT(w.delay(), 10.0 * ns);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EntriesAndWidths, WindowSweep,
+    ::testing::Combine(::testing::Values(8, 32, 64, 128),
+                       ::testing::Values(1, 2, 4, 8)));

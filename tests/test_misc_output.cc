@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Remaining-path tests: the human-readable report printer, the torus
+ * fabric, end-to-end chips at interpolated technology nodes, and the
+ * case-study work parameter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <iomanip>
+#include <sstream>
+
+#include "chip/processor.hh"
+#include "chip/report_printer.hh"
+#include "study/sweep.hh"
+#include "uncore/noc.hh"
+
+using namespace mcpat;
+
+TEST(ReportPrinter, FormatsHierarchy)
+{
+    Report r;
+    r.name = "Chip";
+    r.area = 100.0 * mm2;
+    r.peakDynamic = 50.0;
+    Report child;
+    child.name = "Core";
+    child.area = 10.0 * mm2;
+    child.criticalPath = 0.5 * ns;
+    r.addChild(std::move(child));
+
+    std::ostringstream os;
+    chip::printReport(os, r, 3);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("Chip:"), std::string::npos);
+    EXPECT_NE(s.find("  Core:"), std::string::npos);
+    EXPECT_NE(s.find("Area = 110.0000 mm^2"), std::string::npos);
+    EXPECT_NE(s.find("Peak Dynamic = 50.0000 W"), std::string::npos);
+    EXPECT_NE(s.find("Critical Path = 0.5000 ns"), std::string::npos);
+}
+
+TEST(ReportPrinter, DepthLimitsChildren)
+{
+    Report r;
+    r.name = "Top";
+    Report mid;
+    mid.name = "Mid";
+    Report leaf;
+    leaf.name = "Leaf";
+    mid.addChild(std::move(leaf));
+    r.addChild(std::move(mid));
+
+    std::ostringstream shallow;
+    chip::printReport(shallow, r, 0);
+    EXPECT_EQ(shallow.str().find("Mid:"), std::string::npos);
+
+    std::ostringstream deep;
+    chip::printReport(deep, r, 2);
+    EXPECT_NE(deep.str().find("Leaf:"), std::string::npos);
+}
+
+TEST(ReportPrinter, RestoresStreamState)
+{
+    std::ostringstream os;
+    os << std::setprecision(3);
+    Report r;
+    r.name = "x";
+    chip::printReport(os, r, 0);
+    os << 1.23456789;
+    EXPECT_NE(os.str().find("1.23"), std::string::npos);
+    EXPECT_EQ(os.str().find("1.234567"), std::string::npos);
+}
+
+TEST(Torus, FewerHopsMoreLinksThanMesh)
+{
+    const tech::Technology t(45);
+    uncore::NocParams mesh;
+    mesh.nodesX = mesh.nodesY = 4;
+    uncore::NocParams torus = mesh;
+    torus.topology = uncore::NocTopology::Torus2D;
+    const uncore::Noc nm(mesh, t);
+    const uncore::Noc nt(torus, t);
+    EXPECT_LT(nt.averageHops(), nm.averageHops());
+    // Wraparound channels cost area.
+    EXPECT_GT(nt.area(), nm.area());
+}
+
+TEST(Torus, ReportPhysical)
+{
+    const tech::Technology t(45);
+    uncore::NocParams p;
+    p.topology = uncore::NocTopology::Torus2D;
+    p.nodesX = p.nodesY = 4;
+    const uncore::Noc n(p, t);
+    const Report r = n.makeReport(2.0, 1.0);
+    EXPECT_GT(r.peakDynamic, 0.0);
+    EXPECT_GT(r.subthresholdLeakage, 0.0);
+}
+
+TEST(InterpolatedNode, FullChipAt28nm)
+{
+    chip::SystemParams sys;
+    sys.nodeNm = 28;
+    sys.numCores = 4;
+    sys.numL2 = 1;
+    sys.l2.capacityBytes = 2.0 * 1024 * 1024;
+    const chip::Processor p(sys);
+    EXPECT_GT(p.tdp(), 0.0);
+
+    // A 28 nm chip must land between its 32 and 22 nm brackets.
+    chip::SystemParams sys32 = sys;
+    sys32.nodeNm = 32;
+    chip::SystemParams sys22 = sys;
+    sys22.nodeNm = 22;
+    const chip::Processor p32(sys32);
+    const chip::Processor p22(sys22);
+    EXPECT_LT(p.area(), p32.area());
+    EXPECT_GT(p.area(), p22.area());
+}
+
+TEST(CaseStudy, WorkParameterScalesDelayNotPower)
+{
+    study::CaseStudyConfig cfg;
+    cfg.totalCores = 16;
+    const auto r1 = study::evaluateDesignPoint(cfg, 1.0e12);
+    const auto r2 = study::evaluateDesignPoint(cfg, 2.0e12);
+    // Twice the work: twice the delay and energy, 4x ED, same power.
+    EXPECT_NEAR(r2.workloads[0].figures.delay,
+                2.0 * r1.workloads[0].figures.delay,
+                r1.workloads[0].figures.delay * 1e-9);
+    EXPECT_NEAR(r2.meanMetrics.ed / r1.meanMetrics.ed, 4.0, 1e-6);
+    EXPECT_NEAR(r2.meanPower, r1.meanPower, r1.meanPower * 1e-9);
+}

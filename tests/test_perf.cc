@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Performance-substrate tests: workload characterizations, the CPI
+ * model's first-order behaviors, the multicore contention model, and
+ * the activity bridge.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/processor.hh"
+#include "perf/activity_gen.hh"
+#include "study/sweep.hh"
+
+using namespace mcpat;
+using namespace mcpat::perf;
+
+namespace {
+
+core::CoreParams
+oooCore()
+{
+    core::CoreParams p;
+    p.clockRate = 2.0 * GHz;
+    return p;
+}
+
+MemoryHierarchy
+defaultMem()
+{
+    MemoryHierarchy m;
+    m.l2CapacityPerCore = 1.0e6;
+    m.memoryCycles = 200.0;
+    return m;
+}
+
+} // namespace
+
+TEST(Workloads, EightEntries)
+{
+    EXPECT_EQ(splash2Workloads().size(), 8u);
+    EXPECT_NO_THROW(findWorkload("ocean"));
+    EXPECT_THROW(findWorkload("nonexistent"), ConfigError);
+}
+
+TEST(Workloads, MixSumsToOne)
+{
+    for (const auto &w : splash2Workloads()) {
+        const double sum = w.fracInt + w.fracFp + w.fracMul +
+                           w.fracLoad + w.fracStore + w.fracBranch;
+        EXPECT_NEAR(sum, 1.0, 0.02) << w.name;
+    }
+}
+
+TEST(Workloads, MissCurvesDecreaseWithCapacity)
+{
+    for (const auto &w : splash2Workloads()) {
+        EXPECT_GT(w.l1dMissesPerInst(8 * 1024),
+                  w.l1dMissesPerInst(64 * 1024))
+            << w.name;
+        EXPECT_GT(w.l2MissesPerInst(256 * 1024),
+                  w.l2MissesPerInst(4 * 1024 * 1024))
+            << w.name;
+    }
+}
+
+TEST(Workloads, MissRateCapped)
+{
+    const auto &w = findWorkload("ocean");
+    EXPECT_LE(w.l1dMissesPerInst(16.0), 0.25);  // degenerate capacity
+}
+
+TEST(Workloads, ParallelEfficiencyBounds)
+{
+    for (const auto &w : splash2Workloads()) {
+        EXPECT_DOUBLE_EQ(w.parallelEfficiency(1), 1.0);
+        EXPECT_NEAR(w.parallelEfficiency(64),
+                    w.parallelEfficiencyAt64, 1e-9);
+        EXPECT_GT(w.parallelEfficiency(256), 0.0);
+        EXPECT_LT(w.parallelEfficiency(16), 1.0);
+    }
+}
+
+TEST(CpiModel, IpcBoundedByIssueWidth)
+{
+    for (const auto &w : splash2Workloads()) {
+        const auto r =
+            computeCoreThroughput(oooCore(), w, defaultMem());
+        EXPECT_LE(r.coreIpc, oooCore().issueWidth);
+        EXPECT_GT(r.coreIpc, 0.0);
+    }
+}
+
+TEST(CpiModel, BiggerCachesHelp)
+{
+    core::CoreParams small = oooCore();
+    small.dcache.capacityBytes = 8 * 1024;
+    core::CoreParams big = oooCore();
+    big.dcache.capacityBytes = 64 * 1024;
+    const auto &w = findWorkload("ocean");
+    const auto rs = computeCoreThroughput(small, w, defaultMem());
+    const auto rb = computeCoreThroughput(big, w, defaultMem());
+    EXPECT_GT(rb.coreIpc, rs.coreIpc);
+    EXPECT_GT(rs.l1dMissesPerInst, rb.l1dMissesPerInst);
+}
+
+TEST(CpiModel, MemoryLatencyHurts)
+{
+    MemoryHierarchy fast = defaultMem();
+    MemoryHierarchy slow = defaultMem();
+    slow.memoryCycles = 800.0;
+    const auto &w = findWorkload("radix");
+    const auto rf = computeCoreThroughput(oooCore(), w, fast);
+    const auto rs = computeCoreThroughput(oooCore(), w, slow);
+    EXPECT_GT(rf.coreIpc, rs.coreIpc);
+}
+
+TEST(CpiModel, OooOverlapsMemoryStalls)
+{
+    core::CoreParams ooo = oooCore();
+    core::CoreParams inorder = oooCore();
+    inorder.outOfOrder = false;
+    const auto &w = findWorkload("ocean");
+    const auto ro = computeCoreThroughput(ooo, w, defaultMem());
+    const auto ri = computeCoreThroughput(inorder, w, defaultMem());
+    EXPECT_GT(ro.coreIpc, ri.coreIpc);
+    EXPECT_LT(ro.threadCpi.memory, ri.threadCpi.memory);
+}
+
+TEST(CpiModel, MultithreadingHidesStalls)
+{
+    core::CoreParams one = oooCore();
+    one.outOfOrder = false;
+    one.threads = 1;
+    core::CoreParams four = one;
+    four.threads = 4;
+    const auto &w = findWorkload("ocean");
+    const auto r1 = computeCoreThroughput(one, w, defaultMem());
+    const auto r4 = computeCoreThroughput(four, w, defaultMem());
+    EXPECT_GT(r4.coreIpc, 1.5 * r1.coreIpc);
+}
+
+TEST(CpiModel, BranchyWorkloadsSufferWithDeepPipes)
+{
+    core::CoreParams shallow = oooCore();
+    shallow.pipelineStages = 8;
+    core::CoreParams deep = oooCore();
+    deep.pipelineStages = 30;
+    const auto &w = findWorkload("raytrace");
+    const auto rs = computeCoreThroughput(shallow, w, defaultMem());
+    const auto rd = computeCoreThroughput(deep, w, defaultMem());
+    EXPECT_GT(rs.coreIpc, rd.coreIpc);
+    EXPECT_GT(rd.threadCpi.branch, rs.threadCpi.branch);
+}
+
+TEST(SystemModel, ThroughputGrowsSublinearlyWithCores)
+{
+    study::CaseStudyConfig cfg;
+    cfg.style = study::CoreStyle::OutOfOrder;
+    cfg.coresPerCluster = 4;
+
+    cfg.totalCores = 16;
+    const auto sys16 = study::makeCaseStudySystem(cfg);
+    cfg.totalCores = 64;
+    const auto sys64 = study::makeCaseStudySystem(cfg);
+
+    const auto &w = findWorkload("barnes");
+    const auto p16 = evaluateSystem(sys16, w);
+    const auto p64 = evaluateSystem(sys64, w);
+    EXPECT_GT(p64.throughput, 1.5 * p16.throughput);
+    EXPECT_LT(p64.throughput, 4.0 * p16.throughput);
+}
+
+TEST(SystemModel, BandwidthCapsMemoryBoundWorkloads)
+{
+    study::CaseStudyConfig cfg;
+    cfg.totalCores = 64;
+    auto sys = study::makeCaseStudySystem(cfg);
+    sys.memCtrl.channels = 1;  // starve the chip
+    sys.memCtrl.busClock = 200.0 * MHz;
+    const auto p = evaluateSystem(sys, findWorkload("ocean"));
+    EXPECT_TRUE(p.bandwidthLimited);
+    EXPECT_GT(p.memBandwidthUtil, 0.9);
+}
+
+TEST(SystemModel, ComputeBoundWorkloadsNotCapped)
+{
+    study::CaseStudyConfig cfg;
+    const auto sys = study::makeCaseStudySystem(cfg);
+    const auto p = evaluateSystem(sys, findWorkload("water"));
+    EXPECT_FALSE(p.bandwidthLimited);
+}
+
+TEST(SystemModel, OutputsConsistent)
+{
+    study::CaseStudyConfig cfg;
+    const auto sys = study::makeCaseStudySystem(cfg);
+    const auto p = evaluateSystem(sys, findWorkload("fft"));
+    EXPECT_NEAR(p.aggregateIpc, p.perCoreIpc * sys.numCores, 1e-9);
+    EXPECT_NEAR(p.throughput, p.aggregateIpc * sys.core.clockRate,
+                1.0);
+    EXPECT_GE(p.l2AccessesPerCycle, p.l2MissesPerCycle);
+    EXPECT_GT(p.nocFlitsPerCycle, 0.0);
+}
+
+TEST(ActivityGen, RatesNonNegativeAndConsistent)
+{
+    study::CaseStudyConfig cfg;
+    const auto sys = study::makeCaseStudySystem(cfg);
+    for (const auto &w : splash2Workloads()) {
+        const auto p = evaluateSystem(sys, w);
+        const auto s = makeRuntimeStats(sys, w, p);
+        const auto &c = s.perCore;
+        EXPECT_GE(c.fetches, c.commits) << w.name;
+        EXPECT_GE(c.loads, 0.0);
+        EXPECT_GE(c.dcacheRates.readHits, 0.0) << w.name;
+        EXPECT_GE(c.icacheRates.readMisses, 0.0);
+        EXPECT_LE(c.clockGating, 1.0);
+        EXPECT_GE(c.clockGating, 0.3);
+        EXPECT_GE(s.mcUtilization, 0.0);
+        EXPECT_LE(s.mcUtilization, 1.0);
+    }
+}
+
+TEST(ActivityGen, RuntimePowerBelowTdp)
+{
+    study::CaseStudyConfig cfg;
+    const auto sys = study::makeCaseStudySystem(cfg);
+    const chip::Processor proc(sys);
+    for (const char *name : {"water", "ocean"}) {
+        const auto &w = findWorkload(name);
+        const auto p = evaluateSystem(sys, w);
+        const auto rt = makeRuntimeStats(sys, w, p);
+        const Report r = proc.makeReport(rt);
+        EXPECT_LT(r.runtimePower(), proc.tdp() * 1.05) << name;
+        EXPECT_GT(r.runtimePower(), r.leakage()) << name;
+    }
+}
+
+/** Property sweep: the CPI model behaves on every workload x style. */
+class CpiWorkloadSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool>>
+{};
+
+TEST_P(CpiWorkloadSweep, Physical)
+{
+    const auto [wi, ooo] = GetParam();
+    core::CoreParams p = oooCore();
+    p.outOfOrder = ooo;
+    const auto &w = splash2Workloads()[wi];
+    const auto r = computeCoreThroughput(p, w, defaultMem());
+    EXPECT_GT(r.threadCpi.total(), 0.2);
+    EXPECT_LT(r.threadCpi.total(), 50.0);
+    EXPECT_GE(r.threadCpi.branch, 0.0);
+    EXPECT_GE(r.threadCpi.memory, 0.0);
+    EXPECT_GT(r.coreIpc, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, CpiWorkloadSweep,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Bool()));

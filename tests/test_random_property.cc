@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Randomized property tests: generate pseudo-random (seeded,
+ * deterministic) system configurations and check the invariants every
+ * valid configuration must satisfy — no crashes, physical outputs,
+ * consistent report trees, and monotone responses to activity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "chip/processor.hh"
+#include "perf/activity_gen.hh"
+
+using namespace mcpat;
+
+namespace {
+
+/** Deterministic random configuration generator. */
+class ConfigGen
+{
+  public:
+    explicit ConfigGen(unsigned seed) : _rng(seed) {}
+
+    chip::SystemParams
+    next()
+    {
+        chip::SystemParams sys;
+        sys.nodeNm = pick({180, 90, 65, 45, 32, 22});
+        sys.coreFlavor = pick({tech::DeviceFlavor::HP,
+                               tech::DeviceFlavor::LOP});
+        sys.temperature = uniform(320.0, 400.0);
+        sys.numCores = pick({1, 2, 4, 8, 16});
+
+        auto &c = sys.core;
+        c.outOfOrder = flip();
+        c.threads = pick({1, 2, 4});
+        const int width = pick({1, 2, 4, 8});
+        c.fetchWidth = c.decodeWidth = c.issueWidth = c.commitWidth =
+            width;
+        c.intAlus = std::max(1, width - 1);
+        c.fpus = pick({0, 1, 2});
+        c.hasFpu = c.fpus > 0;
+        c.muls = pick({0, 1});
+        c.pipelineStages = pick({5, 8, 12, 20, 31});
+        c.robEntries = pick({32, 64, 128, 192});
+        c.intWindowEntries = pick({8, 16, 32, 64});
+        c.fpWindowEntries = 16;
+        c.physIntRegs = pick({64, 128, 256});
+        c.physFpRegs = pick({64, 128});
+        c.ratStyle = flip() ? logic::RatStyle::Ram
+                            : logic::RatStyle::Cam;
+        c.hasBranchPredictor = flip();
+        c.powerGating = flip();
+        // Slow clocks at big nodes, fast at small ones.
+        c.clockRate = uniform(0.5, 1.5) * 4.0e10 / sys.nodeNm;
+        c.icache.capacityBytes = pick({8, 16, 32, 64}) * 1024.0;
+        c.dcache.capacityBytes = pick({8, 16, 32, 64}) * 1024.0;
+        c.icache.assoc = pick({1, 2, 4, 8});
+        c.dcache.assoc = pick({1, 2, 4, 8});
+
+        if (flip()) {
+            sys.numL2 = pick({1, 2, 4});
+            sys.l2.capacityBytes = pick({256, 512, 1024, 4096}) *
+                                   1024.0;
+            sys.l2.assoc = pick({4, 8, 16});
+            sys.l2.banks = pick({1, 2, 4});
+            sys.l2.clockRate = c.clockRate / 2.0;
+            sys.l2.dataCell = flip() ? array::CellType::SRAM
+                                     : array::CellType::EDRAM;
+        }
+        if (flip()) {
+            sys.hasNoc = true;
+            sys.noc.topology = pick({uncore::NocTopology::Mesh2D,
+                                     uncore::NocTopology::Ring,
+                                     uncore::NocTopology::Bus,
+                                     uncore::NocTopology::Crossbar});
+            sys.noc.nodesX = pick({1, 2, 4});
+            sys.noc.nodesY = pick({1, 2, 4});
+            sys.noc.flitBits = pick({64, 128, 256});
+            sys.noc.linkLength = 0.0;  // auto-derive
+            sys.noc.clockRate = c.clockRate / 2.0;
+        }
+        sys.memCtrl.channels = pick({1, 2, 4});
+        sys.memCtrl.dramType = pick({uncore::DramType::DDR2,
+                                     uncore::DramType::DDR3,
+                                     uncore::DramType::FbDimm});
+        return sys;
+    }
+
+  private:
+    template <typename T>
+    T
+    pick(std::initializer_list<T> values)
+    {
+        std::uniform_int_distribution<std::size_t> d(
+            0, values.size() - 1);
+        return *(values.begin() + d(_rng));
+    }
+
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(_rng);
+    }
+
+    bool flip() { return pick({0, 1}) == 1; }
+
+    std::mt19937 _rng;
+};
+
+void
+checkTree(const Report &r)
+{
+    EXPECT_GE(r.area, 0.0) << r.name;
+    EXPECT_GE(r.peakDynamic, 0.0) << r.name;
+    EXPECT_GE(r.runtimeDynamic, 0.0) << r.name;
+    EXPECT_GE(r.subthresholdLeakage, 0.0) << r.name;
+    EXPECT_GE(r.gateLeakage, 0.0) << r.name;
+    EXPECT_GE(r.runtimeSubLeak(), 0.0) << r.name;
+    if (!r.children.empty()) {
+        double dyn = 0.0, area = 0.0;
+        for (const auto &c : r.children) {
+            dyn += c.peakDynamic;
+            area += c.area;
+            checkTree(c);
+        }
+        EXPECT_GE(r.peakDynamic, dyn * (1.0 - 1e-6)) << r.name;
+        EXPECT_GE(r.area, area * (1.0 - 1e-6)) << r.name;
+    }
+}
+
+} // namespace
+
+class RandomConfigTest : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(RandomConfigTest, BuildsWithPhysicalConsistentReport)
+{
+    ConfigGen gen(GetParam());
+    for (int i = 0; i < 4; ++i) {
+        const chip::SystemParams sys = gen.next();
+        SCOPED_TRACE("seed " + std::to_string(GetParam()) + " cfg " +
+                     std::to_string(i) + " node " +
+                     std::to_string(sys.nodeNm));
+        const chip::Processor proc(sys);
+        EXPECT_GT(proc.area(), 0.0);
+        EXPECT_GT(proc.tdp(), 0.0);
+        EXPECT_LT(proc.tdp(), 2000.0);
+        checkTree(proc.tdpReport());
+    }
+}
+
+TEST_P(RandomConfigTest, HalfActivityNeverRaisesRuntimePower)
+{
+    ConfigGen gen(GetParam() + 1000);
+    for (int i = 0; i < 3; ++i) {
+        const chip::SystemParams sys = gen.next();
+        SCOPED_TRACE("seed " + std::to_string(GetParam()) + " cfg " +
+                     std::to_string(i));
+        const chip::Processor proc(sys);
+
+        stats::ChipStats full = stats::ChipStats::tdp(sys);
+        stats::ChipStats half = full;
+        half.perCore = half.perCore.scaled(0.5);
+        for (auto &g : half.perGroup)
+            g = g.scaled(0.5);
+        half.nocFlitsPerCycle *= 0.5;
+        half.mcUtilization *= 0.5;
+
+        const Report rf = proc.makeReport(full);
+        const Report rh = proc.makeReport(half);
+        EXPECT_LE(rh.runtimeDynamic, rf.runtimeDynamic * (1.0 + 1e-9));
+    }
+}
+
+TEST_P(RandomConfigTest, PerformanceModelDigestsAnyConfig)
+{
+    ConfigGen gen(GetParam() + 2000);
+    for (int i = 0; i < 3; ++i) {
+        const chip::SystemParams sys = gen.next();
+        SCOPED_TRACE("seed " + std::to_string(GetParam()) + " cfg " +
+                     std::to_string(i));
+        for (const auto &w : perf::splash2Workloads()) {
+            const auto p = perf::evaluateSystem(sys, w);
+            EXPECT_GT(p.throughput, 0.0) << w.name;
+            EXPECT_LE(p.perCoreIpc, sys.core.issueWidth + 1e-9)
+                << w.name;
+            const auto rt = perf::makeRuntimeStats(sys, w, p);
+            EXPECT_GE(rt.mcUtilization, 0.0);
+            EXPECT_LE(rt.mcUtilization, 1.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConfigTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));

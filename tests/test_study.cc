@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Case-study layer tests: metric arithmetic and the design-point
+ * sweep's structural/qualitative properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "study/sweep.hh"
+
+using namespace mcpat;
+using namespace mcpat::study;
+
+TEST(Metrics, Arithmetic)
+{
+    RunFigures f;
+    f.delay = 2.0;
+    f.energy = 3.0;
+    f.area = 0.5;
+    const Metrics m = computeMetrics(f);
+    EXPECT_DOUBLE_EQ(m.ed, 6.0);
+    EXPECT_DOUBLE_EQ(m.ed2, 12.0);
+    EXPECT_DOUBLE_EQ(m.eda, 3.0);
+    EXPECT_DOUBLE_EQ(m.ed2a, 6.0);
+}
+
+TEST(Metrics, InvalidInputsRejected)
+{
+    RunFigures f;
+    f.delay = 0.0;
+    EXPECT_THROW(computeMetrics(f), ModelError);
+}
+
+TEST(Metrics, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 16.0}), 8.0);
+    EXPECT_DOUBLE_EQ(geomean({5.0}), 5.0);
+    EXPECT_THROW(geomean({}), ModelError);
+    EXPECT_THROW(geomean({1.0, -1.0}), ModelError);
+}
+
+TEST(CaseStudy, ConfigLabels)
+{
+    CaseStudyConfig cfg;
+    cfg.style = CoreStyle::InOrderMT;
+    cfg.coresPerCluster = 4;
+    EXPECT_EQ(cfg.label(), "inorder-c4");
+    EXPECT_EQ(cfg.clusters(), 16);
+}
+
+TEST(CaseStudy, ClusterMustDivideCores)
+{
+    CaseStudyConfig cfg;
+    cfg.totalCores = 64;
+    cfg.coresPerCluster = 3;
+    EXPECT_THROW(makeCaseStudySystem(cfg), ConfigError);
+}
+
+TEST(CaseStudy, SystemShapeFollowsClustering)
+{
+    CaseStudyConfig cfg;
+    cfg.coresPerCluster = 8;
+    const auto sys = makeCaseStudySystem(cfg);
+    EXPECT_EQ(sys.numCores, 64);
+    EXPECT_EQ(sys.numL2, 8);
+    EXPECT_NEAR(sys.l2.capacityBytes, 8.0 * 1024 * 1024, 1.0);
+    EXPECT_EQ(sys.noc.nodesX * sys.noc.nodesY, 8);
+}
+
+TEST(CaseStudy, EvaluateProducesAllWorkloads)
+{
+    CaseStudyConfig cfg;
+    cfg.totalCores = 16;  // smaller for test speed
+    const auto r = evaluateDesignPoint(cfg);
+    EXPECT_EQ(r.workloads.size(), 8u);
+    EXPECT_GT(r.area, 0.0);
+    EXPECT_GT(r.tdp, 0.0);
+    EXPECT_GT(r.meanThroughput, 0.0);
+    EXPECT_GT(r.meanMetrics.ed2a, 0.0);
+    for (const auto &w : r.workloads) {
+        EXPECT_GT(w.runtimePower, 0.0) << w.workload;
+        EXPECT_LT(w.runtimePower, r.tdp * 1.05) << w.workload;
+    }
+}
+
+TEST(CaseStudy, OooChipsBiggerAndFasterOnComputeBound)
+{
+    CaseStudyConfig in_cfg;
+    in_cfg.style = CoreStyle::InOrderMT;
+    in_cfg.totalCores = 16;
+    CaseStudyConfig ooo_cfg = in_cfg;
+    ooo_cfg.style = CoreStyle::OutOfOrder;
+
+    const auto rin = evaluateDesignPoint(in_cfg);
+    const auto rooo = evaluateDesignPoint(ooo_cfg);
+    EXPECT_GT(rooo.area, rin.area);
+    EXPECT_GT(rooo.tdp, rin.tdp);
+
+    // water is compute-bound: the OoO design must win throughput.
+    const auto &win = rin.workloads.back();
+    const auto &wooo = rooo.workloads.back();
+    ASSERT_EQ(win.workload, "water");
+    EXPECT_GT(wooo.performance.throughput,
+              win.performance.throughput);
+}
+
+TEST(CaseStudy, ClusteringSharesCacheCapacity)
+{
+    CaseStudyConfig c1;
+    c1.coresPerCluster = 1;
+    c1.totalCores = 16;
+    CaseStudyConfig c8 = c1;
+    c8.coresPerCluster = 8;
+
+    // cholesky has a large working set: sharing a bigger L2 helps its
+    // hit rate (per-core capacity equal, but shared caches pool it).
+    const auto s1 = makeCaseStudySystem(c1);
+    const auto s8 = makeCaseStudySystem(c8);
+    const auto p1 =
+        perf::evaluateSystem(s1, perf::findWorkload("cholesky"));
+    const auto p8 =
+        perf::evaluateSystem(s8, perf::findWorkload("cholesky"));
+    EXPECT_GE(p8.throughput, p1.throughput * 0.95);
+}

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the thermal-feedback solver and the simulator-counter
+ * (<stat>) interface of the XML loader.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/processor.hh"
+#include "chip/thermal.hh"
+#include "config/xml_loader.hh"
+
+using namespace mcpat;
+
+namespace {
+
+chip::SystemParams
+leakyChip()
+{
+    chip::SystemParams sys;
+    sys.nodeNm = 65;
+    sys.numCores = 2;
+    sys.core.clockRate = 3.0 * GHz;
+    sys.core.pipelineStages = 24;
+    sys.numL2 = 1;
+    sys.l2.capacityBytes = 2.0 * 1024 * 1024;
+    sys.l2.flavor = tech::DeviceFlavor::HP;  // deliberately leaky
+    return sys;
+}
+
+} // namespace
+
+TEST(Thermal, ConvergesWithGoodCooling)
+{
+    chip::ThermalParams env;
+    env.junctionToAmbient = 0.2;
+    const auto r = chip::solveThermal(leakyChip(), env);
+    EXPECT_TRUE(r.converged);
+    EXPECT_GT(r.temperature, env.ambient);
+    EXPECT_LT(r.temperature, 419.0);
+    EXPECT_GT(r.power, 0.0);
+    EXPECT_GT(r.leakage, 0.0);
+}
+
+TEST(Thermal, WorseCoolingRunsHotter)
+{
+    chip::ThermalParams good;
+    good.junctionToAmbient = 0.15;
+    chip::ThermalParams bad;
+    bad.junctionToAmbient = 0.45;
+    const auto rg = chip::solveThermal(leakyChip(), good);
+    const auto rb = chip::solveThermal(leakyChip(), bad);
+    EXPECT_GT(rb.temperature, rg.temperature);
+    EXPECT_GT(rb.leakage, rg.leakage);
+    EXPECT_GT(rb.power, rg.power);
+}
+
+TEST(Thermal, RunawayDetected)
+{
+    chip::ThermalParams oven;
+    oven.junctionToAmbient = 3.0;  // essentially no heatsink
+    const auto r = chip::solveThermal(leakyChip(), oven);
+    EXPECT_FALSE(r.converged);
+    EXPECT_NEAR(r.temperature, 419.0, 3.0);
+}
+
+TEST(Thermal, SelfConsistency)
+{
+    chip::ThermalParams env;
+    env.junctionToAmbient = 0.25;
+    const auto r = chip::solveThermal(leakyChip(), env);
+    ASSERT_TRUE(r.converged);
+    // At the fixed point, ambient + R * P must reproduce T.
+    EXPECT_NEAR(env.ambient + env.junctionToAmbient * r.power,
+                r.temperature, 3.0 * env.toleranceK);
+}
+
+TEST(Thermal, BadEnvironmentRejected)
+{
+    chip::ThermalParams env;
+    env.junctionToAmbient = 0.0;
+    EXPECT_THROW(chip::solveThermal(leakyChip(), env), ConfigError);
+    env.junctionToAmbient = 0.3;
+    env.ambient = 100.0;
+    EXPECT_THROW(chip::solveThermal(leakyChip(), env), ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Simulator-counter stats
+// ---------------------------------------------------------------------
+
+namespace {
+
+const char *statsConfig = R"(
+<component id="sys" type="System">
+  <param name="technology_node" value="45"/>
+  <param name="core_count" value="2"/>
+  <component id="sys.core" type="Core">
+    <param name="clock_rate_mhz" value="2000"/>
+    <stat name="total_cycles" value="1000000"/>
+    <stat name="committed_instructions" value="1500000"/>
+    <stat name="int_instructions" value="700000"/>
+    <stat name="fp_instructions" value="200000"/>
+    <stat name="branch_instructions" value="150000"/>
+    <stat name="loads" value="300000"/>
+    <stat name="stores" value="150000"/>
+    <stat name="icache_accesses" value="400000"/>
+    <stat name="icache_misses" value="4000"/>
+    <stat name="dcache_accesses" value="450000"/>
+    <stat name="dcache_misses" value="22500"/>
+  </component>
+  <component id="sys.l2" type="L2">
+    <param name="count" value="1"/>
+    <param name="size_kb" value="1024"/>
+    <stat name="read_accesses" value="20000"/>
+    <stat name="read_misses" value="5000"/>
+    <stat name="write_accesses" value="8000"/>
+    <stat name="write_misses" value="1000"/>
+  </component>
+</component>
+)";
+
+} // namespace
+
+TEST(StatCounters, CoreRatesFromCounters)
+{
+    const auto root = config::parseXmlString(statsConfig);
+    const auto loaded = config::loadSystemParams(root);
+    const auto s = config::loadChipStats(root, loaded.system);
+
+    EXPECT_NEAR(s.perCore.commits, 1.5, 1e-9);
+    EXPECT_NEAR(s.perCore.intOps, 0.7, 1e-9);
+    EXPECT_NEAR(s.perCore.fpOps, 0.2, 1e-9);
+    EXPECT_NEAR(s.perCore.branches, 0.15, 1e-9);
+    EXPECT_NEAR(s.perCore.loads, 0.3, 1e-9);
+    EXPECT_NEAR(s.perCore.stores, 0.15, 1e-9);
+    EXPECT_NEAR(s.perCore.icacheRates.readMisses, 0.004, 1e-9);
+    EXPECT_NEAR(s.perCore.icacheRates.readHits, 0.396, 1e-9);
+    EXPECT_NEAR(s.perCore.dcacheRates.misses(), 0.0225, 1e-9);
+}
+
+TEST(StatCounters, CacheRatesFromCounters)
+{
+    const auto root = config::parseXmlString(statsConfig);
+    const auto loaded = config::loadSystemParams(root);
+    const auto s = config::loadChipStats(root, loaded.system);
+    EXPECT_NEAR(s.l2Rates.readMisses, 0.005, 1e-9);
+    EXPECT_NEAR(s.l2Rates.readHits, 0.015, 1e-9);
+    EXPECT_NEAR(s.l2Rates.writeHits, 0.007, 1e-9);
+    EXPECT_NEAR(s.l2Rates.writeMisses, 0.001, 1e-9);
+}
+
+TEST(StatCounters, MissingCountersKeepTdpDefaults)
+{
+    const char *cfg = R"(
+<component id="sys" type="System">
+  <param name="technology_node" value="45"/>
+  <component id="sys.core" type="Core"/>
+</component>
+)";
+    const auto root = config::parseXmlString(cfg);
+    const auto loaded = config::loadSystemParams(root);
+    const auto from_xml = config::loadChipStats(root, loaded.system);
+    const auto tdp = stats::ChipStats::tdp(loaded.system);
+    EXPECT_DOUBLE_EQ(from_xml.perCore.commits, tdp.perCore.commits);
+    EXPECT_DOUBLE_EQ(from_xml.l2Rates.readHits, tdp.l2Rates.readHits);
+}
+
+TEST(StatCounters, CountersComposeWithActivityScale)
+{
+    std::string cfg(statsConfig);
+    cfg.insert(cfg.rfind("</component>"),
+               "  <stat name=\"activity_scale\" value=\"0.5\"/>\n");
+    const auto root = config::parseXmlString(cfg);
+    const auto loaded = config::loadSystemParams(root);
+    const auto s = config::loadChipStats(root, loaded.system);
+    EXPECT_NEAR(s.perCore.commits, 0.75, 1e-9);
+}
+
+TEST(StatCounters, InvalidCountersRejected)
+{
+    const char *bad_cycles = R"(
+<component id="sys" type="System">
+  <param name="technology_node" value="45"/>
+  <component id="sys.core" type="Core">
+    <stat name="total_cycles" value="0"/>
+  </component>
+</component>
+)";
+    const auto root = config::parseXmlString(bad_cycles);
+    const auto loaded = config::loadSystemParams(root);
+    EXPECT_THROW(config::loadChipStats(root, loaded.system),
+                 ConfigError);
+}
+
+TEST(StatCounters, RuntimePowerRespondsToCounters)
+{
+    const auto root = config::parseXmlString(statsConfig);
+    const auto loaded = config::loadSystemParams(root);
+    const chip::Processor proc(loaded.system);
+
+    const auto from_xml = config::loadChipStats(root, loaded.system);
+    const Report r = proc.makeReport(from_xml);
+    EXPECT_GT(r.runtimeDynamic, 0.0);
+    EXPECT_LT(r.runtimeDynamic, proc.tdpReport().peakDynamic * 1.2);
+}

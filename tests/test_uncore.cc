@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Uncore tests: NoC routers and fabrics, memory controllers, and chip
+ * I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uncore/chip_io.hh"
+#include "uncore/memctrl.hh"
+#include "uncore/noc.hh"
+
+using namespace mcpat;
+using namespace mcpat::uncore;
+using tech::Technology;
+
+namespace {
+const Technology &
+tech45()
+{
+    static const Technology t(45);
+    return t;
+}
+} // namespace
+
+TEST(Router, FlitWidthScalesEnergy)
+{
+    RouterParams narrow;
+    narrow.flitBits = 64;
+    RouterParams wide;
+    wide.flitBits = 256;
+    const Router rn(narrow, tech45());
+    const Router rw(wide, tech45());
+    EXPECT_GT(rw.energyPerFlit(), 2.0 * rn.energyPerFlit());
+    EXPECT_GT(rw.area(), rn.area());
+}
+
+TEST(Router, BuffersScaleWithVcs)
+{
+    RouterParams small;
+    small.virtualChannels = 1;
+    small.bufferDepth = 2;
+    RouterParams big;
+    big.virtualChannels = 8;
+    big.bufferDepth = 8;
+    const Router rs(small, tech45());
+    const Router rb(big, tech45());
+    EXPECT_GT(rb.area(), rs.area());
+    EXPECT_GT(rb.subthresholdLeakage(), rs.subthresholdLeakage());
+}
+
+TEST(Router, PortsScaleCrossbar)
+{
+    RouterParams mesh;
+    mesh.ports = 5;
+    RouterParams concentrated;
+    concentrated.ports = 10;
+    const Router rm(mesh, tech45());
+    const Router rc(concentrated, tech45());
+    EXPECT_GT(rc.energyPerFlit(), rm.energyPerFlit());
+    EXPECT_GT(rc.area(), rm.area());
+}
+
+TEST(Router, InvalidParamsRejected)
+{
+    RouterParams bad;
+    bad.ports = 1;
+    EXPECT_THROW(Router(bad, tech45()), ConfigError);
+    bad = RouterParams{};
+    bad.flitBits = 4;
+    EXPECT_THROW(Router(bad, tech45()), ConfigError);
+}
+
+TEST(Noc, MeshHopsGrowWithSize)
+{
+    NocParams small;
+    small.nodesX = small.nodesY = 2;
+    NocParams big;
+    big.nodesX = big.nodesY = 8;
+    const Noc ns(small, tech45());
+    const Noc nb(big, tech45());
+    EXPECT_GT(nb.averageHops(), ns.averageHops());
+    EXPECT_GT(nb.area(), ns.area());
+}
+
+TEST(Noc, FlatFabricsHaveOneHop)
+{
+    NocParams bus;
+    bus.topology = NocTopology::Bus;
+    NocParams xbar;
+    xbar.topology = NocTopology::Crossbar;
+    const Noc nbus(bus, tech45());
+    const Noc nxbar(xbar, tech45());
+    EXPECT_DOUBLE_EQ(nbus.averageHops(), 1.0);
+    EXPECT_DOUBLE_EQ(nxbar.averageHops(), 1.0);
+}
+
+TEST(Noc, MeshCheaperPerHopThanCrossbarTotal)
+{
+    // A 16-node crossbar concentrates all ports into one big switch;
+    // its per-flit traversal must cost more than one mesh hop.
+    NocParams mesh;
+    mesh.nodesX = mesh.nodesY = 4;
+    NocParams xbar = mesh;
+    xbar.topology = NocTopology::Crossbar;
+    const Noc nm(mesh, tech45());
+    const Noc nx(xbar, tech45());
+    EXPECT_GT(nx.energyPerFlitHop(), nm.energyPerFlitHop());
+}
+
+TEST(Noc, ReportScalesWithTraffic)
+{
+    NocParams p;
+    const Noc n(p, tech45());
+    const Report idle = n.makeReport(0.0, 0.0);
+    const Report busy = n.makeReport(4.0, 2.0);
+    EXPECT_DOUBLE_EQ(idle.peakDynamic, 0.0);
+    EXPECT_GT(busy.peakDynamic, 0.0);
+    EXPECT_NEAR(busy.runtimeDynamic, busy.peakDynamic / 2.0, 1e-9);
+    EXPECT_DOUBLE_EQ(idle.subthresholdLeakage,
+                     busy.subthresholdLeakage);
+}
+
+TEST(MemCtrl, BandwidthArithmetic)
+{
+    MemCtrlParams p;
+    p.channels = 2;
+    p.dataBusBits = 64;
+    p.busClock = 400.0 * MHz;
+    p.dramType = DramType::DDR2;
+    const MemoryController mc(p, tech45());
+    // 400 MHz x 2 (DDR) x 8 B x 2 channels = 12.8 GB/s.
+    EXPECT_NEAR(mc.peakBandwidth(), 12.8e9, 1e6);
+}
+
+TEST(MemCtrl, FbdimmBurnsMoreStaticPower)
+{
+    MemCtrlParams ddr;
+    ddr.dramType = DramType::DDR3;
+    MemCtrlParams fb;
+    fb.dramType = DramType::FbDimm;
+    const MemoryController md(ddr, tech45());
+    const MemoryController mf(fb, tech45());
+    const Report rd = md.makeReport(0.0, 0.0);
+    const Report rf = mf.makeReport(0.0, 0.0);
+    EXPECT_GT(rf.peakDynamic, rd.peakDynamic);  // idle PHY power
+}
+
+TEST(MemCtrl, PowerScalesWithUtilization)
+{
+    MemCtrlParams p;
+    const MemoryController mc(p, tech45());
+    const Report low = mc.makeReport(0.1, 0.1);
+    const Report high = mc.makeReport(0.9, 0.9);
+    EXPECT_GT(high.peakDynamic, low.peakDynamic);
+    EXPECT_THROW(mc.makeReport(1.5, 0.0), ConfigError);
+}
+
+TEST(MemCtrl, MoreChannelsMoreAreaAndBandwidth)
+{
+    MemCtrlParams one;
+    one.channels = 1;
+    MemCtrlParams four;
+    four.channels = 4;
+    const MemoryController m1(one, tech45());
+    const MemoryController m4(four, tech45());
+    EXPECT_NEAR(m4.peakBandwidth(), 4.0 * m1.peakBandwidth(), 1.0);
+    EXPECT_GT(m4.area(), 2.0 * m1.area());
+}
+
+TEST(ChipIo, PinsScaleAreaAndPower)
+{
+    ChipIoParams small;
+    small.signalPins = 100;
+    ChipIoParams big;
+    big.signalPins = 500;
+    const ChipIo is(small, tech45());
+    const ChipIo ib(big, tech45());
+    EXPECT_NEAR(ib.area() / is.area(), 5.0, 1e-9);
+    EXPECT_GT(ib.makeReport(1.0, 1.0).peakDynamic,
+              is.makeReport(1.0, 1.0).peakDynamic);
+}
+
+TEST(ChipIo, StaticFloorAtZeroActivity)
+{
+    ChipIoParams p;
+    p.staticPower = 2.0;
+    const ChipIo io(p, tech45());
+    const Report r = io.makeReport(0.0, 0.0);
+    EXPECT_DOUBLE_EQ(r.peakDynamic, 2.0);
+}
+
+/** Property sweep over topologies: physical outputs everywhere. */
+class NocTopologySweep
+    : public ::testing::TestWithParam<NocTopology>
+{};
+
+TEST_P(NocTopologySweep, Physical)
+{
+    NocParams p;
+    p.topology = GetParam();
+    p.nodesX = 4;
+    p.nodesY = 2;
+    const Noc n(p, tech45());
+    EXPECT_GT(n.energyPerFlitHop(), 0.0);
+    EXPECT_GT(n.area(), 0.0);
+    EXPECT_GT(n.averageLatency(), 0.0);
+    const Report r = n.makeReport(1.0, 0.5);
+    EXPECT_GT(r.peakDynamic, 0.0);
+    EXPECT_GT(r.subthresholdLeakage, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, NocTopologySweep,
+                         ::testing::Values(NocTopology::Mesh2D,
+                                           NocTopology::Ring,
+                                           NocTopology::Bus,
+                                           NocTopology::Crossbar));

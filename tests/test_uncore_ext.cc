@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the uncore extensions: the coherence directory, low-swing
+ * NoC links, auto-derived link lengths, and the gem5-stats importer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chip/processor.hh"
+#include "config/gem5_stats.hh"
+#include "uncore/directory.hh"
+
+using namespace mcpat;
+using namespace mcpat::uncore;
+
+namespace {
+const tech::Technology &
+tech45()
+{
+    static const tech::Technology t(45);
+    return t;
+}
+} // namespace
+
+// ---------------------------------------------------------------------
+// Directory
+// ---------------------------------------------------------------------
+
+TEST(Directory, SparseFullMapPhysical)
+{
+    DirectoryParams p;
+    p.trackedLines = 32 * 1024;
+    p.sharers = 16;
+    const Directory d(p, tech45());
+    EXPECT_GT(d.area(), 0.0);
+    EXPECT_GT(d.lookupEnergy(), 0.0);
+    EXPECT_GT(d.updateEnergy(), 0.0);
+    EXPECT_GT(d.accessDelay(), 0.0);
+}
+
+TEST(Directory, DuplicateTagsLookupCostsMore)
+{
+    DirectoryParams sparse;
+    sparse.trackedLines = 16 * 1024;
+    DirectoryParams dup = sparse;
+    dup.style = DirectoryStyle::DuplicateTags;
+    const Directory ds(sparse, tech45());
+    const Directory dd(dup, tech45());
+    // CAM search across all mirrored tags dwarfs an indexed read.
+    EXPECT_GT(dd.lookupEnergy(), ds.lookupEnergy());
+}
+
+TEST(Directory, SharerVectorWidensSparseEntries)
+{
+    DirectoryParams narrow;
+    narrow.sharers = 4;
+    DirectoryParams wide;
+    wide.sharers = 64;
+    const Directory dn(narrow, tech45());
+    const Directory dw(wide, tech45());
+    EXPECT_GT(dw.area(), dn.area());
+}
+
+TEST(Directory, ReportArithmetic)
+{
+    DirectoryParams p;
+    const Directory d(p, tech45());
+    DirectoryRates rates;
+    rates.lookups = 0.4;
+    rates.updates = 0.2;
+    const Report r = d.makeReport(rates, rates);
+    const double expected =
+        (0.4 * d.lookupEnergy() + 0.2 * d.updateEnergy()) *
+        p.clockRate;
+    EXPECT_NEAR(r.peakDynamic, expected, expected * 1e-9);
+}
+
+TEST(Directory, ChipIntegration)
+{
+    chip::SystemParams sys;
+    sys.nodeNm = 45;
+    sys.numCores = 4;
+    sys.numL2 = 1;
+    sys.l2.capacityBytes = 1024.0 * 1024;
+    sys.hasDirectory = true;
+    sys.directory.trackedLines = 16 * 1024;
+    const chip::Processor p(sys);
+    EXPECT_NE(p.tdpReport().child("Coherence Directory"), nullptr);
+}
+
+TEST(Directory, BadParamsRejected)
+{
+    DirectoryParams p;
+    p.trackedLines = 0;
+    EXPECT_THROW(Directory(p, tech45()), ConfigError);
+    p = DirectoryParams{};
+    p.sharers = 0;
+    EXPECT_THROW(Directory(p, tech45()), ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Low-swing links and auto link length
+// ---------------------------------------------------------------------
+
+TEST(NocExt, LowSwingLinksSaveLinkEnergy)
+{
+    NocParams full;
+    full.linkLength = 3.0 * mm;
+    NocParams low = full;
+    low.lowSwingLinks = true;
+    const Noc nf(full, tech45());
+    const Noc nl(low, tech45());
+    EXPECT_LT(nl.energyPerFlitHop(), nf.energyPerFlitHop());
+    EXPECT_GT(nl.averageLatency(), 0.0);
+}
+
+TEST(NocExt, AutoLinkLengthDerivedFromTiles)
+{
+    chip::SystemParams sys;
+    sys.nodeNm = 45;
+    sys.numCores = 16;
+    sys.numL2 = 4;
+    sys.l2.capacityBytes = 1024.0 * 1024;
+    sys.hasNoc = true;
+    sys.noc.nodesX = 4;
+    sys.noc.nodesY = 4;
+    sys.noc.linkLength = 0.0;  // derive
+    const chip::Processor p(sys);  // must not throw
+    EXPECT_GT(p.tdp(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// gem5 stats importer
+// ---------------------------------------------------------------------
+
+namespace {
+
+const char *gem5Dump = R"(
+---------- Begin Simulation Statistics ----------
+sim_seconds                                  0.001000  # seconds
+system.cpu0.numCycles                         2000000  # cycles
+system.cpu0.committedInsts                    2600000  # insts
+system.cpu1.numCycles                         2000000
+system.cpu1.committedInsts                    2400000
+system.cpu0.num_int_insts                     1400000
+system.cpu1.num_int_insts                     1200000
+system.cpu0.num_fp_insts                       200000
+system.cpu1.num_fp_insts                       200000
+system.cpu0.committedBranches                  350000
+system.cpu1.committedBranches                  330000
+system.cpu0.num_loads                          600000
+system.cpu1.num_loads                          550000
+system.cpu0.num_stores                         280000
+system.cpu1.num_stores                         260000
+system.cpu0.icache.overall_accesses            900000
+system.cpu0.icache.overall_misses                9000
+system.cpu1.icache.overall_accesses            880000
+system.cpu1.icache.overall_misses                8000
+system.cpu0.dcache.overall_accesses            880000
+system.cpu0.dcache.overall_misses               40000
+system.cpu1.dcache.overall_accesses            810000
+system.cpu1.dcache.overall_misses               38000
+system.l2.overall_accesses                      95000
+system.l2.overall_misses                        20000
+system.mem_ctrls.bytes_read                1000000000
+system.mem_ctrls.bytes_written              300000000
+system.cpu0.op_class::No_OpClass                 8.1%  # non-numeric
+---------- End Simulation Statistics   ----------
+)";
+
+chip::SystemParams
+dualCore()
+{
+    chip::SystemParams sys;
+    sys.nodeNm = 45;
+    sys.numCores = 2;
+    sys.core.clockRate = 2.0 * GHz;
+    sys.numL2 = 1;
+    sys.l2.capacityBytes = 1024.0 * 1024;
+    return sys;
+}
+
+} // namespace
+
+TEST(Gem5Stats, ParserBasics)
+{
+    const auto m = config::parseGem5Stats(gem5Dump);
+    EXPECT_DOUBLE_EQ(m.at("system.cpu0.numCycles"), 2000000.0);
+    EXPECT_DOUBLE_EQ(m.at("sim_seconds"), 0.001);
+    // Percent-suffixed value column is rejected, not mangled.
+    EXPECT_EQ(m.count("system.cpu0.op_class::No_OpClass"), 0u);
+}
+
+TEST(Gem5Stats, LastDumpWins)
+{
+    const std::string two_dumps =
+        std::string("---------- Begin Simulation Statistics ----\n"
+                    "system.cpu.numCycles 1\n") +
+        gem5Dump;
+    const auto m = config::parseGem5Stats(two_dumps);
+    EXPECT_EQ(m.count("system.cpu.numCycles"), 0u);
+    EXPECT_DOUBLE_EQ(m.at("system.cpu0.numCycles"), 2000000.0);
+}
+
+TEST(Gem5Stats, PerCpuAggregation)
+{
+    const auto m = config::parseGem5Stats(gem5Dump);
+    const auto s = config::gem5ToChipStats(m, dualCore());
+    // (2.6M + 2.4M) insts over 2 cores x 2M cycles = 1.25 IPC.
+    EXPECT_NEAR(s.perCore.commits, 1.25, 1e-9);
+    EXPECT_NEAR(s.perCore.intOps, 0.65, 1e-9);
+    EXPECT_NEAR(s.perCore.fpOps, 0.1, 1e-9);
+    EXPECT_NEAR(s.perCore.loads, 0.2875, 1e-9);
+    EXPECT_NEAR(s.perCore.icacheRates.readMisses, 0.00425, 1e-9);
+}
+
+TEST(Gem5Stats, L2AndMemoryMapping)
+{
+    const auto m = config::parseGem5Stats(gem5Dump);
+    const auto s = config::gem5ToChipStats(m, dualCore());
+    // 95k accesses over 2M cycles for the single L2 instance.
+    EXPECT_NEAR(s.l2Rates.readHits + s.l2Rates.writeHits +
+                    s.l2Rates.readMisses + s.l2Rates.writeMisses,
+                95000.0 / 2000000.0, 1e-9);
+    // 1.3 GB over 1 ms at 12.8 GB/s peak -> fully saturated, clipped.
+    EXPECT_GT(s.mcUtilization, 0.9);
+    EXPECT_LE(s.mcUtilization, 1.0);
+}
+
+TEST(Gem5Stats, MissingSectionsKeepDefaults)
+{
+    const auto sys = dualCore();
+    const auto defaults = stats::ChipStats::tdp(sys);
+    const auto s = config::gem5ToChipStats({}, sys);
+    EXPECT_DOUBLE_EQ(s.perCore.commits, defaults.perCore.commits);
+}
+
+TEST(Gem5Stats, DrivesRuntimePower)
+{
+    const auto sys = dualCore();
+    const chip::Processor proc(sys);
+    const auto m = config::parseGem5Stats(gem5Dump);
+    const auto s = config::gem5ToChipStats(m, sys);
+    const Report r = proc.makeReport(s);
+    EXPECT_GT(r.runtimeDynamic, 0.0);
+    EXPECT_LT(r.runtimeDynamic, proc.tdpReport().peakDynamic * 1.2);
+}
+
+TEST(Gem5Stats, MissingFileThrows)
+{
+    EXPECT_THROW(config::parseGem5StatsFile("/no/such/stats.txt"),
+                 ConfigError);
+}
