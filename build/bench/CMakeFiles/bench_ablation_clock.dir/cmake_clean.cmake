@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_clock.dir/bench_ablation_clock.cc.o"
+  "CMakeFiles/bench_ablation_clock.dir/bench_ablation_clock.cc.o.d"
+  "bench_ablation_clock"
+  "bench_ablation_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_margin.dir/bench_ablation_margin.cc.o"
+  "CMakeFiles/bench_ablation_margin.dir/bench_ablation_margin.cc.o.d"
+  "bench_ablation_margin"
+  "bench_ablation_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

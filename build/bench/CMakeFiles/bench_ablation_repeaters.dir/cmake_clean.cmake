@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_repeaters.dir/bench_ablation_repeaters.cc.o"
+  "CMakeFiles/bench_ablation_repeaters.dir/bench_ablation_repeaters.cc.o.d"
+  "bench_ablation_repeaters"
+  "bench_ablation_repeaters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_repeaters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_study_metrics.dir/bench_case_study_metrics.cc.o"
+  "CMakeFiles/bench_case_study_metrics.dir/bench_case_study_metrics.cc.o.d"
+  "bench_case_study_metrics"
+  "bench_case_study_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_study_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_study_perf.dir/bench_case_study_perf.cc.o"
+  "CMakeFiles/bench_case_study_perf.dir/bench_case_study_perf.cc.o.d"
+  "bench_case_study_perf"
+  "bench_case_study_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_study_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

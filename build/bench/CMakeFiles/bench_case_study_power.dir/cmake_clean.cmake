@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_case_study_power.dir/bench_case_study_power.cc.o"
+  "CMakeFiles/bench_case_study_power.dir/bench_case_study_power.cc.o.d"
+  "bench_case_study_power"
+  "bench_case_study_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_case_study_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

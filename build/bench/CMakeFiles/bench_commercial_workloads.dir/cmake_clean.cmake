@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commercial_workloads.dir/bench_commercial_workloads.cc.o"
+  "CMakeFiles/bench_commercial_workloads.dir/bench_commercial_workloads.cc.o.d"
+  "bench_commercial_workloads"
+  "bench_commercial_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commercial_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_flavors.dir/bench_device_flavors.cc.o"
+  "CMakeFiles/bench_device_flavors.dir/bench_device_flavors.cc.o.d"
+  "bench_device_flavors"
+  "bench_device_flavors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_flavors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

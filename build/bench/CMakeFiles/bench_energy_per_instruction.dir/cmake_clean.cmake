@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_per_instruction.dir/bench_energy_per_instruction.cc.o"
+  "CMakeFiles/bench_energy_per_instruction.dir/bench_energy_per_instruction.cc.o.d"
+  "bench_energy_per_instruction"
+  "bench_energy_per_instruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_per_instruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

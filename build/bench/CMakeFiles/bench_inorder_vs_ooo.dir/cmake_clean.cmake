@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inorder_vs_ooo.dir/bench_inorder_vs_ooo.cc.o"
+  "CMakeFiles/bench_inorder_vs_ooo.dir/bench_inorder_vs_ooo.cc.o.d"
+  "bench_inorder_vs_ooo"
+  "bench_inorder_vs_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inorder_vs_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

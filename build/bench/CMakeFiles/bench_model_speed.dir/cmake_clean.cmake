@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_speed.dir/bench_model_speed.cc.o"
+  "CMakeFiles/bench_model_speed.dir/bench_model_speed.cc.o.d"
+  "bench_model_speed"
+  "bench_model_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sram_vs_edram.dir/bench_sram_vs_edram.cc.o"
+  "CMakeFiles/bench_sram_vs_edram.dir/bench_sram_vs_edram.cc.o.d"
+  "bench_sram_vs_edram"
+  "bench_sram_vs_edram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sram_vs_edram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

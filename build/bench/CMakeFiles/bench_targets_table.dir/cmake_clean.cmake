@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_targets_table.dir/bench_targets_table.cc.o"
+  "CMakeFiles/bench_targets_table.dir/bench_targets_table.cc.o.d"
+  "bench_targets_table"
+  "bench_targets_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_targets_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tech_scaling.dir/bench_tech_scaling.cc.o"
+  "CMakeFiles/bench_tech_scaling.dir/bench_tech_scaling.cc.o.d"
+  "bench_tech_scaling"
+  "bench_tech_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tech_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

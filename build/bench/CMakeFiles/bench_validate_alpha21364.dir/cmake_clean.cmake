@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validate_alpha21364.dir/bench_validate_alpha21364.cc.o"
+  "CMakeFiles/bench_validate_alpha21364.dir/bench_validate_alpha21364.cc.o.d"
+  "bench_validate_alpha21364"
+  "bench_validate_alpha21364.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validate_alpha21364.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

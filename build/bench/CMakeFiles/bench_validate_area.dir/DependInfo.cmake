@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_validate_area.cc" "bench/CMakeFiles/bench_validate_area.dir/bench_validate_area.cc.o" "gcc" "bench/CMakeFiles/bench_validate_area.dir/bench_validate_area.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mcpat_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_uncore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

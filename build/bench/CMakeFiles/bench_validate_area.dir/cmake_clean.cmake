@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validate_area.dir/bench_validate_area.cc.o"
+  "CMakeFiles/bench_validate_area.dir/bench_validate_area.cc.o.d"
+  "bench_validate_area"
+  "bench_validate_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validate_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validate_niagara.dir/bench_validate_niagara.cc.o"
+  "CMakeFiles/bench_validate_niagara.dir/bench_validate_niagara.cc.o.d"
+  "bench_validate_niagara"
+  "bench_validate_niagara.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validate_niagara.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validate_niagara2.dir/bench_validate_niagara2.cc.o"
+  "CMakeFiles/bench_validate_niagara2.dir/bench_validate_niagara2.cc.o.d"
+  "bench_validate_niagara2"
+  "bench_validate_niagara2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validate_niagara2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validate_xeon_tulsa.dir/bench_validate_xeon_tulsa.cc.o"
+  "CMakeFiles/bench_validate_xeon_tulsa.dir/bench_validate_xeon_tulsa.cc.o.d"
+  "bench_validate_xeon_tulsa"
+  "bench_validate_xeon_tulsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validate_xeon_tulsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_validate_xeon_tulsa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpat_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/mcpat_bench_util.dir/bench_util.cc.o.d"
+  "libmcpat_bench_util.a"
+  "libmcpat_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpat_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_space_sweep.dir/design_space_sweep.cpp.o"
+  "CMakeFiles/example_design_space_sweep.dir/design_space_sweep.cpp.o.d"
+  "example_design_space_sweep"
+  "example_design_space_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_space_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

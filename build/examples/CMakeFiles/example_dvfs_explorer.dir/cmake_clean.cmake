@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dvfs_explorer.dir/dvfs_explorer.cpp.o"
+  "CMakeFiles/example_dvfs_explorer.dir/dvfs_explorer.cpp.o.d"
+  "example_dvfs_explorer"
+  "example_dvfs_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dvfs_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heterogeneous_chip.dir/heterogeneous_chip.cpp.o"
+  "CMakeFiles/example_heterogeneous_chip.dir/heterogeneous_chip.cpp.o.d"
+  "example_heterogeneous_chip"
+  "example_heterogeneous_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heterogeneous_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_xml_to_report.dir/xml_to_report.cpp.o"
+  "CMakeFiles/example_xml_to_report.dir/xml_to_report.cpp.o.d"
+  "example_xml_to_report"
+  "example_xml_to_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_xml_to_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

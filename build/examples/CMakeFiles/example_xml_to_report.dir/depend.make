@@ -1,0 +1,2 @@
+# Empty dependencies file for example_xml_to_report.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/array_model.cc" "src/CMakeFiles/mcpat_array.dir/array/array_model.cc.o" "gcc" "src/CMakeFiles/mcpat_array.dir/array/array_model.cc.o.d"
+  "/root/repo/src/array/array_params.cc" "src/CMakeFiles/mcpat_array.dir/array/array_params.cc.o" "gcc" "src/CMakeFiles/mcpat_array.dir/array/array_params.cc.o.d"
+  "/root/repo/src/array/cache_model.cc" "src/CMakeFiles/mcpat_array.dir/array/cache_model.cc.o" "gcc" "src/CMakeFiles/mcpat_array.dir/array/cache_model.cc.o.d"
+  "/root/repo/src/array/cam.cc" "src/CMakeFiles/mcpat_array.dir/array/cam.cc.o" "gcc" "src/CMakeFiles/mcpat_array.dir/array/cam.cc.o.d"
+  "/root/repo/src/array/decoder.cc" "src/CMakeFiles/mcpat_array.dir/array/decoder.cc.o" "gcc" "src/CMakeFiles/mcpat_array.dir/array/decoder.cc.o.d"
+  "/root/repo/src/array/mat.cc" "src/CMakeFiles/mcpat_array.dir/array/mat.cc.o" "gcc" "src/CMakeFiles/mcpat_array.dir/array/mat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcpat_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpat_array.dir/array/array_model.cc.o"
+  "CMakeFiles/mcpat_array.dir/array/array_model.cc.o.d"
+  "CMakeFiles/mcpat_array.dir/array/array_params.cc.o"
+  "CMakeFiles/mcpat_array.dir/array/array_params.cc.o.d"
+  "CMakeFiles/mcpat_array.dir/array/cache_model.cc.o"
+  "CMakeFiles/mcpat_array.dir/array/cache_model.cc.o.d"
+  "CMakeFiles/mcpat_array.dir/array/cam.cc.o"
+  "CMakeFiles/mcpat_array.dir/array/cam.cc.o.d"
+  "CMakeFiles/mcpat_array.dir/array/decoder.cc.o"
+  "CMakeFiles/mcpat_array.dir/array/decoder.cc.o.d"
+  "CMakeFiles/mcpat_array.dir/array/mat.cc.o"
+  "CMakeFiles/mcpat_array.dir/array/mat.cc.o.d"
+  "libmcpat_array.a"
+  "libmcpat_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpat_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

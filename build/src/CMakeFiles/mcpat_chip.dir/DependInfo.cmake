@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chip/processor.cc" "src/CMakeFiles/mcpat_chip.dir/chip/processor.cc.o" "gcc" "src/CMakeFiles/mcpat_chip.dir/chip/processor.cc.o.d"
+  "/root/repo/src/chip/report_printer.cc" "src/CMakeFiles/mcpat_chip.dir/chip/report_printer.cc.o" "gcc" "src/CMakeFiles/mcpat_chip.dir/chip/report_printer.cc.o.d"
+  "/root/repo/src/chip/report_writer.cc" "src/CMakeFiles/mcpat_chip.dir/chip/report_writer.cc.o" "gcc" "src/CMakeFiles/mcpat_chip.dir/chip/report_writer.cc.o.d"
+  "/root/repo/src/chip/thermal.cc" "src/CMakeFiles/mcpat_chip.dir/chip/thermal.cc.o" "gcc" "src/CMakeFiles/mcpat_chip.dir/chip/thermal.cc.o.d"
+  "/root/repo/src/config/gem5_stats.cc" "src/CMakeFiles/mcpat_chip.dir/config/gem5_stats.cc.o" "gcc" "src/CMakeFiles/mcpat_chip.dir/config/gem5_stats.cc.o.d"
+  "/root/repo/src/config/xml_loader.cc" "src/CMakeFiles/mcpat_chip.dir/config/xml_loader.cc.o" "gcc" "src/CMakeFiles/mcpat_chip.dir/config/xml_loader.cc.o.d"
+  "/root/repo/src/config/xml_parser.cc" "src/CMakeFiles/mcpat_chip.dir/config/xml_parser.cc.o" "gcc" "src/CMakeFiles/mcpat_chip.dir/config/xml_parser.cc.o.d"
+  "/root/repo/src/stats/activity_stats.cc" "src/CMakeFiles/mcpat_chip.dir/stats/activity_stats.cc.o" "gcc" "src/CMakeFiles/mcpat_chip.dir/stats/activity_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcpat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_uncore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

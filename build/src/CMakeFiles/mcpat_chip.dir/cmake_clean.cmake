@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpat_chip.dir/chip/processor.cc.o"
+  "CMakeFiles/mcpat_chip.dir/chip/processor.cc.o.d"
+  "CMakeFiles/mcpat_chip.dir/chip/report_printer.cc.o"
+  "CMakeFiles/mcpat_chip.dir/chip/report_printer.cc.o.d"
+  "CMakeFiles/mcpat_chip.dir/chip/report_writer.cc.o"
+  "CMakeFiles/mcpat_chip.dir/chip/report_writer.cc.o.d"
+  "CMakeFiles/mcpat_chip.dir/chip/thermal.cc.o"
+  "CMakeFiles/mcpat_chip.dir/chip/thermal.cc.o.d"
+  "CMakeFiles/mcpat_chip.dir/config/gem5_stats.cc.o"
+  "CMakeFiles/mcpat_chip.dir/config/gem5_stats.cc.o.d"
+  "CMakeFiles/mcpat_chip.dir/config/xml_loader.cc.o"
+  "CMakeFiles/mcpat_chip.dir/config/xml_loader.cc.o.d"
+  "CMakeFiles/mcpat_chip.dir/config/xml_parser.cc.o"
+  "CMakeFiles/mcpat_chip.dir/config/xml_parser.cc.o.d"
+  "CMakeFiles/mcpat_chip.dir/stats/activity_stats.cc.o"
+  "CMakeFiles/mcpat_chip.dir/stats/activity_stats.cc.o.d"
+  "libmcpat_chip.a"
+  "libmcpat_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpat_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

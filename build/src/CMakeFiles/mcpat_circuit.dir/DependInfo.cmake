@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/clock_network.cc" "src/CMakeFiles/mcpat_circuit.dir/circuit/clock_network.cc.o" "gcc" "src/CMakeFiles/mcpat_circuit.dir/circuit/clock_network.cc.o.d"
+  "/root/repo/src/circuit/dff.cc" "src/CMakeFiles/mcpat_circuit.dir/circuit/dff.cc.o" "gcc" "src/CMakeFiles/mcpat_circuit.dir/circuit/dff.cc.o.d"
+  "/root/repo/src/circuit/elmore.cc" "src/CMakeFiles/mcpat_circuit.dir/circuit/elmore.cc.o" "gcc" "src/CMakeFiles/mcpat_circuit.dir/circuit/elmore.cc.o.d"
+  "/root/repo/src/circuit/logical_effort.cc" "src/CMakeFiles/mcpat_circuit.dir/circuit/logical_effort.cc.o" "gcc" "src/CMakeFiles/mcpat_circuit.dir/circuit/logical_effort.cc.o.d"
+  "/root/repo/src/circuit/transistor.cc" "src/CMakeFiles/mcpat_circuit.dir/circuit/transistor.cc.o" "gcc" "src/CMakeFiles/mcpat_circuit.dir/circuit/transistor.cc.o.d"
+  "/root/repo/src/circuit/wire.cc" "src/CMakeFiles/mcpat_circuit.dir/circuit/wire.cc.o" "gcc" "src/CMakeFiles/mcpat_circuit.dir/circuit/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcpat_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

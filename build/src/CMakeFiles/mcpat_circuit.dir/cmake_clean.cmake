@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpat_circuit.dir/circuit/clock_network.cc.o"
+  "CMakeFiles/mcpat_circuit.dir/circuit/clock_network.cc.o.d"
+  "CMakeFiles/mcpat_circuit.dir/circuit/dff.cc.o"
+  "CMakeFiles/mcpat_circuit.dir/circuit/dff.cc.o.d"
+  "CMakeFiles/mcpat_circuit.dir/circuit/elmore.cc.o"
+  "CMakeFiles/mcpat_circuit.dir/circuit/elmore.cc.o.d"
+  "CMakeFiles/mcpat_circuit.dir/circuit/logical_effort.cc.o"
+  "CMakeFiles/mcpat_circuit.dir/circuit/logical_effort.cc.o.d"
+  "CMakeFiles/mcpat_circuit.dir/circuit/transistor.cc.o"
+  "CMakeFiles/mcpat_circuit.dir/circuit/transistor.cc.o.d"
+  "CMakeFiles/mcpat_circuit.dir/circuit/wire.cc.o"
+  "CMakeFiles/mcpat_circuit.dir/circuit/wire.cc.o.d"
+  "libmcpat_circuit.a"
+  "libmcpat_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpat_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcpat_circuit.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpat_cli.dir/cli/main.cc.o"
+  "CMakeFiles/mcpat_cli.dir/cli/main.cc.o.d"
+  "mcpat"
+  "mcpat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activity.cc" "src/CMakeFiles/mcpat_core.dir/core/activity.cc.o" "gcc" "src/CMakeFiles/mcpat_core.dir/core/activity.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/mcpat_core.dir/core/core.cc.o" "gcc" "src/CMakeFiles/mcpat_core.dir/core/core.cc.o.d"
+  "/root/repo/src/core/core_params.cc" "src/CMakeFiles/mcpat_core.dir/core/core_params.cc.o" "gcc" "src/CMakeFiles/mcpat_core.dir/core/core_params.cc.o.d"
+  "/root/repo/src/core/exu.cc" "src/CMakeFiles/mcpat_core.dir/core/exu.cc.o" "gcc" "src/CMakeFiles/mcpat_core.dir/core/exu.cc.o.d"
+  "/root/repo/src/core/ifu.cc" "src/CMakeFiles/mcpat_core.dir/core/ifu.cc.o" "gcc" "src/CMakeFiles/mcpat_core.dir/core/ifu.cc.o.d"
+  "/root/repo/src/core/lsu.cc" "src/CMakeFiles/mcpat_core.dir/core/lsu.cc.o" "gcc" "src/CMakeFiles/mcpat_core.dir/core/lsu.cc.o.d"
+  "/root/repo/src/core/mmu.cc" "src/CMakeFiles/mcpat_core.dir/core/mmu.cc.o" "gcc" "src/CMakeFiles/mcpat_core.dir/core/mmu.cc.o.d"
+  "/root/repo/src/core/renaming_unit.cc" "src/CMakeFiles/mcpat_core.dir/core/renaming_unit.cc.o" "gcc" "src/CMakeFiles/mcpat_core.dir/core/renaming_unit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcpat_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpat_core.dir/core/activity.cc.o"
+  "CMakeFiles/mcpat_core.dir/core/activity.cc.o.d"
+  "CMakeFiles/mcpat_core.dir/core/core.cc.o"
+  "CMakeFiles/mcpat_core.dir/core/core.cc.o.d"
+  "CMakeFiles/mcpat_core.dir/core/core_params.cc.o"
+  "CMakeFiles/mcpat_core.dir/core/core_params.cc.o.d"
+  "CMakeFiles/mcpat_core.dir/core/exu.cc.o"
+  "CMakeFiles/mcpat_core.dir/core/exu.cc.o.d"
+  "CMakeFiles/mcpat_core.dir/core/ifu.cc.o"
+  "CMakeFiles/mcpat_core.dir/core/ifu.cc.o.d"
+  "CMakeFiles/mcpat_core.dir/core/lsu.cc.o"
+  "CMakeFiles/mcpat_core.dir/core/lsu.cc.o.d"
+  "CMakeFiles/mcpat_core.dir/core/mmu.cc.o"
+  "CMakeFiles/mcpat_core.dir/core/mmu.cc.o.d"
+  "CMakeFiles/mcpat_core.dir/core/renaming_unit.cc.o"
+  "CMakeFiles/mcpat_core.dir/core/renaming_unit.cc.o.d"
+  "libmcpat_core.a"
+  "libmcpat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

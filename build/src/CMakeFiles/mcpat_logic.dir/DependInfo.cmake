@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/arbiter.cc" "src/CMakeFiles/mcpat_logic.dir/logic/arbiter.cc.o" "gcc" "src/CMakeFiles/mcpat_logic.dir/logic/arbiter.cc.o.d"
+  "/root/repo/src/logic/bypass.cc" "src/CMakeFiles/mcpat_logic.dir/logic/bypass.cc.o" "gcc" "src/CMakeFiles/mcpat_logic.dir/logic/bypass.cc.o.d"
+  "/root/repo/src/logic/dependency_check.cc" "src/CMakeFiles/mcpat_logic.dir/logic/dependency_check.cc.o" "gcc" "src/CMakeFiles/mcpat_logic.dir/logic/dependency_check.cc.o.d"
+  "/root/repo/src/logic/functional_unit.cc" "src/CMakeFiles/mcpat_logic.dir/logic/functional_unit.cc.o" "gcc" "src/CMakeFiles/mcpat_logic.dir/logic/functional_unit.cc.o.d"
+  "/root/repo/src/logic/inst_decoder.cc" "src/CMakeFiles/mcpat_logic.dir/logic/inst_decoder.cc.o" "gcc" "src/CMakeFiles/mcpat_logic.dir/logic/inst_decoder.cc.o.d"
+  "/root/repo/src/logic/pipeline_reg.cc" "src/CMakeFiles/mcpat_logic.dir/logic/pipeline_reg.cc.o" "gcc" "src/CMakeFiles/mcpat_logic.dir/logic/pipeline_reg.cc.o.d"
+  "/root/repo/src/logic/renaming_logic.cc" "src/CMakeFiles/mcpat_logic.dir/logic/renaming_logic.cc.o" "gcc" "src/CMakeFiles/mcpat_logic.dir/logic/renaming_logic.cc.o.d"
+  "/root/repo/src/logic/scheduler_logic.cc" "src/CMakeFiles/mcpat_logic.dir/logic/scheduler_logic.cc.o" "gcc" "src/CMakeFiles/mcpat_logic.dir/logic/scheduler_logic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcpat_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

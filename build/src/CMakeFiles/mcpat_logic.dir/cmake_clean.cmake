@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpat_logic.dir/logic/arbiter.cc.o"
+  "CMakeFiles/mcpat_logic.dir/logic/arbiter.cc.o.d"
+  "CMakeFiles/mcpat_logic.dir/logic/bypass.cc.o"
+  "CMakeFiles/mcpat_logic.dir/logic/bypass.cc.o.d"
+  "CMakeFiles/mcpat_logic.dir/logic/dependency_check.cc.o"
+  "CMakeFiles/mcpat_logic.dir/logic/dependency_check.cc.o.d"
+  "CMakeFiles/mcpat_logic.dir/logic/functional_unit.cc.o"
+  "CMakeFiles/mcpat_logic.dir/logic/functional_unit.cc.o.d"
+  "CMakeFiles/mcpat_logic.dir/logic/inst_decoder.cc.o"
+  "CMakeFiles/mcpat_logic.dir/logic/inst_decoder.cc.o.d"
+  "CMakeFiles/mcpat_logic.dir/logic/pipeline_reg.cc.o"
+  "CMakeFiles/mcpat_logic.dir/logic/pipeline_reg.cc.o.d"
+  "CMakeFiles/mcpat_logic.dir/logic/renaming_logic.cc.o"
+  "CMakeFiles/mcpat_logic.dir/logic/renaming_logic.cc.o.d"
+  "CMakeFiles/mcpat_logic.dir/logic/scheduler_logic.cc.o"
+  "CMakeFiles/mcpat_logic.dir/logic/scheduler_logic.cc.o.d"
+  "libmcpat_logic.a"
+  "libmcpat_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpat_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/activity_gen.cc" "src/CMakeFiles/mcpat_perf.dir/perf/activity_gen.cc.o" "gcc" "src/CMakeFiles/mcpat_perf.dir/perf/activity_gen.cc.o.d"
+  "/root/repo/src/perf/cpi_model.cc" "src/CMakeFiles/mcpat_perf.dir/perf/cpi_model.cc.o" "gcc" "src/CMakeFiles/mcpat_perf.dir/perf/cpi_model.cc.o.d"
+  "/root/repo/src/perf/system_model.cc" "src/CMakeFiles/mcpat_perf.dir/perf/system_model.cc.o" "gcc" "src/CMakeFiles/mcpat_perf.dir/perf/system_model.cc.o.d"
+  "/root/repo/src/perf/workload.cc" "src/CMakeFiles/mcpat_perf.dir/perf/workload.cc.o" "gcc" "src/CMakeFiles/mcpat_perf.dir/perf/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcpat_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_uncore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpat_perf.dir/perf/activity_gen.cc.o"
+  "CMakeFiles/mcpat_perf.dir/perf/activity_gen.cc.o.d"
+  "CMakeFiles/mcpat_perf.dir/perf/cpi_model.cc.o"
+  "CMakeFiles/mcpat_perf.dir/perf/cpi_model.cc.o.d"
+  "CMakeFiles/mcpat_perf.dir/perf/system_model.cc.o"
+  "CMakeFiles/mcpat_perf.dir/perf/system_model.cc.o.d"
+  "CMakeFiles/mcpat_perf.dir/perf/workload.cc.o"
+  "CMakeFiles/mcpat_perf.dir/perf/workload.cc.o.d"
+  "libmcpat_perf.a"
+  "libmcpat_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpat_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpat_study.dir/study/metrics.cc.o"
+  "CMakeFiles/mcpat_study.dir/study/metrics.cc.o.d"
+  "CMakeFiles/mcpat_study.dir/study/sweep.cc.o"
+  "CMakeFiles/mcpat_study.dir/study/sweep.cc.o.d"
+  "libmcpat_study.a"
+  "libmcpat_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpat_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpat_tech.dir/tech/tech_tables.cc.o"
+  "CMakeFiles/mcpat_tech.dir/tech/tech_tables.cc.o.d"
+  "CMakeFiles/mcpat_tech.dir/tech/technology.cc.o"
+  "CMakeFiles/mcpat_tech.dir/tech/technology.cc.o.d"
+  "CMakeFiles/mcpat_tech.dir/tech/wire_tables.cc.o"
+  "CMakeFiles/mcpat_tech.dir/tech/wire_tables.cc.o.d"
+  "libmcpat_tech.a"
+  "libmcpat_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpat_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

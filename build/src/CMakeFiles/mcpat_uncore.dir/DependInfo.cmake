@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uncore/chip_io.cc" "src/CMakeFiles/mcpat_uncore.dir/uncore/chip_io.cc.o" "gcc" "src/CMakeFiles/mcpat_uncore.dir/uncore/chip_io.cc.o.d"
+  "/root/repo/src/uncore/directory.cc" "src/CMakeFiles/mcpat_uncore.dir/uncore/directory.cc.o" "gcc" "src/CMakeFiles/mcpat_uncore.dir/uncore/directory.cc.o.d"
+  "/root/repo/src/uncore/memctrl.cc" "src/CMakeFiles/mcpat_uncore.dir/uncore/memctrl.cc.o" "gcc" "src/CMakeFiles/mcpat_uncore.dir/uncore/memctrl.cc.o.d"
+  "/root/repo/src/uncore/noc.cc" "src/CMakeFiles/mcpat_uncore.dir/uncore/noc.cc.o" "gcc" "src/CMakeFiles/mcpat_uncore.dir/uncore/noc.cc.o.d"
+  "/root/repo/src/uncore/router.cc" "src/CMakeFiles/mcpat_uncore.dir/uncore/router.cc.o" "gcc" "src/CMakeFiles/mcpat_uncore.dir/uncore/router.cc.o.d"
+  "/root/repo/src/uncore/shared_cache.cc" "src/CMakeFiles/mcpat_uncore.dir/uncore/shared_cache.cc.o" "gcc" "src/CMakeFiles/mcpat_uncore.dir/uncore/shared_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcpat_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

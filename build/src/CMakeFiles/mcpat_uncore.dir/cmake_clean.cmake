@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcpat_uncore.dir/uncore/chip_io.cc.o"
+  "CMakeFiles/mcpat_uncore.dir/uncore/chip_io.cc.o.d"
+  "CMakeFiles/mcpat_uncore.dir/uncore/directory.cc.o"
+  "CMakeFiles/mcpat_uncore.dir/uncore/directory.cc.o.d"
+  "CMakeFiles/mcpat_uncore.dir/uncore/memctrl.cc.o"
+  "CMakeFiles/mcpat_uncore.dir/uncore/memctrl.cc.o.d"
+  "CMakeFiles/mcpat_uncore.dir/uncore/noc.cc.o"
+  "CMakeFiles/mcpat_uncore.dir/uncore/noc.cc.o.d"
+  "CMakeFiles/mcpat_uncore.dir/uncore/router.cc.o"
+  "CMakeFiles/mcpat_uncore.dir/uncore/router.cc.o.d"
+  "CMakeFiles/mcpat_uncore.dir/uncore/shared_cache.cc.o"
+  "CMakeFiles/mcpat_uncore.dir/uncore/shared_cache.cc.o.d"
+  "libmcpat_uncore.a"
+  "libmcpat_uncore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcpat_uncore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_array.cc" "tests/CMakeFiles/mcpat_tests.dir/test_array.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_array.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/mcpat_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_chip.cc" "tests/CMakeFiles/mcpat_tests.dir/test_chip.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_chip.cc.o.d"
+  "/root/repo/tests/test_circuit.cc" "tests/CMakeFiles/mcpat_tests.dir/test_circuit.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_circuit.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/mcpat_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/mcpat_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/mcpat_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_logic.cc" "tests/CMakeFiles/mcpat_tests.dir/test_logic.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_logic.cc.o.d"
+  "/root/repo/tests/test_misc_output.cc" "tests/CMakeFiles/mcpat_tests.dir/test_misc_output.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_misc_output.cc.o.d"
+  "/root/repo/tests/test_perf.cc" "tests/CMakeFiles/mcpat_tests.dir/test_perf.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_perf.cc.o.d"
+  "/root/repo/tests/test_random_property.cc" "tests/CMakeFiles/mcpat_tests.dir/test_random_property.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_random_property.cc.o.d"
+  "/root/repo/tests/test_study.cc" "tests/CMakeFiles/mcpat_tests.dir/test_study.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_study.cc.o.d"
+  "/root/repo/tests/test_tech.cc" "tests/CMakeFiles/mcpat_tests.dir/test_tech.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_tech.cc.o.d"
+  "/root/repo/tests/test_thermal_stats.cc" "tests/CMakeFiles/mcpat_tests.dir/test_thermal_stats.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_thermal_stats.cc.o.d"
+  "/root/repo/tests/test_uncore.cc" "tests/CMakeFiles/mcpat_tests.dir/test_uncore.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_uncore.cc.o.d"
+  "/root/repo/tests/test_uncore_ext.cc" "tests/CMakeFiles/mcpat_tests.dir/test_uncore_ext.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_uncore_ext.cc.o.d"
+  "/root/repo/tests/test_validation.cc" "tests/CMakeFiles/mcpat_tests.dir/test_validation.cc.o" "gcc" "tests/CMakeFiles/mcpat_tests.dir/test_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcpat_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_uncore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcpat_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
