@@ -10,10 +10,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "array/array_cache.hh"
 #include "array/cache_model.hh"
 #include "chip/processor.hh"
+#include "common/parallel.hh"
 #include "config/xml_loader.hh"
 #include "core/core.hh"
+#include "study/sweep.hh"
 
 #include "bench/bench_util.hh"
 
@@ -60,6 +63,66 @@ BM_FullChip(benchmark::State &state)
     }
 }
 BENCHMARK(BM_FullChip)->Unit(benchmark::kMillisecond);
+
+/**
+ * Full chip solve with the array memo cache hot vs cold.  The cached
+ * row is the steady-state cost inside a design-space-exploration loop
+ * that rebuilds structurally similar chips.
+ */
+void
+BM_FullChipArrayCache(benchmark::State &state)
+{
+    const bool cached = state.range(0) != 0;
+    const auto loaded = config::loadSystemParamsFromFile(
+        bench::findConfig("niagara.xml"));
+    auto &cache = array::ArrayResultCache::instance();
+    const bool was_enabled = cache.enabled();
+    cache.setEnabled(true);
+    cache.clear();
+    if (cached)
+        chip::Processor warmup(loaded.system);  // prime the memo table
+    for (auto _ : state) {
+        if (!cached)
+            cache.clear();
+        chip::Processor proc(loaded.system);
+        benchmark::DoNotOptimize(proc.tdp());
+    }
+    cache.setEnabled(was_enabled);
+    cache.clear();
+}
+BENCHMARK(BM_FullChipArrayCache)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("warm")
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * End-to-end scoreboard: the paper's 22 nm case study (8 design points
+ * x 8 SPLASH-2 workloads) at 1 vs 4 evaluation threads, with the array
+ * cache cold each iteration so the full optimization workload is
+ * really performed.  On a machine with >= 4 cores the 4-thread row
+ * should be >= 2x faster end to end; results are bit-identical by the
+ * determinism tests.
+ */
+void
+BM_CaseStudy(benchmark::State &state)
+{
+    parallel::setThreadCount(static_cast<int>(state.range(0)));
+    auto &cache = array::ArrayResultCache::instance();
+    for (auto _ : state) {
+        cache.clear();
+        const auto results = study::runCaseStudy();
+        benchmark::DoNotOptimize(results.front().meanMetrics.ed2a);
+    }
+    cache.clear();
+    parallel::setThreadCount(0);
+}
+BENCHMARK(BM_CaseStudy)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

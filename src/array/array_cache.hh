@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Memoization cache for solved array organizations.
+ *
+ * The organization search in ArrayModel::optimize evaluates 216
+ * candidate (ndwl, ndbl, nspd) organizations per array.  Chips repeat
+ * identical structures constantly — 64 homogeneous cores share one
+ * icache shape, a design-point sweep rebuilds the same L2 at every
+ * clustering, validation targets re-solve the same register files — so
+ * the solver memoizes results keyed by everything that influences the
+ * outcome: the canonical ArrayParams (minus the display name), the
+ * resolved technology operating point (node, flavor, Vdd, temperature,
+ * wire projection), and the optimizer weights.
+ *
+ * The cache is process-global and thread-safe; hit/miss counters are
+ * exported for observability.  A cached solution is bit-identical to a
+ * fresh solve of the same key (the solver is deterministic), so caching
+ * never changes reported numbers.  Disable with MCPAT_ARRAY_CACHE=0 or
+ * ArrayResultCache::instance().setEnabled(false).
+ */
+
+#ifndef MCPAT_ARRAY_ARRAY_CACHE_HH
+#define MCPAT_ARRAY_ARRAY_CACHE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "array/array_params.hh"
+
+namespace mcpat {
+namespace array {
+
+struct OptimizationWeights;
+
+/** Everything that determines an array solution, display name excluded. */
+struct ArrayCacheKey
+{
+    // Canonical ArrayParams.
+    double sizeBytes = 0.0;
+    int blockWidthBits = 0;
+    int rows = 0;
+    int bits = 0;
+    int cellType = 0;
+    int readWritePorts = 0;
+    int readPorts = 0;
+    int writePorts = 0;
+    int searchPorts = 0;
+    int banks = 0;
+    double targetCycleTime = 0.0;
+
+    // Resolved technology operating point.
+    int nodeNm = 0;
+    int flavor = 0;
+    double vdd = 0.0;
+    double temperature = 0.0;
+    int projection = 0;
+
+    // Optimizer objective.
+    double wDelay = 0.0;
+    double wDynamic = 0.0;
+    double wLeakage = 0.0;
+    double wArea = 0.0;
+    double wCycle = 0.0;
+    double wMaxAreaRatio = 0.0;
+
+    bool operator==(const ArrayCacheKey &o) const = default;
+};
+
+/** Hash over every key field (equality still compared in full). */
+struct ArrayCacheKeyHash
+{
+    std::size_t operator()(const ArrayCacheKey &k) const;
+};
+
+/** A memoized solver outcome. */
+struct CachedArraySolution
+{
+    ArrayResult result;
+    bool meetsTiming = true;
+};
+
+/** Cache observability counters. */
+struct ArrayCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+};
+
+/**
+ * Process-global, thread-safe memo table for ArrayModel solutions.
+ */
+class ArrayResultCache
+{
+  public:
+    static ArrayResultCache &instance();
+
+    /** Compose the canonical key for one solve. */
+    static ArrayCacheKey makeKey(const ArrayParams &params,
+                                 const tech::Technology &resolved_tech,
+                                 const OptimizationWeights &weights);
+
+    bool enabled() const { return _enabled; }
+    void setEnabled(bool on) { _enabled = on; }
+
+    /**
+     * Look up a solution; counts a hit or miss.  Returns nothing when
+     * the key is absent or the cache is disabled (disabled lookups
+     * count neither).
+     */
+    std::optional<CachedArraySolution> find(const ArrayCacheKey &key);
+
+    /** Record a solution (no-op when disabled). */
+    void insert(const ArrayCacheKey &key, const CachedArraySolution &sol);
+
+    ArrayCacheStats stats() const;
+
+    /** Drop all entries and zero the counters. */
+    void clear();
+
+  private:
+    ArrayResultCache();
+
+    mutable std::mutex _mutex;
+    std::unordered_map<ArrayCacheKey, CachedArraySolution,
+                       ArrayCacheKeyHash>
+        _entries;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    bool _enabled = true;
+};
+
+} // namespace array
+} // namespace mcpat
+
+#endif // MCPAT_ARRAY_ARRAY_CACHE_HH

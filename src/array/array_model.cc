@@ -7,12 +7,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
+#include <optional>
 #include <vector>
 
+#include "array/array_cache.hh"
 #include "array/cam.hh"
 #include "array/mat.hh"
 #include "circuit/wire.hh"
+#include "common/parallel.hh"
 
 namespace mcpat {
 namespace array {
@@ -64,7 +68,19 @@ ArrayModel::ArrayModel(ArrayParams params, const Technology &t,
         _tech.setVdd(_tech.device().vdd * ratio);
     _tech.setProjection(t.projection());
 
+    // Identical structures (same canonical params, operating point, and
+    // objective) are solved exactly once per process; the memoized
+    // solution is bit-identical to a fresh solve.
+    auto &cache = ArrayResultCache::instance();
+    const ArrayCacheKey key =
+        ArrayResultCache::makeKey(_params, _tech, weights);
+    if (auto hit = cache.find(key)) {
+        _result = hit->result;
+        _meetsTiming = hit->meetsTiming;
+        return;
+    }
     optimize(weights);
+    cache.insert(key, {_result, _meetsTiming});
 }
 
 std::optional<ArrayModel::Candidate>
@@ -148,8 +164,12 @@ ArrayModel::evaluate(const ArrayOrg &org) const
                      htree_in_energy + global_energy_rd;
     if (_params.cellType == CellType::EDRAM) {
         // Destructive read: every activated column must be restored.
+        // For small subarrays the fixed read periphery can exceed the
+        // restore cost; the physical restore energy is never negative,
+        // so clamp at zero instead of refunding energy.
         read_e += peripheryEnergyFactor * org.ndwl *
-                  (sub.writeEnergy(sub_cols) - sub.readEnergy(0));
+                  std::max(0.0, sub.writeEnergy(sub_cols) -
+                                    sub.readEnergy(0));
     }
 
     // --- Timing. ----------------------------------------------------------
@@ -225,16 +245,25 @@ ArrayModel::evaluate(const ArrayOrg &org) const
 void
 ArrayModel::optimize(const OptimizationWeights &weights)
 {
+    // Evaluate the full candidate grid in parallel: each organization
+    // writes its own slot, then feasible candidates are collected in
+    // the same (ndwl, ndbl, nspd) order the serial triple loop used,
+    // keeping the selected optimum (including tie-breaks) identical.
+    const std::size_t n_part = std::size(kPartitions);
+    const std::size_t n_fold = std::size(kFoldings);
+    const std::size_t n_orgs = n_part * n_part * n_fold;
+    std::vector<std::optional<Candidate>> slots(n_orgs);
+    parallel::parallelFor(n_orgs, [&](std::size_t idx) {
+        const ArrayOrg org{
+            kPartitions[idx / (n_part * n_fold)],
+            kPartitions[(idx / n_fold) % n_part],
+            kFoldings[idx % n_fold]};
+        slots[idx] = evaluate(org);
+    });
     std::vector<Candidate> cands;
-    for (int ndwl : kPartitions) {
-        for (int ndbl : kPartitions) {
-            for (double nspd : kFoldings) {
-                auto c = evaluate({ndwl, ndbl, nspd});
-                if (c)
-                    cands.push_back(std::move(*c));
-            }
-        }
-    }
+    for (auto &slot : slots)
+        if (slot)
+            cands.push_back(std::move(*slot));
     panicIf(cands.empty(),
             "array '" + _params.name + "': no feasible organization");
 

@@ -6,6 +6,10 @@
 #include "chip/processor.hh"
 
 #include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/parallel.hh"
 
 namespace mcpat {
 namespace chip {
@@ -55,24 +59,56 @@ Processor::Processor(SystemParams params)
     if (_params.vdd > 0.0)
         _tech->setVdd(_params.vdd);
 
-    for (const auto &g : _params.resolvedCoreGroups())
-        _cores.push_back(std::make_unique<core::Core>(g.core, *_tech));
-
-    if (_params.numL2 > 0)
-        _l2 = std::make_unique<uncore::SharedCache>(_params.l2, *_tech);
-    if (_params.numL3 > 0)
-        _l3 = std::make_unique<uncore::SharedCache>(_params.l3, *_tech);
-    if (_params.hasDirectory) {
-        _directory = std::make_unique<uncore::Directory>(
-            _params.directory, *_tech);
+    // Components are mutually independent (each reads only _params and
+    // the shared const Technology), so build them in parallel.  Every
+    // task writes its own member; the NoC is deferred because its link
+    // length derives from core and L2 areas.
+    const auto groups = _params.resolvedCoreGroups();
+    _cores.resize(groups.size());
+    std::vector<std::function<void()>> build;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        build.push_back([this, g, &groups] {
+            _cores[g] =
+                std::make_unique<core::Core>(groups[g].core, *_tech);
+        });
     }
+    if (_params.numL2 > 0) {
+        build.push_back([this] {
+            _l2 = std::make_unique<uncore::SharedCache>(_params.l2,
+                                                        *_tech);
+        });
+    }
+    if (_params.numL3 > 0) {
+        build.push_back([this] {
+            _l3 = std::make_unique<uncore::SharedCache>(_params.l3,
+                                                        *_tech);
+        });
+    }
+    if (_params.hasDirectory) {
+        build.push_back([this] {
+            _directory = std::make_unique<uncore::Directory>(
+                _params.directory, *_tech);
+        });
+    }
+    if (_params.hasMemCtrl) {
+        build.push_back([this] {
+            _memCtrl = std::make_unique<uncore::MemoryController>(
+                _params.memCtrl, *_tech);
+        });
+    }
+    if (_params.hasIo) {
+        build.push_back([this] {
+            _io = std::make_unique<uncore::ChipIo>(_params.io, *_tech);
+        });
+    }
+    parallel::parallelFor(build.size(),
+                          [&](std::size_t i) { build[i](); });
     if (_params.hasNoc) {
         uncore::NocParams noc = _params.noc;
         if (noc.linkLength <= 0.0) {
             // Derive the hop span from the tile pitch: each fabric
             // node carries its share of cores and shared cache.
             double tile_area = 0.0;
-            const auto groups = _params.resolvedCoreGroups();
             for (std::size_t g = 0; g < groups.size(); ++g)
                 tile_area += _cores[g]->area() * groups[g].count;
             if (_l2)
@@ -82,22 +118,19 @@ Processor::Processor(SystemParams params)
         }
         _noc = std::make_unique<uncore::Noc>(noc, *_tech);
     }
-    if (_params.hasMemCtrl) {
-        _memCtrl = std::make_unique<uncore::MemoryController>(
-            _params.memCtrl, *_tech);
-    }
-    if (_params.hasIo)
-        _io = std::make_unique<uncore::ChipIo>(_params.io, *_tech);
 
-    const stats::ChipStats tdp_stats = stats::ChipStats::tdp(_params);
-    _tdpReport = makeReport(tdp_stats);
+    _tdpStats = stats::ChipStats::tdp(_params);
+    _tdpReport = makeReport(_tdpStats);
     _area = _tdpReport.area;
 }
 
 Report
 Processor::makeReport(const stats::ChipStats &rt) const
 {
-    const stats::ChipStats tdp_stats = stats::ChipStats::tdp(_params);
+    // The TDP vector depends only on _params; reuse the one derived at
+    // construction instead of recomputing it per report (callers like
+    // evaluateDesignPoint request one report per workload).
+    const stats::ChipStats &tdp_stats = _tdpStats;
 
     Report r;
     r.name = _params.name;

@@ -70,6 +70,9 @@ class Processor
     std::unique_ptr<uncore::ChipIo> _io;
 
     double _area = 0.0;
+    /** TDP activity vector, derived once at construction and reused by
+     *  every makeReport call (it depends only on _params). */
+    stats::ChipStats _tdpStats;
     Report _tdpReport;
 };
 

@@ -6,14 +6,18 @@
  *   mcpat -infile <config.xml> [-print_level N]
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "chip/processor.hh"
 #include <fstream>
 
+#include "array/array_cache.hh"
 #include "chip/report_printer.hh"
+#include "common/parallel.hh"
 #include "chip/report_writer.hh"
 #include "chip/thermal.hh"
 #include "config/gem5_stats.hh"
@@ -36,7 +40,30 @@ usage(const char *prog)
               << "  -thermal R   solve the leakage/temperature fixed "
                  "point\n"
               << "               for junction-to-ambient resistance R "
-                 "(K/W)\n";
+                 "(K/W)\n"
+              << "  -threads N   worker threads for model evaluation "
+                 "(default:\n"
+              << "               MCPAT_THREADS env var, else hardware "
+                 "concurrency)\n"
+              << "  -cache_stats print array-optimizer memo-cache "
+                 "hit/miss counters\n";
+}
+
+/// Parse a numeric flag value, exiting with a clear error (rather than
+/// an uncaught std::invalid_argument) on garbage like `-threads abc`.
+double
+numericArg(const char *flag, const char *value)
+{
+    try {
+        std::size_t consumed = 0;
+        const double v = std::stod(value, &consumed);
+        if (consumed != std::strlen(value))
+            throw std::invalid_argument(value);
+        return v;
+    } catch (const std::exception &) {
+        std::cerr << flag << " expects a number, got '" << value << "'\n";
+        std::exit(1);
+    }
 }
 
 } // namespace
@@ -50,13 +77,15 @@ main(int argc, char **argv)
     std::string gem5_stats;
     double thermal_rth = 0.0;
     int print_level = 3;
+    bool cache_stats = false;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "-infile") == 0 && i + 1 < argc) {
             infile = argv[++i];
         } else if (std::strcmp(argv[i], "-print_level") == 0 &&
                    i + 1 < argc) {
-            print_level = std::stoi(argv[++i]);
+            print_level = static_cast<int>(
+                numericArg("-print_level", argv[++i]));
         } else if (std::strcmp(argv[i], "-json") == 0 && i + 1 < argc) {
             json_out = argv[++i];
         } else if (std::strcmp(argv[i], "-csv") == 0 && i + 1 < argc) {
@@ -66,7 +95,13 @@ main(int argc, char **argv)
             gem5_stats = argv[++i];
         } else if (std::strcmp(argv[i], "-thermal") == 0 &&
                    i + 1 < argc) {
-            thermal_rth = std::stod(argv[++i]);
+            thermal_rth = numericArg("-thermal", argv[++i]);
+        } else if (std::strcmp(argv[i], "-threads") == 0 &&
+                   i + 1 < argc) {
+            mcpat::parallel::setThreadCount(static_cast<int>(
+                numericArg("-threads", argv[++i])));
+        } else if (std::strcmp(argv[i], "-cache_stats") == 0) {
+            cache_stats = true;
         } else if (std::strcmp(argv[i], "-h") == 0 ||
                    std::strcmp(argv[i], "--help") == 0) {
             usage(argv[0]);
@@ -134,6 +169,15 @@ main(int argc, char **argv)
                   << (proc.meetsTiming() ? "PASS" : "FAIL (structure "
                      "slower than one clock; pipeline it)")
                   << "\n";
+        if (cache_stats) {
+            const auto cs =
+                mcpat::array::ArrayResultCache::instance().stats();
+            std::cerr << "array cache: " << cs.hits << " hits, "
+                      << cs.misses << " misses, " << cs.entries
+                      << " entries ("
+                      << mcpat::parallel::threadCount()
+                      << " evaluation threads)\n";
+        }
         return 0;
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";

@@ -6,8 +6,10 @@
 #include "study/sweep.hh"
 
 #include <cmath>
+#include <limits>
 
 #include "chip/processor.hh"
+#include "common/parallel.hh"
 
 namespace mcpat {
 namespace study {
@@ -58,17 +60,39 @@ makeCore(const CaseStudyConfig &cfg)
     return c;
 }
 
-/** Near-square factorization for the cluster mesh. */
+} // namespace
+
 std::pair<int, int>
 meshDims(int n)
 {
-    int x = static_cast<int>(std::sqrt(static_cast<double>(n)));
-    while (x > 1 && n % x != 0)
-        --x;
-    return {x, n / x};
+    fatalIf(n < 1, "mesh needs at least one node");
+    // Exact near-square factorizations are waste-free and keep the
+    // historical shapes (8 -> 2x4, 16 -> 4x4, 64 -> 8x8).  A plain
+    // largest-divisor search degenerates to a 1xN chain for primes
+    // (7 -> 1x7), silently inflating hop counts and link power, so
+    // instead pick the smallest grid with nx*ny >= n whose aspect
+    // ratio stays within 2:1, padding with idle slots when n does not
+    // factor (7 -> 2x4).
+    std::pair<int, int> best{1, n};
+    long best_cells = std::numeric_limits<long>::max();
+    double best_aspect = std::numeric_limits<double>::max();
+    for (int nx = 1; (nx - 1) * (nx - 1) < n; ++nx) {
+        const int ny = (n + nx - 1) / nx;
+        if (ny < nx)
+            continue;  // canonical orientation: nx <= ny
+        const double aspect = static_cast<double>(ny) / nx;
+        if (n > 2 && aspect > 2.0)
+            continue;
+        const long cells = static_cast<long>(nx) * ny;
+        if (cells < best_cells ||
+            (cells == best_cells && aspect < best_aspect)) {
+            best = {nx, ny};
+            best_cells = cells;
+            best_aspect = aspect;
+        }
+    }
+    return best;
 }
-
-} // namespace
 
 std::string
 CaseStudyConfig::label() const
@@ -138,10 +162,13 @@ evaluateDesignPoint(const CaseStudyConfig &cfg, double work)
     result.area = proc.area();
     result.tdp = proc.tdp();
 
-    std::vector<double> eds, ed2s, edas, ed2as, powers;
-    double tput_sum = 0.0;
-
-    for (const auto &w : perf::splash2Workloads()) {
+    // Workloads are independent: evaluate each into its own slot in
+    // parallel, then aggregate serially in workload order so every
+    // floating-point reduction matches the serial path bit for bit.
+    const auto &workloads = perf::splash2Workloads();
+    result.workloads.resize(workloads.size());
+    parallel::parallelFor(workloads.size(), [&](std::size_t i) {
+        const perf::Workload &w = workloads[i];
         WorkloadResult wr;
         wr.workload = w.name;
         wr.performance = perf::evaluateSystem(sys, w);
@@ -156,14 +183,18 @@ evaluateDesignPoint(const CaseStudyConfig &cfg, double work)
         wr.figures.energy = wr.runtimePower * wr.figures.delay;
         wr.figures.area = result.area;
         wr.metrics = computeMetrics(wr.figures);
+        result.workloads[i] = std::move(wr);
+    });
 
+    std::vector<double> eds, ed2s, edas, ed2as, powers;
+    double tput_sum = 0.0;
+    for (const auto &wr : result.workloads) {
         tput_sum += wr.performance.throughput;
         powers.push_back(wr.runtimePower);
         eds.push_back(wr.metrics.ed);
         ed2s.push_back(wr.metrics.ed2);
         edas.push_back(wr.metrics.eda);
         ed2as.push_back(wr.metrics.ed2a);
-        result.workloads.push_back(std::move(wr));
     }
 
     result.meanThroughput = tput_sum / result.workloads.size();
@@ -178,16 +209,22 @@ evaluateDesignPoint(const CaseStudyConfig &cfg, double work)
 std::vector<DesignPointResult>
 runCaseStudy(double work)
 {
-    std::vector<DesignPointResult> results;
+    // Design points are independent; evaluate them in parallel into
+    // ordered slots (the result vector keeps the serial sweep order).
+    std::vector<CaseStudyConfig> configs;
     for (CoreStyle style :
          {CoreStyle::InOrderMT, CoreStyle::OutOfOrder}) {
         for (int cluster : {1, 2, 4, 8}) {
             CaseStudyConfig cfg;
             cfg.style = style;
             cfg.coresPerCluster = cluster;
-            results.push_back(evaluateDesignPoint(cfg, work));
+            configs.push_back(cfg);
         }
     }
+    std::vector<DesignPointResult> results(configs.size());
+    parallel::parallelFor(configs.size(), [&](std::size_t i) {
+        results[i] = evaluateDesignPoint(configs[i], work);
+    });
     return results;
 }
 

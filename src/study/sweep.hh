@@ -10,6 +10,7 @@
 #define MCPAT_STUDY_SWEEP_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "perf/activity_gen.hh"
@@ -40,6 +41,15 @@ struct CaseStudyConfig
     std::string label() const;
     int clusters() const { return totalCores / coresPerCluster; }
 };
+
+/**
+ * Grid shape for an n-node cluster mesh: the smallest nx x ny grid
+ * (nx <= ny) with nx*ny >= n and aspect ratio at most 2:1.  Exact
+ * factorizations stay waste-free (8 -> 2x4, 16 -> 4x4); prime and
+ * awkward counts pad with idle slots instead of degenerating to a
+ * 1xN chain (7 -> 2x4).
+ */
+std::pair<int, int> meshDims(int n);
 
 /** Full chip description for a design point. */
 chip::SystemParams makeCaseStudySystem(const CaseStudyConfig &cfg);

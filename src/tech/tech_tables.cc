@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 
 namespace mcpat {
 namespace tech {
@@ -167,7 +168,12 @@ interpolateDevice(const DeviceParams &lo, const DeviceParams &hi,
 const TechNode &
 interpolatedNode(int node_nm)
 {
+    // Serialize cache access: Technology objects are built concurrently
+    // by the parallel evaluation engine.  std::map never invalidates
+    // element references, so returned references stay valid unlocked.
+    static std::mutex cache_mutex;
     static std::map<int, TechNode> cache;
+    std::lock_guard<std::mutex> lock(cache_mutex);
     auto it = cache.find(node_nm);
     if (it != cache.end())
         return it->second;
