@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "array/array_model.hh"
+#include "array/disk_cache.hh"
 
 namespace mcpat {
 namespace array {
@@ -68,6 +69,30 @@ ArrayResultCache::ArrayResultCache()
 {
     if (const char *env = std::getenv("MCPAT_ARRAY_CACHE"))
         _enabled = std::strcmp(env, "0") != 0;
+    if (const char *dir = std::getenv("MCPAT_CACHE_DIR")) {
+        if (*dir != '\0')
+            _disk = std::make_unique<ArrayDiskCache>(dir);
+    }
+}
+
+ArrayResultCache::~ArrayResultCache() = default;
+
+void
+ArrayResultCache::setCacheDir(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _disk = dir.empty() ? nullptr : std::make_unique<ArrayDiskCache>(dir);
+    _diskHits = 0;
+    _diskMisses = 0;
+    _diskCorrupt = 0;
+    _diskWriteFailures = 0;
+}
+
+std::string
+ArrayResultCache::cacheDir() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _disk ? _disk->directory() : std::string();
 }
 
 ArrayResultCache &
@@ -117,12 +142,27 @@ ArrayResultCache::find(const ArrayCacheKey &key)
     if (!_enabled)
         return std::nullopt;
     auto it = _entries.find(key);
-    if (it == _entries.end()) {
-        ++_misses;
-        return std::nullopt;
+    if (it != _entries.end()) {
+        ++_hits;
+        return it->second;
     }
-    ++_hits;
-    return it->second;
+    ++_misses;
+
+    // Memory miss: fall through to the persistent tier.  A clean disk
+    // hit is promoted into the memory tier so later lookups of the
+    // same key never touch the filesystem again.
+    if (_disk) {
+        bool corrupt = false;
+        if (auto sol = _disk->load(key, corrupt)) {
+            ++_diskHits;
+            _entries.emplace(key, *sol);
+            return sol;
+        }
+        ++_diskMisses;
+        if (corrupt)
+            ++_diskCorrupt;
+    }
+    return std::nullopt;
 }
 
 void
@@ -133,13 +173,23 @@ ArrayResultCache::insert(const ArrayCacheKey &key,
     if (!_enabled)
         return;
     _entries.emplace(key, sol);
+    if (_disk && !_disk->store(key, sol))
+        ++_diskWriteFailures;
 }
 
 ArrayCacheStats
 ArrayResultCache::stats() const
 {
     std::lock_guard<std::mutex> lock(_mutex);
-    return {_hits, _misses, _entries.size()};
+    ArrayCacheStats s;
+    s.hits = _hits;
+    s.misses = _misses;
+    s.entries = _entries.size();
+    s.diskHits = _diskHits;
+    s.diskMisses = _diskMisses;
+    s.diskCorrupt = _diskCorrupt;
+    s.diskWriteFailures = _diskWriteFailures;
+    return s;
 }
 
 void
@@ -149,6 +199,10 @@ ArrayResultCache::clear()
     _entries.clear();
     _hits = 0;
     _misses = 0;
+    _diskHits = 0;
+    _diskMisses = 0;
+    _diskCorrupt = 0;
+    _diskWriteFailures = 0;
 }
 
 } // namespace array

@@ -17,14 +17,26 @@
  * fresh solve of the same key (the solver is deterministic), so caching
  * never changes reported numbers.  Disable with MCPAT_ARRAY_CACHE=0 or
  * ArrayResultCache::instance().setEnabled(false).
+ *
+ * A second, persistent tier (disk_cache.hh) layers underneath: on a
+ * memory miss the solver probes a record store on disk, and fresh
+ * solves are written through to it, so separate processes — repeated
+ * CLI runs, -batch sweeps, CI jobs — share solved organizations.  The
+ * disk tier activates when a cache directory is configured via
+ * setCacheDir() (CLI -cache_dir) or the MCPAT_CACHE_DIR environment
+ * variable; it is off otherwise.  Disk records that are truncated,
+ * version-mismatched, or aliased by a hash collision count as corrupt
+ * and read as misses — persistence failures never affect results.
  */
 
 #ifndef MCPAT_ARRAY_ARRAY_CACHE_HH
 #define MCPAT_ARRAY_ARRAY_CACHE_HH
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "array/array_params.hh"
@@ -81,16 +93,26 @@ struct CachedArraySolution
     bool meetsTiming = true;
 };
 
-/** Cache observability counters. */
+/** Cache observability counters, exported per tier. */
 struct ArrayCacheStats
 {
+    // In-memory tier.
     std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    std::uint64_t misses = 0;     ///< memory-tier misses (pre disk probe)
     std::size_t entries = 0;
+
+    // Persistent disk tier (all zero when no cache dir is configured).
+    std::uint64_t diskHits = 0;
+    std::uint64_t diskMisses = 0;        ///< probes with no usable record
+    std::uint64_t diskCorrupt = 0;       ///< records skipped as invalid
+    std::uint64_t diskWriteFailures = 0; ///< records that failed to persist
 };
 
+class ArrayDiskCache;
+
 /**
- * Process-global, thread-safe memo table for ArrayModel solutions.
+ * Process-global, thread-safe memo table for ArrayModel solutions,
+ * backed by an optional persistent disk tier.
  */
 class ArrayResultCache
 {
@@ -106,29 +128,53 @@ class ArrayResultCache
     void setEnabled(bool on) { _enabled = on; }
 
     /**
-     * Look up a solution; counts a hit or miss.  Returns nothing when
-     * the key is absent or the cache is disabled (disabled lookups
-     * count neither).
+     * Configure (or reconfigure) the persistent tier.  An empty path
+     * disables it.  Counters for the disk tier are zeroed; in-memory
+     * entries are kept.
+     */
+    void setCacheDir(const std::string &dir);
+
+    /** Active persistent-tier directory; empty when disabled. */
+    std::string cacheDir() const;
+
+    /**
+     * Look up a solution; counts a hit or miss.  A memory miss falls
+     * through to the disk tier (when configured); a disk hit is
+     * promoted into the memory tier.  Returns nothing when the key is
+     * absent from both tiers or the cache is disabled (disabled
+     * lookups count neither).
      */
     std::optional<CachedArraySolution> find(const ArrayCacheKey &key);
 
-    /** Record a solution (no-op when disabled). */
+    /**
+     * Record a freshly solved solution in the memory tier and write it
+     * through to the disk tier (no-op when disabled).
+     */
     void insert(const ArrayCacheKey &key, const CachedArraySolution &sol);
 
     ArrayCacheStats stats() const;
 
-    /** Drop all entries and zero the counters. */
+    /**
+     * Drop all in-memory entries and zero every counter.  Records
+     * already persisted to the disk tier are left on disk.
+     */
     void clear();
 
   private:
     ArrayResultCache();
+    ~ArrayResultCache();  // out-of-line: ArrayDiskCache is incomplete here
 
     mutable std::mutex _mutex;
     std::unordered_map<ArrayCacheKey, CachedArraySolution,
                        ArrayCacheKeyHash>
         _entries;
+    std::unique_ptr<ArrayDiskCache> _disk;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
+    std::uint64_t _diskHits = 0;
+    std::uint64_t _diskMisses = 0;
+    std::uint64_t _diskCorrupt = 0;
+    std::uint64_t _diskWriteFailures = 0;
     bool _enabled = true;
 };
 

@@ -6,10 +6,13 @@
 #include "array/array_model.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <iterator>
 #include <limits>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "array/array_cache.hh"
@@ -44,7 +47,62 @@ constexpr double peripheryEnergyFactor = 1.8;
 const int kPartitions[] = {1, 2, 4, 8, 16, 32};
 const double kFoldings[] = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
 
+/** Scored metrics, in the order the objective weights them. */
+enum Metric { kDelay = 0, kDynamic, kLeakage, kArea, kCycle, kMetrics };
+
+/** The organization at a given canonical grid index. */
+ArrayOrg
+orgFromIndex(std::size_t idx)
+{
+    const std::size_t n_part = std::size(kPartitions);
+    const std::size_t n_fold = std::size(kFoldings);
+    return ArrayOrg{kPartitions[idx / (n_part * n_fold)],
+                    kPartitions[(idx / n_fold) % n_part],
+                    kFoldings[idx % n_fold]};
+}
+
+std::atomic<std::uint64_t> g_evaluated{0};
+std::atomic<std::uint64_t> g_pruned{0};
+std::atomic<int> g_pruneOverride{-1};  ///< -1: follow MCPAT_PRUNE
+
+bool
+pruneDefaultFromEnv()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("MCPAT_PRUNE");
+        return !(env && env[0] == '0' && env[1] == '\0');
+    }();
+    return enabled;
+}
+
 } // namespace
+
+bool
+optimizerPruning()
+{
+    const int o = g_pruneOverride.load(std::memory_order_relaxed);
+    return o < 0 ? pruneDefaultFromEnv() : o != 0;
+}
+
+void
+setOptimizerPruning(bool on)
+{
+    g_pruneOverride.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+OptimizerSearchStats
+optimizerSearchStats()
+{
+    return {g_evaluated.load(std::memory_order_relaxed),
+            g_pruned.load(std::memory_order_relaxed)};
+}
+
+void
+resetOptimizerSearchStats()
+{
+    g_evaluated.store(0, std::memory_order_relaxed);
+    g_pruned.store(0, std::memory_order_relaxed);
+}
 
 /** One evaluated organization. */
 struct ArrayModel::Candidate
@@ -52,6 +110,24 @@ struct ArrayModel::Candidate
     ArrayOrg org;
     ArrayResult res;
     double score = 0.0;
+};
+
+/** Subarray shape implied by an organization, with feasibility. */
+struct ArrayModel::OrgGeometry
+{
+    int subRows = 0;
+    int subCols = 0;
+    bool feasible = false;
+};
+
+/**
+ * Provable lower bounds on a candidate's scored metrics, computed
+ * without constructing the Subarray (no decoder sizing) or the exact
+ * H-tree wires.
+ */
+struct ArrayModel::CandidateFloor
+{
+    double lb[kMetrics] = {0.0, 0.0, 0.0, 0.0, 0.0};
 };
 
 ArrayModel::ArrayModel(ArrayParams params, const Technology &t,
@@ -83,6 +159,38 @@ ArrayModel::ArrayModel(ArrayParams params, const Technology &t,
     cache.insert(key, {_result, _meetsTiming});
 }
 
+ArrayModel::OrgGeometry
+ArrayModel::orgGeometry(const ArrayOrg &org) const
+{
+    const int total_rows = _params.totalRows();
+    const int row_bits = _params.rowBits();
+    const int banks = _params.banks;
+
+    const int rows_per_bank =
+        static_cast<int>(std::ceil(static_cast<double>(total_rows) /
+                                   banks));
+    const double eff_rows = rows_per_bank / org.nspd;
+    const double eff_cols = row_bits * org.nspd;
+
+    OrgGeometry g;
+    g.subRows = static_cast<int>(std::ceil(eff_rows / org.ndbl));
+    g.subCols = static_cast<int>(std::ceil(eff_cols / org.ndwl));
+
+    // Reject degenerate shapes: too small to be a real subarray or too
+    // large for acceptable wordline/bitline RC.
+    if (g.subRows < 4 || g.subCols < 4)
+        return g;
+    if (g.subRows > 1024 || g.subCols > 2048)
+        return g;
+    // Don't partition beyond the data: keep every subarray meaningful.
+    if (org.ndbl > 1 && g.subRows * (org.ndbl - 1) >= eff_rows)
+        return g;
+    if (org.ndwl > 1 && g.subCols * (org.ndwl - 1) >= eff_cols)
+        return g;
+    g.feasible = true;
+    return g;
+}
+
 std::optional<ArrayModel::Candidate>
 ArrayModel::evaluate(const ArrayOrg &org) const
 {
@@ -91,28 +199,11 @@ ArrayModel::evaluate(const ArrayOrg &org) const
     const int banks = _params.banks;
     const int ports = _params.totalPorts();
 
-    const int rows_per_bank =
-        static_cast<int>(std::ceil(static_cast<double>(total_rows) /
-                                   banks));
-    const double eff_rows = rows_per_bank / org.nspd;
-    const double eff_cols = row_bits * org.nspd;
-
-    const int sub_rows =
-        static_cast<int>(std::ceil(eff_rows / org.ndbl));
-    const int sub_cols =
-        static_cast<int>(std::ceil(eff_cols / org.ndwl));
-
-    // Reject degenerate shapes: too small to be a real subarray or too
-    // large for acceptable wordline/bitline RC.
-    if (sub_rows < 4 || sub_cols < 4)
+    const OrgGeometry geom = orgGeometry(org);
+    if (!geom.feasible)
         return std::nullopt;
-    if (sub_rows > 1024 || sub_cols > 2048)
-        return std::nullopt;
-    // Don't partition beyond the data: keep every subarray meaningful.
-    if (org.ndbl > 1 && sub_rows * (org.ndbl - 1) >= eff_rows)
-        return std::nullopt;
-    if (org.ndwl > 1 && sub_cols * (org.ndwl - 1) >= eff_cols)
-        return std::nullopt;
+    const int sub_rows = geom.subRows;
+    const int sub_cols = geom.subCols;
 
     const Subarray sub(sub_rows, sub_cols, ports, _params.cellType, _tech);
 
@@ -242,31 +333,267 @@ ArrayModel::evaluate(const ArrayOrg &org) const
     return c;
 }
 
+ArrayModel::CandidateFloor
+ArrayModel::candidateFloor(const ArrayOrg &org, const OrgGeometry &geom) const
+{
+    const int total_rows = _params.totalRows();
+    const int row_bits = _params.rowBits();
+    const int banks = _params.banks;
+    const int ports = _params.totalPorts();
+
+    const SubarrayFloor f = Subarray::floorBounds(
+        geom.subRows, geom.subCols, ports, _params.cellType, _tech);
+
+    // Bank footprint floor: the subarray floor dims (exact sense stack,
+    // floored decoder width), so every wire length below floors the
+    // real one.  Wire energy/leakage/area are monotone in length, so a
+    // RepeatedWire built at the floor length bounds the real wire;
+    // delay uses the analytic monotone floor instead (the discretized
+    // repeater count makes exact delay non-monotone).
+    const double bank_w = org.ndwl * f.width;
+    const double bank_h = org.ndbl * f.height;
+
+    const double htree_len = std::max(0.5 * (bank_w + bank_h), 1.0 * um);
+    const RepeatedWire htree_wire(htree_len, tech::WireLayer::Intermediate,
+                                  _tech);
+    const double htree_delay = 2.0 * repeatedWireDelayFloor(
+        htree_len, tech::WireLayer::Intermediate, _tech);
+    const int addr_wires =
+        std::max(1, static_cast<int>(std::ceil(std::log2(
+            std::max(2, total_rows))))) + 8;
+
+    double global_delay = 0.0, global_energy_rd = 0.0;
+    double global_leak_sub = 0.0, global_area = 0.0;
+    if (banks > 1) {
+        const int grid = static_cast<int>(std::ceil(std::sqrt(banks)));
+        const double glen =
+            std::max(0.5 * grid * (bank_w + bank_h), 1.0 * um);
+        const RepeatedWire gwire(glen, tech::WireLayer::Intermediate,
+                                 _tech);
+        const int gwires = addr_wires + row_bits;
+        global_delay = repeatedWireDelayFloor(
+            glen, tech::WireLayer::Intermediate, _tech);
+        global_energy_rd = 0.5 * gwires * gwire.energyPerEvent();
+        global_leak_sub = gwires * gwire.subthresholdLeakage();
+        global_area = gwires * gwire.area();
+    }
+
+    const double htree_in_energy =
+        0.5 * addr_wires * htree_wire.energyPerEvent();
+    const double htree_out_energy =
+        0.5 * row_bits * htree_wire.energyPerEvent();
+
+    CandidateFloor c;
+    // accessDelay = max(htree + global + subarray access, search path).
+    const double access = htree_delay + global_delay + f.accessDelay;
+    c.lb[kDelay] = access;
+    // cycleTime = max(subarray cycle, 0.5 * access).
+    c.lb[kCycle] = std::max(f.cycleTime, 0.5 * access);
+    // readEnergy floor (searchEnergy >= 0, eDRAM restore clamped >= 0).
+    c.lb[kDynamic] = peripheryEnergyFactor *
+                         (org.ndwl * (f.readEnergyFixed +
+                                      geom.subCols * f.readEnergyPerCol)) +
+                     htree_in_energy + htree_out_energy + global_energy_rd;
+    const double port_factor = 1.0 + extraPortPeriphery * (ports - 1);
+    const double n_sub_total =
+        static_cast<double>(org.subarrays()) * banks;
+    const int htree_wires = addr_wires + row_bits;
+    c.lb[kLeakage] = n_sub_total * f.subthresholdLeakage * port_factor +
+                     banks * htree_wires *
+                         htree_wire.subthresholdLeakage() +
+                     global_leak_sub;
+    c.lb[kArea] = n_sub_total * f.area * port_factor *
+                      bankRoutingOverhead +
+                  banks * htree_wires * htree_wire.area() + global_area;
+    return c;
+}
+
 void
-ArrayModel::optimize(const OptimizationWeights &weights)
+ArrayModel::searchExhaustive(std::vector<Candidate> &cands) const
 {
     // Evaluate the full candidate grid in parallel: each organization
     // writes its own slot, then feasible candidates are collected in
     // the same (ndwl, ndbl, nspd) order the serial triple loop used,
     // keeping the selected optimum (including tie-breaks) identical.
-    const std::size_t n_part = std::size(kPartitions);
-    const std::size_t n_fold = std::size(kFoldings);
-    const std::size_t n_orgs = n_part * n_part * n_fold;
+    const std::size_t n_orgs = std::size(kPartitions) *
+                               std::size(kPartitions) *
+                               std::size(kFoldings);
     std::vector<std::optional<Candidate>> slots(n_orgs);
     parallel::parallelFor(n_orgs, [&](std::size_t idx) {
-        const ArrayOrg org{
-            kPartitions[idx / (n_part * n_fold)],
-            kPartitions[(idx / n_fold) % n_part],
-            kFoldings[idx % n_fold]};
-        slots[idx] = evaluate(org);
+        slots[idx] = evaluate(orgFromIndex(idx));
     });
-    std::vector<Candidate> cands;
     for (auto &slot : slots)
         if (slot)
             cands.push_back(std::move(*slot));
-    panicIf(cands.empty(),
-            "array '" + _params.name + "': no feasible organization");
+    g_evaluated.fetch_add(cands.size(), std::memory_order_relaxed);
+}
 
+void
+ArrayModel::searchPruned(const OptimizationWeights &weights,
+                         std::vector<Candidate> &cands) const
+{
+    // Branch-and-bound over the organization grid, constructed to keep
+    // the selected winner bit-identical to the exhaustive search:
+    //
+    //  - lb[m] are provable floors on each scored metric (candidateFloor);
+    //    lbBest[m], their minima over every feasible organization, floor
+    //    the normalizers the exhaustive selection divides by.
+    //  - safeScore is the lowest sum_m w[m] * actual[m] / lbBest[m] over
+    //    evaluated candidates that are pass-0 eligible under ANY final
+    //    normalizers (timing target met, area <= maxAreaRatio * lbBest
+    //    area) — an upper bound on the winner's final score.  While no
+    //    such candidate exists, pass 0 may come up empty and nothing is
+    //    pruned, so the fallback passes see the full candidate set.
+    //  - a candidate may be skipped only when lb[m] >= runMin[m] for
+    //    every metric (it cannot lower any normalizer below what the
+    //    survivors already achieve; runMin[m] are the running minima of
+    //    evaluated actuals) AND it provably cannot be selected, by
+    //    either of two rules:
+    //      (a) area-ineligible: lb[area] > maxAreaRatio * runMin[area].
+    //          Selection keeps the area constraint in passes 0 and 1,
+    //          and pass 2 is unreachable whenever any candidate exists
+    //          (with maxAreaRatio >= 1 the minimum-area survivor always
+    //          passes pass 1), so a candidate whose area floor exceeds
+    //          the constraint under the running minimum — an upper
+    //          bound on the final normalizer — can never be chosen.
+    //      (b) outscored: sum_m w[m] * lb[m] / runMin[m] > safeScore.
+    //    Both rules stay valid as runMin / safeScore shrink, so
+    //    evaluation order and batch size cannot change the outcome.
+    const std::size_t n_orgs = std::size(kPartitions) *
+                               std::size(kPartitions) *
+                               std::size(kFoldings);
+    struct Entry
+    {
+        std::size_t idx;       ///< canonical grid index (tie-break order)
+        ArrayOrg org;
+        CandidateFloor floor;
+        double key;            ///< bound-based visit priority
+    };
+    std::vector<Entry> entries;
+    entries.reserve(n_orgs);
+    for (std::size_t idx = 0; idx < n_orgs; ++idx) {
+        Entry e;
+        e.idx = idx;
+        e.org = orgFromIndex(idx);
+        const OrgGeometry geom = orgGeometry(e.org);
+        if (!geom.feasible)
+            continue;
+        e.floor = candidateFloor(e.org, geom);
+        entries.push_back(e);
+    }
+    if (entries.empty())
+        return;
+
+    const double inf = std::numeric_limits<double>::max();
+    double lbBest[kMetrics];
+    std::fill(std::begin(lbBest), std::end(lbBest), inf);
+    for (const auto &e : entries)
+        for (int m = 0; m < kMetrics; ++m)
+            lbBest[m] = std::min(lbBest[m], e.floor.lb[m]);
+
+    const double w[kMetrics] = {weights.delay, weights.dynamic,
+                                weights.leakage, weights.area,
+                                weights.cycle};
+
+    // Visit likely winners first so the incumbent tightens early;
+    // stable sort keeps ties in canonical order.
+    for (auto &e : entries) {
+        e.key = 0.0;
+        for (int m = 0; m < kMetrics; ++m)
+            e.key += w[m] * e.floor.lb[m] / lbBest[m];
+    }
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const Entry &a, const Entry &b) {
+                         return a.key < b.key;
+                     });
+
+    const double target = _params.targetCycleTime;
+    double runMin[kMetrics];
+    std::fill(std::begin(runMin), std::end(runMin), inf);
+    double safeScore = inf;
+
+    std::vector<std::pair<std::size_t, Candidate>> out;
+    out.reserve(entries.size());
+    const std::size_t block = static_cast<std::size_t>(
+        std::max(1, parallel::threadCount()));
+    std::vector<const Entry *> batch;
+    std::vector<std::optional<Candidate>> slots;
+    std::uint64_t pruned = 0;
+    std::size_t cursor = 0;
+    while (cursor < entries.size()) {
+        batch.clear();
+        while (cursor < entries.size() && batch.size() < block) {
+            const Entry &e = entries[cursor++];
+            bool preserves_norms = true;
+            for (int m = 0; m < kMetrics; ++m) {
+                if (e.floor.lb[m] < runMin[m]) {
+                    preserves_norms = false;
+                    break;
+                }
+            }
+            bool prune = false;
+            if (preserves_norms) {
+                if (weights.maxAreaRatio >= 1.0 &&
+                    e.floor.lb[kArea] >
+                        weights.maxAreaRatio * runMin[kArea]) {
+                    prune = true;  // rule (a): area-ineligible
+                } else if (safeScore < inf) {
+                    double lb_score = 0.0;
+                    for (int m = 0; m < kMetrics; ++m)
+                        lb_score += w[m] * e.floor.lb[m] / runMin[m];
+                    prune = lb_score > safeScore;  // rule (b): outscored
+                }
+            }
+            if (prune)
+                ++pruned;
+            else
+                batch.push_back(&e);
+        }
+        if (batch.empty())
+            continue;
+        slots.assign(batch.size(), std::nullopt);
+        parallel::parallelFor(batch.size(), [&](std::size_t i) {
+            slots[i] = evaluate(batch[i]->org);
+        });
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            // Geometry feasibility was pre-checked, so evaluation
+            // cannot reject.
+            panicIf(!slots[i], "array '" + _params.name +
+                                   "': candidate evaluation diverged");
+            Candidate c = std::move(*slots[i]);
+            const double actual[kMetrics] = {
+                c.res.accessDelay,
+                c.res.readEnergy + c.res.searchEnergy,
+                c.res.subthresholdLeakage,
+                c.res.area,
+                c.res.cycleTime};
+            for (int m = 0; m < kMetrics; ++m)
+                runMin[m] = std::min(runMin[m], actual[m]);
+            if ((target <= 0.0 || c.res.cycleTime <= target) &&
+                c.res.area <= weights.maxAreaRatio * lbBest[kArea]) {
+                double upper = 0.0;
+                for (int m = 0; m < kMetrics; ++m)
+                    upper += w[m] * actual[m] / lbBest[m];
+                safeScore = std::min(safeScore, upper);
+            }
+            out.emplace_back(batch[i]->idx, std::move(c));
+        }
+    }
+    g_pruned.fetch_add(pruned, std::memory_order_relaxed);
+    g_evaluated.fetch_add(out.size(), std::memory_order_relaxed);
+
+    // Restore canonical order so selection tie-breaks are unchanged.
+    std::sort(out.begin(), out.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    cands.reserve(out.size());
+    for (auto &p : out)
+        cands.push_back(std::move(p.second));
+}
+
+void
+ArrayModel::selectBest(std::vector<Candidate> &cands,
+                       const OptimizationWeights &weights)
+{
     // Normalize each metric by the best achieved value, then pick the
     // lowest weighted sum, honoring the cycle-time constraint.
     double best_delay = std::numeric_limits<double>::max();
@@ -313,6 +640,19 @@ ArrayModel::optimize(const OptimizationWeights &weights)
     _result = best->res;
     _meetsTiming = (target <= 0.0) || (constrained &&
                                        _result.cycleTime <= target);
+}
+
+void
+ArrayModel::optimize(const OptimizationWeights &weights)
+{
+    std::vector<Candidate> cands;
+    if (optimizerPruning())
+        searchPruned(weights, cands);
+    else
+        searchExhaustive(cands);
+    panicIf(cands.empty(),
+            "array '" + _params.name + "': no feasible organization");
+    selectBest(cands, weights);
 }
 
 Report

@@ -13,7 +13,9 @@
 #ifndef MCPAT_ARRAY_ARRAY_MODEL_HH
 #define MCPAT_ARRAY_ARRAY_MODEL_HH
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "array/array_params.hh"
 #include "common/report.hh"
@@ -22,6 +24,31 @@ namespace mcpat {
 namespace array {
 
 using tech::Technology;
+
+/**
+ * Organization-search observability: full candidate evaluations
+ * performed vs candidates skipped by the branch-and-bound pruner.
+ * Process-global, thread-safe.
+ */
+struct OptimizerSearchStats
+{
+    std::uint64_t evaluated = 0;  ///< candidates fully evaluated
+    std::uint64_t pruned = 0;     ///< candidates skipped by the bound
+};
+
+/**
+ * Whether ArrayModel::optimize prunes candidates with the cheap
+ * lower-bound test.  Defaults to on; MCPAT_PRUNE=0 (read once) or
+ * setOptimizerPruning(false) selects the exhaustive search.  Pruning
+ * is constructed to pick bit-identical winners to the exhaustive
+ * search, so this switch exists for verification and benchmarking,
+ * not correctness.
+ */
+bool optimizerPruning();
+void setOptimizerPruning(bool on);
+
+OptimizerSearchStats optimizerSearchStats();
+void resetOptimizerSearchStats();
 
 /** Relative weights for the organization objective (lower is better). */
 struct OptimizationWeights
@@ -109,7 +136,18 @@ class ArrayModel
     bool _meetsTiming = true;
 
     struct Candidate;
+    struct OrgGeometry;
+    struct CandidateFloor;
+
+    OrgGeometry orgGeometry(const ArrayOrg &org) const;
+    CandidateFloor candidateFloor(const ArrayOrg &org,
+                                  const OrgGeometry &geom) const;
     std::optional<Candidate> evaluate(const ArrayOrg &org) const;
+    void searchExhaustive(std::vector<Candidate> &cands) const;
+    void searchPruned(const OptimizationWeights &weights,
+                      std::vector<Candidate> &cands) const;
+    void selectBest(std::vector<Candidate> &cands,
+                    const OptimizationWeights &weights);
     void optimize(const OptimizationWeights &weights);
 };
 

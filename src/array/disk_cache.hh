@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Persistent on-disk tier of the array-solution cache.
+ *
+ * The in-memory memo table (array_cache.hh) dies with the process, so
+ * every fresh CLI invocation re-solves every array organization from
+ * scratch.  This tier persists solved `ArrayResult`s as versioned
+ * binary records — one file per key under a cache directory — so
+ * repeated runs, batch sweeps, and separate processes share work.
+ *
+ * Record naming and layout:
+ *  - the canonical `ArrayCacheKey` is serialized to a fixed
+ *    little-endian byte layout (common/serialize.hh) and FNV-1a-hashed;
+ *    the 16-hex-digit hash names the record file (`<hash>.arr`);
+ *  - each record stores magic, format version, the full key bytes, the
+ *    solution payload, and a trailing FNV-1a checksum of everything
+ *    before it.
+ *
+ * Robustness contract: a record that is truncated, has the wrong magic
+ * or version, fails its checksum, or stores a *different* key (hash
+ * collision) is treated as a miss and counted as corrupt — never an
+ * error.  Writes are atomic (temp file + rename) and a cache directory
+ * that cannot be created or written degrades to a warning plus
+ * write-failure counting; evaluation always proceeds.
+ */
+
+#ifndef MCPAT_ARRAY_DISK_CACHE_HH
+#define MCPAT_ARRAY_DISK_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "array/array_cache.hh"
+
+namespace mcpat {
+namespace array {
+
+/** Persistent record store for solved array organizations. */
+class ArrayDiskCache
+{
+  public:
+    /** Bumped whenever the key or payload byte layout changes. */
+    static constexpr std::uint32_t kFormatVersion = 1;
+
+    /** 'MCPA' little-endian: identifies mcpat array-cache records. */
+    static constexpr std::uint32_t kMagic = 0x4150434dU;
+
+    /**
+     * @param directory cache directory; created (with parents) on
+     *        first use.  Creation/write failures are tolerated.
+     */
+    explicit ArrayDiskCache(std::string directory);
+
+    const std::string &directory() const { return _dir; }
+
+    /** Canonical byte serialization of a cache key. */
+    static std::vector<std::uint8_t> serializeKey(const ArrayCacheKey &k);
+
+    /** Record file path for @p key inside this cache's directory. */
+    std::string recordPath(const ArrayCacheKey &key) const;
+
+    /**
+     * Load the record for @p key.  Returns the solution on a clean hit;
+     * std::nullopt on absence or on any validation failure.  @p corrupt
+     * is set when a file existed but failed validation (truncation, bad
+     * magic/version/checksum, or key mismatch from a hash collision).
+     */
+    std::optional<CachedArraySolution> load(const ArrayCacheKey &key,
+                                            bool &corrupt) const;
+
+    /**
+     * Persist a solution atomically.  Returns false on I/O failure
+     * (unwritable directory, full disk); the first failure also prints
+     * a one-line warning to stderr.
+     */
+    bool store(const ArrayCacheKey &key, const CachedArraySolution &sol);
+
+  private:
+    /** Serialize a full record (header + key + payload + checksum). */
+    static std::vector<std::uint8_t>
+    serializeRecord(const std::vector<std::uint8_t> &key_bytes,
+                    const CachedArraySolution &sol);
+
+    std::string _dir;
+    bool _dirReady = false;
+    bool _warnedWriteFailure = false;
+};
+
+} // namespace array
+} // namespace mcpat
+
+#endif // MCPAT_ARRAY_DISK_CACHE_HH

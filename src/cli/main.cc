@@ -22,6 +22,7 @@
 #include "chip/thermal.hh"
 #include "config/gem5_stats.hh"
 #include "config/xml_loader.hh"
+#include "study/batch.hh"
 
 namespace {
 
@@ -31,7 +32,16 @@ usage(const char *prog)
     std::cerr << "Usage: " << prog
               << " -infile <config.xml> [-print_level N]"
               << " [-json <out.json>] [-csv <out.csv>]\n"
+              << "       " << prog
+              << " -batch <list.txt> [-batch_out <dir>]\n"
               << "  -infile      McPAT XML configuration file\n"
+              << "  -batch       evaluate every config listed in "
+                 "<list.txt>\n"
+              << "               (one path per line, # comments) in one "
+                 "process\n"
+              << "  -batch_out   directory for per-config batch reports "
+                 "(default\n"
+              << "               mcpat_batch)\n"
               << "  -print_level hierarchy depth to print (default 3)\n"
               << "  -json        also write the report tree as JSON\n"
               << "  -csv         also write the report tree as CSV\n"
@@ -45,8 +55,26 @@ usage(const char *prog)
                  "(default:\n"
               << "               MCPAT_THREADS env var, else hardware "
                  "concurrency)\n"
-              << "  -cache_stats print array-optimizer memo-cache "
-                 "hit/miss counters\n";
+              << "  -cache_dir   persist solved array models under this "
+                 "directory\n"
+              << "               (also: MCPAT_CACHE_DIR env var)\n"
+              << "  -cache_stats print array-optimizer cache counters "
+                 "for both\n"
+              << "               the in-memory and on-disk tiers\n";
+}
+
+void
+printCacheStats()
+{
+    const auto cs = mcpat::array::ArrayResultCache::instance().stats();
+    std::cerr << "array cache: memory " << cs.hits << " hits, "
+              << cs.misses << " misses, " << cs.entries
+              << " entries; disk " << cs.diskHits << " hits, "
+              << cs.diskMisses << " misses, " << cs.diskCorrupt
+              << " corrupt, " << cs.diskWriteFailures
+              << " write failures ("
+              << mcpat::parallel::threadCount()
+              << " evaluation threads)\n";
 }
 
 /// Parse a numeric flag value, exiting with a clear error (rather than
@@ -72,9 +100,12 @@ int
 main(int argc, char **argv)
 {
     std::string infile;
+    std::string batch_list;
+    std::string batch_out = "mcpat_batch";
     std::string json_out;
     std::string csv_out;
     std::string gem5_stats;
+    std::string cache_dir;
     double thermal_rth = 0.0;
     int print_level = 3;
     bool cache_stats = false;
@@ -82,6 +113,14 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "-infile") == 0 && i + 1 < argc) {
             infile = argv[++i];
+        } else if (std::strcmp(argv[i], "-batch") == 0 && i + 1 < argc) {
+            batch_list = argv[++i];
+        } else if (std::strcmp(argv[i], "-batch_out") == 0 &&
+                   i + 1 < argc) {
+            batch_out = argv[++i];
+        } else if (std::strcmp(argv[i], "-cache_dir") == 0 &&
+                   i + 1 < argc) {
+            cache_dir = argv[++i];
         } else if (std::strcmp(argv[i], "-print_level") == 0 &&
                    i + 1 < argc) {
             print_level = static_cast<int>(
@@ -112,9 +151,26 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    if (infile.empty()) {
+    if (infile.empty() == batch_list.empty()) {
         usage(argv[0]);
         return 1;
+    }
+    if (!cache_dir.empty())
+        mcpat::array::ArrayResultCache::instance().setCacheDir(cache_dir);
+
+    if (!batch_list.empty()) {
+        try {
+            mcpat::study::BatchOptions opts;
+            opts.outputDir = batch_out;
+            const mcpat::study::BatchResult res =
+                mcpat::study::runBatch(batch_list, opts, std::cout);
+            if (cache_stats)
+                printCacheStats();
+            return res.ok() ? 0 : 1;
+        } catch (const std::exception &e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        }
     }
 
     try {
@@ -169,15 +225,8 @@ main(int argc, char **argv)
                   << (proc.meetsTiming() ? "PASS" : "FAIL (structure "
                      "slower than one clock; pipeline it)")
                   << "\n";
-        if (cache_stats) {
-            const auto cs =
-                mcpat::array::ArrayResultCache::instance().stats();
-            std::cerr << "array cache: " << cs.hits << " hits, "
-                      << cs.misses << " misses, " << cs.entries
-                      << " entries ("
-                      << mcpat::parallel::threadCount()
-                      << " evaluation threads)\n";
-        }
+        if (cache_stats)
+            printCacheStats();
         return 0;
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";

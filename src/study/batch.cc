@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Batch evaluation implementation.
+ */
+
+#include "study/batch.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "chip/processor.hh"
+#include "chip/report_writer.hh"
+#include "config/xml_loader.hh"
+#include "config/xml_parser.hh"
+#include "common/logging.hh"
+
+namespace mcpat {
+namespace study {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Trim ASCII whitespace from both ends. */
+std::string
+trim(const std::string &s)
+{
+    const auto b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    const auto e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+/** Percentage string for a hit/total pair; "-" when nothing happened. */
+std::string
+hitRate(std::uint64_t hits, std::uint64_t total)
+{
+    if (total == 0)
+        return "-";
+    std::ostringstream os;
+    os.precision(1);
+    os << std::fixed << (100.0 * hits / total) << "%";
+    return os.str();
+}
+
+/** Unique output stem for an input path within this batch. */
+std::string
+uniqueStem(const std::string &input, std::vector<std::string> &used)
+{
+    std::string stem = fs::path(input).stem().string();
+    if (stem.empty())
+        stem = "config";
+    std::string name = stem;
+    int suffix = 2;
+    while (std::find(used.begin(), used.end(), name) != used.end())
+        name = stem + "_" + std::to_string(suffix++);
+    used.push_back(name);
+    return name;
+}
+
+} // namespace
+
+std::vector<std::string>
+readBatchList(const std::string &listFile)
+{
+    std::ifstream in(listFile);
+    fatalIf(!in, "cannot read batch list '" + listFile + "'");
+
+    const fs::path base = fs::path(listFile).parent_path();
+    std::vector<std::string> configs;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        fs::path p(line);
+        if (p.is_relative() && !base.empty())
+            p = base / p;
+        configs.push_back(p.string());
+    }
+    fatalIf(configs.empty(),
+            "batch list '" + listFile + "' names no configurations");
+    return configs;
+}
+
+BatchResult
+runBatch(const std::string &listFile, const BatchOptions &opts,
+         std::ostream &log)
+{
+    const std::vector<std::string> configs = readBatchList(listFile);
+
+    std::error_code ec;
+    fs::create_directories(opts.outputDir, ec);
+    fatalIf(!fs::is_directory(opts.outputDir),
+            "cannot create batch output directory '" + opts.outputDir +
+                "'");
+
+    BatchResult result;
+    std::vector<std::string> used_stems;
+    for (const auto &input : configs) {
+        BatchItemResult item;
+        item.input = input;
+        item.name = uniqueStem(input, used_stems);
+        try {
+            const config::XmlNode root = config::parseXmlFile(input);
+            config::LoadResult loaded = config::loadSystemParams(root);
+            for (const auto &w : loaded.warnings)
+                log << "warning: " << input << ": " << w << "\n";
+
+            chip::Processor proc(loaded.system);
+            const stats::ChipStats rt =
+                config::loadChipStats(root, loaded.system);
+            const Report report = proc.makeReport(rt);
+
+            item.area = report.area;
+            item.peakPower = report.peakPower();
+            item.runtimePower = report.runtimePower();
+
+            const fs::path out_base =
+                fs::path(opts.outputDir) / item.name;
+            if (opts.writeJson) {
+                const std::string path = out_base.string() + ".json";
+                std::ofstream jf(path);
+                fatalIf(!jf, "cannot write " + path);
+                chip::writeReportJson(jf, report);
+                item.jsonPath = path;
+            }
+            if (opts.writeCsv) {
+                const std::string path = out_base.string() + ".csv";
+                std::ofstream cf(path);
+                fatalIf(!cf, "cannot write " + path);
+                chip::writeReportCsv(cf, report);
+                item.csvPath = path;
+            }
+            item.ok = true;
+            log << "batch: " << input << ": ok, area "
+                << item.area * 1e6 << " mm^2, peak " << item.peakPower
+                << " W\n";
+        } catch (const std::exception &e) {
+            item.ok = false;
+            item.error = e.what();
+            ++result.failures;
+            log << "batch: " << input << ": FAILED: " << e.what() << "\n";
+        }
+        result.items.push_back(std::move(item));
+        if (!result.items.back().ok && opts.stopOnError)
+            break;
+    }
+
+    const auto cs = array::ArrayResultCache::instance().stats();
+    result.cacheStats = cs;
+    log << "batch summary: " << result.items.size() << " configs, "
+        << (result.items.size() - result.failures) << " ok, "
+        << result.failures << " failed\n"
+        << "array cache: memory " << cs.hits << " hits, " << cs.misses
+        << " misses (" << hitRate(cs.hits, cs.hits + cs.misses)
+        << " hit rate); disk " << cs.diskHits << " hits, "
+        << cs.diskMisses << " misses ("
+        << hitRate(cs.diskHits, cs.diskHits + cs.diskMisses)
+        << " hit rate, " << cs.diskCorrupt << " corrupt, "
+        << cs.diskWriteFailures << " write failures)\n";
+    return result;
+}
+
+} // namespace study
+} // namespace mcpat

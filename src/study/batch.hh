@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Batch evaluation: run many XML configurations through the full model
+ * in one process, amortizing the in-memory and on-disk array caches
+ * across inputs.
+ *
+ * The CLI's `-batch <list-file>` mode is a thin wrapper around
+ * runBatch(); tests drive it directly.
+ */
+
+#ifndef MCPAT_STUDY_BATCH_HH
+#define MCPAT_STUDY_BATCH_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "array/array_cache.hh"
+
+namespace mcpat {
+namespace study {
+
+/** Controls for one runBatch() invocation. */
+struct BatchOptions
+{
+    /** Directory receiving one report file set per input. */
+    std::string outputDir = "mcpat_batch";
+
+    bool writeJson = true;
+    bool writeCsv = true;
+
+    /**
+     * Stop at the first failing input instead of continuing with the
+     * remaining configurations.
+     */
+    bool stopOnError = false;
+};
+
+/** Outcome of one configuration in the batch. */
+struct BatchItemResult
+{
+    std::string input;       ///< config path as given in the list file
+    std::string name;        ///< unique output stem derived from input
+    bool ok = false;
+    std::string error;       ///< failure reason when !ok
+    std::string jsonPath;    ///< written report, empty if not written
+    std::string csvPath;     ///< written report, empty if not written
+
+    // Chip-level headline figures (valid when ok).
+    double area = 0.0;       ///< m^2
+    double peakPower = 0.0;  ///< W
+    double runtimePower = 0.0;  ///< W
+};
+
+/** Outcome of the whole batch. */
+struct BatchResult
+{
+    std::vector<BatchItemResult> items;
+    std::size_t failures = 0;
+
+    /** Array-cache counters snapshotted after the batch completed. */
+    array::ArrayCacheStats cacheStats;
+
+    bool ok() const { return failures == 0 && !items.empty(); }
+};
+
+/**
+ * Parse a batch list file: one configuration path per line, blank
+ * lines and `#` comments ignored.  Relative paths resolve against the
+ * list file's directory.  Throws ConfigError when the file cannot be
+ * read.
+ */
+std::vector<std::string> readBatchList(const std::string &listFile);
+
+/**
+ * Evaluate every configuration in @p listFile, writing per-input
+ * reports into opts.outputDir (created on demand) and a human-readable
+ * per-item line plus a final summary — including per-tier cache hit
+ * rates — to @p log.
+ *
+ * A failing input is reported and counted but does not abort the batch
+ * unless opts.stopOnError is set.  Only list-file level problems throw.
+ */
+BatchResult runBatch(const std::string &listFile, const BatchOptions &opts,
+                     std::ostream &log);
+
+} // namespace study
+} // namespace mcpat
+
+#endif // MCPAT_STUDY_BATCH_HH

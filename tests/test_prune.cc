@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Branch-and-bound pruning tests.  The pruner's contract is absolute:
+ * it must select bit-identical winners to the exhaustive organization
+ * search for every array — the lower bounds are provable floors and
+ * candidates are only discarded when they can affect neither the
+ * normalizers nor the constrained selection.  These tests sweep array
+ * shapes, cell types, banking, timing targets, and every shipped chip
+ * config to hold it to that.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "array/array_cache.hh"
+#include "array/array_model.hh"
+#include "chip/processor.hh"
+#include "config/xml_loader.hh"
+
+using namespace mcpat;
+
+namespace {
+
+std::string
+findConfigDir()
+{
+    for (const std::string prefix :
+         {"configs", "../configs", "../../configs"}) {
+        if (std::filesystem::is_directory(prefix))
+            return prefix;
+    }
+    throw ConfigError("cannot find configs/");
+}
+
+/** RAII guard: force pruning on/off, restore the prior setting. */
+struct PruneGuard
+{
+    explicit PruneGuard(bool on)
+        : previous(array::optimizerPruning())
+    {
+        array::setOptimizerPruning(on);
+    }
+    ~PruneGuard() { array::setOptimizerPruning(previous); }
+    bool previous;
+};
+
+/** RAII guard: disable both cache tiers so every solve is real. */
+struct NoCacheGuard
+{
+    NoCacheGuard() : previous(array::ArrayResultCache::instance().enabled())
+    {
+        array::ArrayResultCache::instance().clear();
+        array::ArrayResultCache::instance().setEnabled(false);
+    }
+    ~NoCacheGuard()
+    {
+        array::ArrayResultCache::instance().setEnabled(previous);
+        array::ArrayResultCache::instance().clear();
+    }
+    bool previous;
+};
+
+void
+expectIdenticalSolutions(const array::ArrayParams &p,
+                         const tech::Technology &t,
+                         const std::string &what)
+{
+    NoCacheGuard no_cache;
+    array::ArrayResult exhaustive, pruned;
+    bool timing_ex = false, timing_pr = false;
+    {
+        PruneGuard guard(false);
+        const array::ArrayModel m(p, t);
+        exhaustive = m.result();
+        timing_ex = m.meetsTiming();
+    }
+    {
+        PruneGuard guard(true);
+        const array::ArrayModel m(p, t);
+        pruned = m.result();
+        timing_pr = m.meetsTiming();
+    }
+    EXPECT_EQ(exhaustive.org.ndwl, pruned.org.ndwl) << what;
+    EXPECT_EQ(exhaustive.org.ndbl, pruned.org.ndbl) << what;
+    EXPECT_EQ(exhaustive.org.nspd, pruned.org.nspd) << what;
+    EXPECT_EQ(exhaustive.area, pruned.area) << what;
+    EXPECT_EQ(exhaustive.accessDelay, pruned.accessDelay) << what;
+    EXPECT_EQ(exhaustive.cycleTime, pruned.cycleTime) << what;
+    EXPECT_EQ(exhaustive.readEnergy, pruned.readEnergy) << what;
+    EXPECT_EQ(exhaustive.writeEnergy, pruned.writeEnergy) << what;
+    EXPECT_EQ(exhaustive.searchEnergy, pruned.searchEnergy) << what;
+    EXPECT_EQ(exhaustive.subthresholdLeakage,
+              pruned.subthresholdLeakage)
+        << what;
+    EXPECT_EQ(exhaustive.gateLeakage, pruned.gateLeakage) << what;
+    EXPECT_EQ(exhaustive.refreshPower, pruned.refreshPower) << what;
+    EXPECT_EQ(exhaustive.height, pruned.height) << what;
+    EXPECT_EQ(exhaustive.width, pruned.width) << what;
+    EXPECT_EQ(timing_ex, timing_pr) << what;
+}
+
+/** Recursively require two report trees to match bit for bit. */
+void
+expectBitIdentical(const Report &a, const Report &b,
+                   const std::string &path = "")
+{
+    const std::string here = path + "/" + a.name;
+    EXPECT_EQ(a.name, b.name) << here;
+    EXPECT_EQ(a.area, b.area) << here;
+    EXPECT_EQ(a.peakDynamic, b.peakDynamic) << here;
+    EXPECT_EQ(a.runtimeDynamic, b.runtimeDynamic) << here;
+    EXPECT_EQ(a.subthresholdLeakage, b.subthresholdLeakage) << here;
+    EXPECT_EQ(a.gateLeakage, b.gateLeakage) << here;
+    EXPECT_EQ(a.criticalPath, b.criticalPath) << here;
+    ASSERT_EQ(a.children.size(), b.children.size()) << here;
+    for (std::size_t i = 0; i < a.children.size(); ++i)
+        expectBitIdentical(a.children[i], b.children[i], here);
+}
+
+} // namespace
+
+TEST(Prune, ToggleIsObservable)
+{
+    PruneGuard outer(true);
+    EXPECT_TRUE(array::optimizerPruning());
+    array::setOptimizerPruning(false);
+    EXPECT_FALSE(array::optimizerPruning());
+    array::setOptimizerPruning(true);
+    EXPECT_TRUE(array::optimizerPruning());
+}
+
+TEST(Prune, WinnerIdenticalAcrossArrayShapes)
+{
+    const tech::Technology t65(65);
+    const tech::Technology t22(22, tech::DeviceFlavor::LOP, 340.0);
+
+    std::vector<std::pair<std::string, array::ArrayParams>> cases;
+    cases.reserve(8);
+    {
+        array::ArrayParams p;
+        p.sizeBytes = 32.0 * 1024;
+        p.blockWidthBits = 256;
+        cases.emplace_back("32KB cache-like", p);
+    }
+    {
+        array::ArrayParams p;
+        p.sizeBytes = 2.0 * 1024 * 1024;
+        p.blockWidthBits = 512;
+        p.banks = 4;
+        cases.emplace_back("2MB banked L2", p);
+    }
+    {
+        array::ArrayParams p;
+        p.rows = 128;
+        p.bits = 64;
+        p.readPorts = 4;
+        p.writePorts = 2;
+        p.readWritePorts = 0;
+        cases.emplace_back("multiported regfile", p);
+    }
+    {
+        array::ArrayParams p;
+        p.rows = 64;
+        p.bits = 52;
+        p.cellType = array::CellType::CAM;
+        p.searchPorts = 2;
+        cases.emplace_back("TLB CAM", p);
+    }
+    {
+        array::ArrayParams p;
+        p.sizeBytes = 1024.0 * 1024;
+        p.blockWidthBits = 512;
+        p.cellType = array::CellType::EDRAM;
+        p.flavor = tech::DeviceFlavor::LSTP;
+        cases.emplace_back("1MB eDRAM", p);
+    }
+    {
+        array::ArrayParams p;
+        p.rows = 32;
+        p.bits = 128;
+        p.cellType = array::CellType::DFF;
+        cases.emplace_back("DFF buffer", p);
+    }
+    {
+        array::ArrayParams p;
+        p.sizeBytes = 64.0 * 1024;
+        p.blockWidthBits = 256;
+        p.targetCycleTime = 0.3e-9;  // tight: constrained pass matters
+        cases.emplace_back("timing-constrained", p);
+    }
+    {
+        array::ArrayParams p;
+        p.sizeBytes = 64.0 * 1024;
+        p.blockWidthBits = 256;
+        p.targetCycleTime = 1.0e-12;  // impossible: fallback passes
+        cases.emplace_back("timing-infeasible", p);
+    }
+
+    for (auto &[what, p] : cases) {
+        p.name = what;
+        expectIdenticalSolutions(p, t65, what + " @65nm");
+        expectIdenticalSolutions(p, t22, what + " @22nm LOP");
+    }
+}
+
+TEST(Prune, SearchStatsCountEvaluationsAndPrunes)
+{
+    NoCacheGuard no_cache;
+    const tech::Technology t(45);
+    array::ArrayParams p;
+    p.name = "stats probe";
+    p.sizeBytes = 512.0 * 1024;
+    p.blockWidthBits = 512;
+    p.banks = 2;
+
+    array::resetOptimizerSearchStats();
+    {
+        PruneGuard guard(false);
+        const array::ArrayModel m(p, t);
+    }
+    const auto exhaustive = array::optimizerSearchStats();
+    EXPECT_GT(exhaustive.evaluated, 0u);
+    EXPECT_EQ(exhaustive.pruned, 0u);
+
+    array::resetOptimizerSearchStats();
+    {
+        PruneGuard guard(true);
+        const array::ArrayModel m(p, t);
+    }
+    const auto pruned = array::optimizerSearchStats();
+    EXPECT_GT(pruned.pruned, 0u)
+        << "bound never fired on a structure it should prune";
+    // Every feasible candidate is either evaluated or pruned.
+    EXPECT_EQ(pruned.evaluated + pruned.pruned, exhaustive.evaluated);
+    EXPECT_LT(pruned.evaluated, exhaustive.evaluated);
+}
+
+TEST(Prune, EveryShippedConfigBitIdentical)
+{
+    const std::string dir = findConfigDir();
+    std::vector<std::string> configs;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        if (e.path().extension() == ".xml")
+            configs.push_back(e.path().string());
+    std::sort(configs.begin(), configs.end());
+    ASSERT_FALSE(configs.empty());
+
+    for (const auto &path : configs) {
+        const auto loaded = config::loadSystemParamsFromFile(path);
+        NoCacheGuard no_cache;
+        Report exhaustive, pruned;
+        {
+            PruneGuard guard(false);
+            exhaustive = chip::Processor(loaded.system).tdpReport();
+        }
+        {
+            PruneGuard guard(true);
+            pruned = chip::Processor(loaded.system).tdpReport();
+        }
+        expectBitIdentical(exhaustive, pruned, path);
+    }
+}
