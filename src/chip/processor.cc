@@ -34,20 +34,6 @@ SystemParams::totalCores() const
     return n;
 }
 
-void
-SystemParams::validate() const
-{
-    fatalIf(totalCores() < 1, "system needs at least one core");
-    for (const auto &g : resolvedCoreGroups())
-        fatalIf(g.count < 1, "core group '" + g.core.name +
-                                 "' has no cores");
-    fatalIf(numL2 < 0 || numL3 < 0, "negative cache instance count");
-    fatalIf(whiteSpaceFraction < 0.0 || whiteSpaceFraction > 0.6,
-            "white-space fraction outside [0, 0.6]");
-    fatalIf(temperature < 233.0 || temperature > 420.0,
-            "temperature outside the modeled range");
-}
-
 Processor::Processor(SystemParams params)
     : _params(std::move(params))
 {

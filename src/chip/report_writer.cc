@@ -5,6 +5,7 @@
 
 #include "chip/report_writer.hh"
 
+#include <cmath>
 #include <iomanip>
 
 #include "common/units.hh"
@@ -46,30 +47,70 @@ jsonEscape(const std::string &s)
 
 namespace {
 
+/**
+ * Emit one numeric field.  JSON has no NaN/Infinity literals; emitting
+ * them raw (what operator<< does) produces a document every parser
+ * rejects.  Non-finite values become `null` and flip @p valid so the
+ * document itself records that it is incomplete.
+ */
 void
-writeJsonNode(std::ostream &os, const Report &r, int indent)
+writeJsonNumber(std::ostream &os, double v, bool &valid)
+{
+    if (std::isfinite(v)) {
+        os << v;
+    } else {
+        os << "null";
+        valid = false;
+    }
+}
+
+bool
+reportAllFinite(const Report &r)
+{
+    if (!std::isfinite(r.area) || !std::isfinite(r.peakDynamic) ||
+        !std::isfinite(r.runtimeDynamic) ||
+        !std::isfinite(r.subthresholdLeakage) ||
+        !std::isfinite(r.runtimeSubLeak()) ||
+        !std::isfinite(r.gateLeakage) || !std::isfinite(r.criticalPath))
+        return false;
+    for (const auto &c : r.children)
+        if (!reportAllFinite(c))
+            return false;
+    return true;
+}
+
+void
+writeJsonNode(std::ostream &os, const Report &r, int indent, bool &valid,
+              const bool *root_valid = nullptr)
 {
     const std::string pad(indent, ' ');
     os << pad << "{\n";
+    if (root_valid) {
+        os << pad << "  \"valid\": " << (*root_valid ? "true" : "false")
+           << ",\n";
+    }
     os << pad << "  \"name\": \"" << jsonEscape(r.name) << "\",\n";
-    os << pad << "  \"area_mm2\": " << r.area / mm2 << ",\n";
-    os << pad << "  \"peak_dynamic_w\": " << r.peakDynamic << ",\n";
-    os << pad << "  \"runtime_dynamic_w\": " << r.runtimeDynamic
-       << ",\n";
-    os << pad << "  \"subthreshold_leakage_w\": "
-       << r.subthresholdLeakage << ",\n";
-    os << pad << "  \"runtime_subthreshold_leakage_w\": "
-       << r.runtimeSubLeak() << ",\n";
-    os << pad << "  \"gate_leakage_w\": " << r.gateLeakage << ",\n";
-    os << pad << "  \"critical_path_ns\": " << r.criticalPath / ns
-       << ",\n";
-    os << pad << "  \"children\": [";
+    os << pad << "  \"area_mm2\": ";
+    writeJsonNumber(os, r.area / mm2, valid);
+    os << ",\n" << pad << "  \"peak_dynamic_w\": ";
+    writeJsonNumber(os, r.peakDynamic, valid);
+    os << ",\n" << pad << "  \"runtime_dynamic_w\": ";
+    writeJsonNumber(os, r.runtimeDynamic, valid);
+    os << ",\n" << pad << "  \"subthreshold_leakage_w\": ";
+    writeJsonNumber(os, r.subthresholdLeakage, valid);
+    os << ",\n" << pad << "  \"runtime_subthreshold_leakage_w\": ";
+    writeJsonNumber(os, r.runtimeSubLeak(), valid);
+    os << ",\n" << pad << "  \"gate_leakage_w\": ";
+    writeJsonNumber(os, r.gateLeakage, valid);
+    os << ",\n" << pad << "  \"critical_path_ns\": ";
+    writeJsonNumber(os, r.criticalPath / ns, valid);
+    os << ",\n" << pad << "  \"children\": [";
     if (r.children.empty()) {
         os << "]\n";
     } else {
         os << "\n";
         for (std::size_t i = 0; i < r.children.size(); ++i) {
-            writeJsonNode(os, r.children[i], indent + 4);
+            writeJsonNode(os, r.children[i], indent + 4, valid);
             os << (i + 1 < r.children.size() ? ",\n" : "\n");
         }
         os << pad << "  ]\n";
@@ -112,8 +153,12 @@ writeReportJson(std::ostream &os, const Report &report)
 {
     const auto flags = os.flags();
     const auto precision = os.precision();
-    os << std::setprecision(10);
-    writeJsonNode(os, report, 0);
+    // max_digits10: doubles survive a write/parse round trip exactly,
+    // so cached and freshly computed reports diff bit-identically.
+    os << std::setprecision(17);
+    bool valid = true;
+    const bool all_finite = reportAllFinite(report);
+    writeJsonNode(os, report, 0, valid, &all_finite);
     os << "\n";
     os.flags(flags);
     os.precision(precision);
@@ -124,7 +169,7 @@ writeReportCsv(std::ostream &os, const Report &report)
 {
     const auto flags = os.flags();
     const auto precision = os.precision();
-    os << std::setprecision(10);
+    os << std::setprecision(17);
     os << "path,area_mm2,peak_dynamic_w,runtime_dynamic_w,"
           "subthreshold_leakage_w,runtime_subthreshold_leakage_w,"
           "gate_leakage_w,critical_path_ns\n";

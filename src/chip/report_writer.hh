@@ -22,7 +22,14 @@ namespace chip {
  * Schema: every node is an object with `name`, `area_mm2`,
  * `peak_dynamic_w`, `runtime_dynamic_w`, `subthreshold_leakage_w`,
  * `runtime_subthreshold_leakage_w`, `gate_leakage_w`,
- * `critical_path_ns`, and a `children` array.
+ * `critical_path_ns`, and a `children` array.  The root object
+ * additionally carries a `valid` flag.
+ *
+ * Numbers are written with max_digits10 (17) significant digits so a
+ * parse round trip reproduces the doubles exactly.  JSON has no
+ * NaN/Infinity literals: any non-finite metric is emitted as `null`
+ * and the root `valid` flag becomes false, so downstream tooling can
+ * both parse the document and detect that it is incomplete.
  */
 void writeReportJson(std::ostream &os, const Report &report);
 

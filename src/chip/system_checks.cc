@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Cross-field consistency checks over a fully-assembled SystemParams.
+ *
+ * The XML loader validates each value in isolation (type, range, enum
+ * membership); this pass checks the relationships between fields that
+ * only make sense together — cache geometry that divides evenly,
+ * pipeline widths that are ordered sensibly, an interconnect whose
+ * node count matches the population it connects, a technology node the
+ * device tables can interpolate.  Everything found is reported; the
+ * caller decides whether warnings are fatal (see Severity semantics in
+ * common/diagnostics.hh).
+ */
+
+#include <cmath>
+#include <string>
+
+#include "chip/system_params.hh"
+#include "common/logging.hh"
+#include "tech/technology.hh"
+
+namespace mcpat {
+namespace chip {
+
+namespace {
+
+/**
+ * A set must hold a whole number of (block x assoc) frames; a capacity
+ * that does not divide evenly means the stated size and the modeled
+ * size silently disagree.  @p assoc 0 means fully associative, where
+ * only block alignment matters.
+ */
+void
+checkCacheGeometry(DiagnosticList &diags, const std::string &component,
+                   const std::string &size_key, double capacity_bytes,
+                   int block_bytes, int assoc)
+{
+    if (block_bytes <= 0 || capacity_bytes <= 0)
+        return;  // CacheParams::validate reports these.
+    const double frame = static_cast<double>(block_bytes) *
+                         (assoc > 0 ? assoc : 1);
+    const double sets = capacity_bytes / frame;
+    if (std::abs(sets - std::round(sets)) > 1e-9) {
+        diags.add(Severity::Error, component, size_key,
+                  "capacity is not a whole number of sets (capacity " +
+                      std::to_string(static_cast<long long>(capacity_bytes)) +
+                      " B / (block " + std::to_string(block_bytes) +
+                      " B x assoc " + std::to_string(assoc > 0 ? assoc : 1) +
+                      ") is fractional)");
+    }
+}
+
+void
+checkCoreGroup(DiagnosticList &diags, const CoreGroup &g)
+{
+    const std::string &comp = g.core.name;
+
+    if (g.count < 1) {
+        diags.add(Severity::Error, comp, "count",
+                  "core group has a non-positive population (" +
+                      std::to_string(g.count) + ")");
+    }
+
+    // Per-core invariants live with CoreParams; surface them as
+    // located diagnostics instead of a bare exception.
+    try {
+        g.core.validate();
+    } catch (const ConfigError &e) {
+        diags.add(Severity::Error, comp, "", e.what());
+    }
+
+    checkCacheGeometry(diags, comp, "icache_kb", g.core.icache.capacityBytes,
+                       g.core.icache.blockBytes, g.core.icache.assoc);
+    checkCacheGeometry(diags, comp, "dcache_kb", g.core.dcache.capacityBytes,
+                       g.core.dcache.blockBytes, g.core.dcache.assoc);
+
+    // A commit stage wider than issue can be intentional (the 21364
+    // retires 8 while issuing 6), but more often it is a transposed
+    // pair of numbers — flag it, don't reject it.
+    if (g.core.commitWidth > g.core.issueWidth) {
+        diags.add(Severity::Warning, comp, "commit_width",
+                  "commit width (" + std::to_string(g.core.commitWidth) +
+                      ") exceeds issue width (" +
+                      std::to_string(g.core.issueWidth) +
+                      "); retire can never be the steady-state limiter");
+    }
+    if (g.core.fetchWidth < g.core.decodeWidth) {
+        diags.add(Severity::Warning, comp, "fetch_width",
+                  "fetch width (" + std::to_string(g.core.fetchWidth) +
+                      ") below decode width (" +
+                      std::to_string(g.core.decodeWidth) +
+                      "); decode will starve");
+    }
+}
+
+void
+checkSharedCache(DiagnosticList &diags, const std::string &size_key,
+                 const uncore::SharedCacheParams &c, int count)
+{
+    const std::string &comp = c.name;
+    if (count < 0) {
+        diags.add(Severity::Error, comp, "count",
+                  "negative cache instance count (" +
+                      std::to_string(count) + ")");
+        return;
+    }
+    if (count == 0)
+        return;
+    if (c.blockBytes <= 0 || (c.blockBytes & (c.blockBytes - 1)) != 0) {
+        diags.add(Severity::Error, comp, "block",
+                  "block size must be a power of two (got " +
+                      std::to_string(c.blockBytes) + ")");
+    }
+    if (c.assoc < 0) {
+        diags.add(Severity::Error, comp, "assoc",
+                  "negative associativity (" + std::to_string(c.assoc) +
+                      ")");
+    }
+    if (c.capacityBytes <= 0) {
+        diags.add(Severity::Error, comp, size_key, "empty capacity");
+    }
+    if (c.banks <= 0) {
+        diags.add(Severity::Error, comp, "banks",
+                  "bank count must be positive (got " +
+                      std::to_string(c.banks) + ")");
+    }
+    if (c.clockRate <= 0.0) {
+        diags.add(Severity::Error, comp, "clock_rate_mhz",
+                  "clock rate must be positive");
+    }
+    checkCacheGeometry(diags, comp, size_key, c.capacityBytes,
+                       c.blockBytes, c.assoc);
+}
+
+void
+checkNoc(DiagnosticList &diags, const SystemParams &p)
+{
+    const uncore::NocParams &n = p.noc;
+    const std::string &comp = n.name;
+
+    if (n.nodesX < 1 || n.nodesY < 1) {
+        diags.add(Severity::Error, comp, "nodes_x",
+                  "interconnect needs at least a 1x1 node grid (got " +
+                      std::to_string(n.nodesX) + "x" +
+                      std::to_string(n.nodesY) + ")");
+    }
+    if (n.flitBits < 1) {
+        diags.add(Severity::Error, comp, "flit_bits",
+                  "flit width must be at least one bit");
+    }
+    if (n.clockRate <= 0.0) {
+        diags.add(Severity::Error, comp, "clock_rate_mhz",
+                  "clock rate must be positive");
+    }
+    if (n.linkLength < 0.0) {
+        diags.add(Severity::Error, comp, "link_length_mm",
+                  "negative link length");
+    }
+
+    // For grid topologies the node count should relate to the
+    // population it connects: one node per core (or per core cluster),
+    // or one per shared-cache bank.  Buses and crossbars routinely
+    // span asymmetric mixes (Niagara's crossbar joins 8 cores to 4 L2
+    // banks), so only grids are checked — and only advisorily, since
+    // concentrated meshes are legitimate.
+    const bool grid = n.topology == uncore::NocTopology::Mesh2D ||
+                      n.topology == uncore::NocTopology::Torus2D;
+    if (grid && n.nodesX >= 1 && n.nodesY >= 1) {
+        const int nodes = n.nodes();
+        const int cores = p.totalCores();
+        const bool matches_cores =
+            cores >= 1 && (cores % nodes == 0 || nodes % cores == 0);
+        const bool matches_l2 = p.numL2 > 0 && nodes == p.numL2;
+        if (!matches_cores && !matches_l2) {
+            diags.add(Severity::Warning, comp, "nodes_x",
+                      "mesh of " + std::to_string(nodes) +
+                          " nodes is unrelated to the core count (" +
+                          std::to_string(cores) +
+                          ") or L2 instance count (" +
+                          std::to_string(p.numL2) + ")");
+        }
+    }
+}
+
+} // namespace
+
+DiagnosticList
+SystemParams::check() const
+{
+    DiagnosticList diags;
+
+    // --- Technology operating point. -----------------------------------
+    if (nodeNm < tech::kMinTechNode || nodeNm > tech::kMaxTechNode) {
+        diags.add(Severity::Error, name, "technology_node",
+                  "technology node " + std::to_string(nodeNm) +
+                      " nm outside the table range [" +
+                      std::to_string(tech::kMinTechNode) + ", " +
+                      std::to_string(tech::kMaxTechNode) + "]");
+    }
+    if (temperature < 233.0 || temperature > 420.0) {
+        diags.add(Severity::Error, name, "temperature",
+                  "temperature " + std::to_string(temperature) +
+                      " K outside the modeled range [233, 420]");
+    }
+    if (vdd != 0.0 && (vdd < 0.2 || vdd > 2.5)) {
+        diags.add(Severity::Error, name, "vdd",
+                  "supply override " + std::to_string(vdd) +
+                      " V outside the plausible range [0.2, 2.5]");
+    }
+    if (whiteSpaceFraction < 0.0 || whiteSpaceFraction > 0.6) {
+        diags.add(Severity::Error, name, "white_space",
+                  "white-space fraction outside [0, 0.6]");
+    }
+
+    // --- Core population. ----------------------------------------------
+    if (totalCores() < 1) {
+        diags.add(Severity::Error, name, "core_count",
+                  "system needs at least one core");
+    }
+    for (const auto &g : resolvedCoreGroups())
+        checkCoreGroup(diags, g);
+
+    // --- Shared caches. ------------------------------------------------
+    checkSharedCache(diags, "size_kb", l2, numL2);
+    checkSharedCache(diags, "size_kb", l3, numL3);
+
+    // --- Directory. ----------------------------------------------------
+    if (hasDirectory) {
+        if (directory.trackedLines < 1) {
+            diags.add(Severity::Error, directory.name, "tracked_lines",
+                      "directory must track at least one line");
+        }
+        if (directory.sharers < 1) {
+            diags.add(Severity::Error, directory.name, "sharers",
+                      "presence vector needs at least one sharer bit");
+        }
+    }
+
+    // --- Interconnect. -------------------------------------------------
+    if (hasNoc)
+        checkNoc(diags, *this);
+
+    // --- Memory controller and I/O. ------------------------------------
+    if (hasMemCtrl) {
+        if (memCtrl.channels < 1) {
+            diags.add(Severity::Error, memCtrl.name, "channels",
+                      "memory controller needs at least one channel");
+        }
+        if (memCtrl.dataBusBits < 1) {
+            diags.add(Severity::Error, memCtrl.name, "bus_width",
+                      "data bus must be at least one bit wide");
+        }
+        if (memCtrl.busClock <= 0.0) {
+            diags.add(Severity::Error, memCtrl.name, "bus_clock_mhz",
+                      "bus clock must be positive");
+        }
+    }
+    if (hasIo) {
+        if (io.signalPins < 0) {
+            diags.add(Severity::Error, io.name, "pins",
+                      "negative signal pin count");
+        }
+        if (io.ioVoltage <= 0.0) {
+            diags.add(Severity::Error, io.name, "io_voltage",
+                      "I/O signaling voltage must be positive");
+        }
+        if (io.toggleRate < 0.0 || io.toggleRate > 1.0) {
+            diags.add(Severity::Error, io.name, "toggle_rate",
+                      "toggle rate outside [0, 1]");
+        }
+    }
+
+    return diags;
+}
+
+void
+SystemParams::validate() const
+{
+    check().throwIfErrors("system '" + name + "'");
+}
+
+} // namespace chip
+} // namespace mcpat

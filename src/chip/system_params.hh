@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/diagnostics.hh"
 #include "core/core_params.hh"
 #include "uncore/chip_io.hh"
 #include "uncore/directory.hh"
@@ -79,6 +80,17 @@ struct SystemParams
     /** Chip-level white space on top of component areas. */
     double whiteSpaceFraction = 0.10;
 
+    /**
+     * Cross-field consistency pass.  Returns every problem found —
+     * range violations, cache geometry that does not divide evenly,
+     * per-component invariant failures (Error severity), plus advisory
+     * mismatches such as a commit width above the issue width or mesh
+     * dimensions unrelated to the core count (Warning severity).
+     * Never throws.
+     */
+    DiagnosticList check() const;
+
+    /** Throw a ValidationError when check() finds any errors. */
     void validate() const;
 };
 

@@ -42,6 +42,15 @@ usage(const char *prog)
               << "  -batch_out   directory for per-config batch reports "
                  "(default\n"
               << "               mcpat_batch)\n"
+              << "  -strict      treat validation warnings as errors "
+                 "(exit\n"
+              << "               nonzero; batch items with warnings "
+                 "count as\n"
+              << "               failed)\n"
+              << "  -permissive  report validation warnings and continue "
+                 "(the\n"
+              << "               default; malformed values are still "
+                 "fatal)\n"
               << "  -print_level hierarchy depth to print (default 3)\n"
               << "  -json        also write the report tree as JSON\n"
               << "  -csv         also write the report tree as CSV\n"
@@ -109,6 +118,7 @@ main(int argc, char **argv)
     double thermal_rth = 0.0;
     int print_level = 3;
     bool cache_stats = false;
+    bool strict = false;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "-infile") == 0 && i + 1 < argc) {
@@ -139,6 +149,10 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             mcpat::parallel::setThreadCount(static_cast<int>(
                 numericArg("-threads", argv[++i])));
+        } else if (std::strcmp(argv[i], "-strict") == 0) {
+            strict = true;
+        } else if (std::strcmp(argv[i], "-permissive") == 0) {
+            strict = false;
         } else if (std::strcmp(argv[i], "-cache_stats") == 0) {
             cache_stats = true;
         } else if (std::strcmp(argv[i], "-h") == 0 ||
@@ -162,6 +176,7 @@ main(int argc, char **argv)
         try {
             mcpat::study::BatchOptions opts;
             opts.outputDir = batch_out;
+            opts.strict = strict;
             const mcpat::study::BatchResult res =
                 mcpat::study::runBatch(batch_list, opts, std::cout);
             if (cache_stats)
@@ -178,8 +193,23 @@ main(int argc, char **argv)
             mcpat::config::parseXmlFile(infile);
         mcpat::config::LoadResult loaded =
             mcpat::config::loadSystemParams(root);
-        for (const auto &w : loaded.warnings)
-            std::cerr << "warning: " << w << "\n";
+
+        // Load-time diagnostics (surviving a non-throwing load means
+        // they are all warnings) plus the cross-field consistency pass.
+        mcpat::DiagnosticList diags = loaded.diagnostics;
+        diags.merge(loaded.system.check());
+        diags.print(std::cerr);
+        if (diags.hasErrors()) {
+            std::cerr << "mcpat: invalid configuration: " << infile
+                      << "\n";
+            return 1;
+        }
+        if (strict && diags.hasWarnings()) {
+            std::cerr << "mcpat: strict mode: " << diags.size()
+                      << " warning(s) treated as errors for " << infile
+                      << "\n";
+            return 1;
+        }
 
         mcpat::chip::Processor proc(loaded.system);
         const mcpat::stats::ChipStats rt = gem5_stats.empty()
@@ -228,6 +258,12 @@ main(int argc, char **argv)
         if (cache_stats)
             printCacheStats();
         return 0;
+    } catch (const mcpat::ValidationError &e) {
+        // Per-diagnostic lines (component, key, source line), then a
+        // one-line verdict for scripts grepping the tail.
+        e.diagnostics().print(std::cerr);
+        std::cerr << "mcpat: invalid configuration: " << infile << "\n";
+        return 1;
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";
         return 1;

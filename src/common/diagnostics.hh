@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Structured configuration diagnostics.
+ *
+ * Every problem found while loading or cross-checking a configuration
+ * is recorded as a Diagnostic carrying the component id, the offending
+ * key, the XML source line, and a human-readable message — instead of
+ * a context-free exception from deep inside a parser.  Diagnostics are
+ * collected (not thrown one at a time), so a single pass reports every
+ * problem in a file.
+ *
+ * Severity semantics:
+ *  - Error:   the configuration cannot be trusted to build the model
+ *             the user intended (malformed value, out-of-range,
+ *             inconsistent cross-field state).  Errors always fail the
+ *             load; there is no mode that silently proceeds past them.
+ *  - Warning: suspicious but recoverable (unknown key, advisory
+ *             cross-field mismatch).  Strict mode escalates warnings
+ *             to failures; permissive mode reports them and continues.
+ */
+
+#ifndef MCPAT_COMMON_DIAGNOSTICS_HH
+#define MCPAT_COMMON_DIAGNOSTICS_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mcpat {
+
+/** How bad one diagnostic is (see file comment for semantics). */
+enum class Severity { Warning, Error };
+
+/** "warning" or "error". */
+const char *severityName(Severity s);
+
+/** One located problem in a configuration. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    std::string component;  ///< component id (or type when id absent)
+    std::string key;        ///< param/stat name; empty for cross-field
+    std::string message;
+    int line = 0;           ///< 1-based XML source line; 0 = unknown
+
+    /** "error: component 'x', key 'y' (line 3): message". */
+    std::string format() const;
+};
+
+/** A collected list of diagnostics with severity queries. */
+class DiagnosticList
+{
+  public:
+    void
+    add(Severity severity, const std::string &component,
+        const std::string &key, const std::string &message, int line = 0)
+    {
+        _items.push_back({severity, component, key, message, line});
+    }
+
+    void add(Diagnostic d) { _items.push_back(std::move(d)); }
+
+    /** Append another list's items. */
+    void
+    merge(const DiagnosticList &other)
+    {
+        _items.insert(_items.end(), other._items.begin(),
+                      other._items.end());
+    }
+
+    bool hasErrors() const;
+    bool hasWarnings() const;
+
+    /** Count of Error-severity items. */
+    std::size_t errorCount() const;
+
+    bool empty() const { return _items.empty(); }
+    std::size_t size() const { return _items.size(); }
+
+    const std::vector<Diagnostic> &items() const { return _items; }
+    auto begin() const { return _items.begin(); }
+    auto end() const { return _items.end(); }
+
+    /** One formatted diagnostic per line, "mcpat: " prefixed. */
+    void print(std::ostream &os) const;
+
+    /**
+     * Throw a ValidationError summarizing the Error items when any are
+     * present; no-op otherwise.  @p subject names what was being
+     * validated (file path, component, ...).
+     */
+    void throwIfErrors(const std::string &subject) const;
+
+  private:
+    std::vector<Diagnostic> _items;
+};
+
+/**
+ * A ConfigError that carries the structured diagnostics it summarizes,
+ * so callers (batch mode, tests) can recover per-key context instead
+ * of re-parsing what().
+ */
+class ValidationError : public ConfigError
+{
+  public:
+    ValidationError(const std::string &subject, DiagnosticList diags);
+
+    const DiagnosticList &diagnostics() const { return _diags; }
+
+  private:
+    DiagnosticList _diags;
+};
+
+/** Escape a string for inclusion in a JSON document. */
+std::string jsonEscapeString(const std::string &s);
+
+/**
+ * Emit a diagnostics array as JSON:
+ *   [{"severity": "error", "component": "...", "key": "...",
+ *     "line": 3, "message": "..."}, ...]
+ */
+void writeDiagnosticsJson(std::ostream &os, const DiagnosticList &diags,
+                          int indent = 0);
+
+/** Emit diagnostics as CSV rows: severity,component,key,line,message. */
+void writeDiagnosticsCsv(std::ostream &os, const DiagnosticList &diags);
+
+} // namespace mcpat
+
+#endif // MCPAT_COMMON_DIAGNOSTICS_HH

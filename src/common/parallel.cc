@@ -9,10 +9,14 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
+#include <iostream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/strict_parse.hh"
 
 namespace mcpat {
 namespace parallel {
@@ -26,9 +30,18 @@ int
 defaultThreadCount()
 {
     if (const char *env = std::getenv("MCPAT_THREADS")) {
-        const int n = std::atoi(env);
+        const int n = parseThreadCountEnv(env);
         if (n >= 1)
             return n;
+        // Warn once: atoi-style silent acceptance of "8x" (as 8) or
+        // "abc" (as 0 -> hardware default) hid typos entirely.
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            std::cerr << "mcpat: warning: ignoring MCPAT_THREADS='"
+                      << env << "' (expected a positive integer); "
+                         "using the hardware default\n";
+        }
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw >= 1 ? static_cast<int>(hw) : 1;
@@ -191,6 +204,19 @@ class Pool
 };
 
 } // namespace
+
+int
+parseThreadCountEnv(const char *text)
+{
+    if (!text)
+        return 0;
+    long long n = 0;
+    if (!common::parseLongStrict(text, n))
+        return 0;
+    if (n < 1 || n > std::numeric_limits<int>::max())
+        return 0;
+    return static_cast<int>(n);
+}
 
 int
 threadCount()

@@ -49,6 +49,14 @@ void setThreadCount(int n);
 bool inParallelRegion();
 
 /**
+ * Parse an MCPAT_THREADS-style value.  The whole token must be a
+ * positive integer ("8"); partial matches that atoi would half-accept
+ * ("8x", "2.5") and zero/negative counts return 0, meaning "fall back
+ * to the hardware default".  @p text may be null (unset variable).
+ */
+int parseThreadCountEnv(const char *text);
+
+/**
  * Run fn(i) for every i in [0, n), distributing indices over the pool,
  * and block until all complete.  The calling thread participates.
  *

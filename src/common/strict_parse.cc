@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Strict scalar parsing implementation (std::from_chars based, so the
+ * result is locale-independent and never throws).
+ */
+
+#include "common/strict_parse.hh"
+
+#include <charconv>
+#include <cmath>
+
+namespace mcpat {
+namespace common {
+
+bool
+parseLongStrict(const std::string &text, long long &out)
+{
+    const char *first = text.data();
+    const char *last = first + text.size();
+    long long v = 0;
+    const auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc() || ptr != last || first == last)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDoubleStrict(const std::string &text, double &out)
+{
+    const char *first = text.data();
+    const char *last = first + text.size();
+    double v = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, v);
+    // from_chars accepts "inf"/"nan" spellings, and leaves v untouched
+    // on out-of-range input — reject both: a model input must be a
+    // finite, representable number.
+    if (ec != std::errc() || ptr != last || first == last ||
+        !std::isfinite(v)) {
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseBoolStrict(const std::string &text, bool &out)
+{
+    if (text == "1" || text == "true" || text == "yes") {
+        out = true;
+        return true;
+    }
+    if (text == "0" || text == "false" || text == "no") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+} // namespace common
+} // namespace mcpat

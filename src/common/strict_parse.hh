@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Strict full-token scalar parsing.
+ *
+ * The std::stoi/std::stod family silently truncates ("64kb" parses as
+ * 64) and throws context-free exceptions on garbage; std::atoi cannot
+ * even distinguish 0 from failure.  These helpers parse the *entire*
+ * token or report failure, reject non-finite doubles, and never throw —
+ * callers attach their own context (component, key, source line) to the
+ * failure.
+ */
+
+#ifndef MCPAT_COMMON_STRICT_PARSE_HH
+#define MCPAT_COMMON_STRICT_PARSE_HH
+
+#include <string>
+
+namespace mcpat {
+namespace common {
+
+/**
+ * Parse @p text as a decimal integer.  The whole token must be
+ * consumed: leading/trailing whitespace, trailing junk ("64kb"), an
+ * empty string, and out-of-long-long-range values all fail.  @p out is
+ * untouched on failure.
+ */
+bool parseLongStrict(const std::string &text, long long &out);
+
+/**
+ * Parse @p text as a floating-point number.  The whole token must be
+ * consumed; empty strings, trailing junk ("1e", "3.5W"), and
+ * non-finite results ("inf", "nan", "1e999") all fail.  @p out is
+ * untouched on failure.
+ */
+bool parseDoubleStrict(const std::string &text, double &out);
+
+/**
+ * Parse @p text as a boolean.  Accepted spellings: "1", "true", "yes",
+ * "0", "false", "no" (lowercase).  Anything else fails; @p out is
+ * untouched on failure.
+ */
+bool parseBoolStrict(const std::string &text, bool &out);
+
+} // namespace common
+} // namespace mcpat
+
+#endif // MCPAT_COMMON_STRICT_PARSE_HH

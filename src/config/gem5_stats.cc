@@ -12,6 +12,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/strict_parse.hh"
 
 namespace mcpat {
 namespace config {
@@ -35,15 +36,12 @@ parseGem5Stats(const std::string &text)
             continue;
         if (name.empty() || name[0] == '#')
             continue;
-        try {
-            std::size_t used = 0;
-            const double v = std::stod(value, &used);
-            // Reject trailing junk and non-finite values.
-            if (used == value.size() && std::isfinite(v))
-                out[name] = v;
-        } catch (const std::exception &) {
-            // Non-numeric value column (e.g. histogram bucket labels).
-        }
+        // Non-numeric value columns (histogram bucket labels, "nan"
+        // ratios) are simply skipped; full-token parsing also drops
+        // values with trailing junk rather than truncating them.
+        double v = 0.0;
+        if (common::parseDoubleStrict(value, v))
+            out[name] = v;
     }
     return out;
 }

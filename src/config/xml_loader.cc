@@ -1,45 +1,66 @@
 /**
  * @file
- * XML-to-parameters mapping.
+ * XML-to-parameters mapping with strict, located validation.
+ *
+ * Every <param> value is parsed as a full token (no "64kb"-style
+ * truncation), checked against a per-key range or enum constraint, and
+ * every violation is recorded as a Diagnostic carrying the component
+ * id, key, and XML source line.  All problems in a file are collected
+ * before loadSystemParams throws one ValidationError summarizing them.
  */
 
 #include "config/xml_loader.hh"
 
 #include <functional>
+#include <initializer_list>
+#include <limits>
 #include <map>
 #include <set>
+#include <utility>
 
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/strict_parse.hh"
 
 namespace mcpat {
 namespace config {
 
 namespace {
 
-/** Typed access to one component's <param> entries. */
+/**
+ * Typed access to one component's <param> entries.
+ *
+ * Parse or constraint failures are recorded in the shared
+ * DiagnosticList (with component/key/line context); the output
+ * variable keeps its previous value, so the caller's defaults are never
+ * clobbered by garbage.
+ */
 class ParamReader
 {
   public:
-    ParamReader(const XmlNode &node, std::vector<std::string> &warnings)
-        : _warnings(warnings)
+    ParamReader(const XmlNode &node, DiagnosticList &diags)
+        : _diags(diags), _line(node.line)
     {
+        _component = node.attr("id").empty() ? node.attr("type")
+                                             : node.attr("id");
         for (const XmlNode *p : node.childrenNamed("param")) {
-            fatalIf(!p->hasAttr("name") || !p->hasAttr("value"),
-                    "<param> needs name and value attributes");
-            _values[p->attr("name")] = p->attr("value");
+            if (!p->hasAttr("name") || !p->hasAttr("value")) {
+                _diags.add(Severity::Error, _component, "",
+                           "<param> needs name and value attributes",
+                           p->line);
+                continue;
+            }
+            _values[p->attr("name")] = {p->attr("value"), p->line};
         }
-        _component = node.attr("id");
     }
 
     ~ParamReader()
     {
-        for (const auto &[key, value] : _values) {
+        for (const auto &[key, entry] : _values) {
             if (!_consumed.count(key)) {
-                _warnings.push_back("unknown param '" + key +
-                                    "' in component '" + _component +
-                                    "'");
+                _diags.add(Severity::Warning, _component, key,
+                           "unknown param '" + key + "'", entry.line);
             }
         }
     }
@@ -50,36 +71,120 @@ class ParamReader
         return _values.count(key) > 0;
     }
 
+    /** Record an error when a required key is absent. */
     void
-    getInt(const std::string &key, int &out)
+    require(const std::string &key)
     {
-        if (auto v = fetch(key))
-            out = std::stoi(*v);
+        if (!has(key)) {
+            _diags.add(Severity::Error, _component, key,
+                       "required param '" + key + "' is missing",
+                       _line);
+        }
     }
 
     void
-    getDouble(const std::string &key, double &out)
+    getInt(const std::string &key, int &out, long long min,
+           long long max)
     {
-        if (auto v = fetch(key))
-            out = std::stod(*v);
+        const Entry *e = fetch(key);
+        if (!e)
+            return;
+        long long v = 0;
+        if (!common::parseLongStrict(e->value, v)) {
+            error(key, *e,
+                  "invalid integer '" + e->value +
+                      "' (the whole value must be a decimal number)");
+            return;
+        }
+        if (v < min || v > max) {
+            error(key, *e,
+                  "value " + e->value + " out of range [" +
+                      std::to_string(min) + ", " + std::to_string(max) +
+                      "]");
+            return;
+        }
+        out = static_cast<int>(v);
+    }
+
+    void
+    getDouble(const std::string &key, double &out, double min,
+              double max)
+    {
+        const Entry *e = fetch(key);
+        if (!e)
+            return;
+        double v = 0.0;
+        if (!common::parseDoubleStrict(e->value, v)) {
+            error(key, *e,
+                  "invalid number '" + e->value +
+                      "' (the whole value must be a finite number)");
+            return;
+        }
+        if (v < min || v > max) {
+            error(key, *e,
+                  "value " + e->value + " out of range [" +
+                      std::to_string(min) + ", " + std::to_string(max) +
+                      "]");
+            return;
+        }
+        out = v;
     }
 
     void
     getBool(const std::string &key, bool &out)
     {
-        if (auto v = fetch(key))
-            out = (*v == "1" || *v == "true" || *v == "yes");
+        const Entry *e = fetch(key);
+        if (!e)
+            return;
+        bool v = false;
+        if (!common::parseBoolStrict(e->value, v)) {
+            error(key, *e,
+                  "invalid boolean '" + e->value +
+                      "' (use 1/0, true/false, or yes/no)");
+            return;
+        }
+        out = v;
     }
 
+    /**
+     * Match the value against an allowed-spellings table.  Unknown
+     * tokens are rejected (they used to fall through to a silent
+     * default for several keys).
+     */
+    template <typename T>
     void
-    getString(const std::string &key, std::string &out)
+    getEnum(const std::string &key, T &out,
+            std::initializer_list<std::pair<const char *, T>> allowed)
     {
-        if (auto v = fetch(key))
-            out = *v;
+        const Entry *e = fetch(key);
+        if (!e)
+            return;
+        for (const auto &[name, v] : allowed) {
+            if (e->value == name) {
+                out = v;
+                return;
+            }
+        }
+        std::string expect;
+        for (const auto &[name, v] : allowed) {
+            (void)v;
+            expect += expect.empty() ? name : std::string(", ") + name;
+        }
+        error(key, *e,
+              "invalid value '" + e->value + "' (allowed: " + expect +
+                  ")");
     }
+
+    const std::string &component() const { return _component; }
 
   private:
-    const std::string *
+    struct Entry
+    {
+        std::string value;
+        int line = 0;
+    };
+
+    const Entry *
     fetch(const std::string &key)
     {
         _consumed.insert(key);
@@ -87,192 +192,209 @@ class ParamReader
         return it == _values.end() ? nullptr : &it->second;
     }
 
-    std::map<std::string, std::string> _values;
+    void
+    error(const std::string &key, const Entry &e,
+          const std::string &message)
+    {
+        (void)e;
+        _diags.add(Severity::Error, _component, key, message,
+                   _values.at(key).line);
+    }
+
+    std::map<std::string, Entry> _values;
     std::set<std::string> _consumed;
     std::string _component;
-    std::vector<std::string> &_warnings;
+    DiagnosticList &_diags;
+    int _line = 0;
 };
 
-tech::DeviceFlavor
-parseFlavor(const std::string &s)
-{
-    if (s == "HP" || s == "hp")
-        return tech::DeviceFlavor::HP;
-    if (s == "LSTP" || s == "lstp")
-        return tech::DeviceFlavor::LSTP;
-    if (s == "LOP" || s == "lop")
-        return tech::DeviceFlavor::LOP;
-    throw ConfigError("unknown device flavor '" + s + "'");
-}
+constexpr long long kMaxCount = 1 << 20;  ///< generic structure bound
+
+/** Allowed device-flavor spellings. */
+constexpr std::initializer_list<std::pair<const char *,
+                                          tech::DeviceFlavor>>
+    kFlavors = {{"HP", tech::DeviceFlavor::HP},
+                {"hp", tech::DeviceFlavor::HP},
+                {"LSTP", tech::DeviceFlavor::LSTP},
+                {"lstp", tech::DeviceFlavor::LSTP},
+                {"LOP", tech::DeviceFlavor::LOP},
+                {"lop", tech::DeviceFlavor::LOP}};
 
 void
 loadCore(const XmlNode &node, core::CoreParams &c,
-         std::vector<std::string> &warnings)
+         DiagnosticList &diags)
 {
-    ParamReader p(node, warnings);
+    ParamReader p(node, diags);
+    p.require("clock_rate_mhz");
     double mhz = c.clockRate / MHz;
-    p.getDouble("clock_rate_mhz", mhz);
+    p.getDouble("clock_rate_mhz", mhz, 1.0, 100000.0);
     c.clockRate = mhz * MHz;
 
     p.getBool("out_of_order", c.outOfOrder);
     p.getBool("x86", c.x86);
-    p.getInt("threads", c.threads);
-    p.getInt("fetch_width", c.fetchWidth);
-    p.getInt("decode_width", c.decodeWidth);
-    p.getInt("issue_width", c.issueWidth);
-    p.getInt("commit_width", c.commitWidth);
-    p.getInt("pipeline_depth", c.pipelineStages);
-    p.getDouble("dynamic_margin", c.dynamicMargin);
+    p.getInt("threads", c.threads, 1, 128);
+    p.getInt("fetch_width", c.fetchWidth, 1, 32);
+    p.getInt("decode_width", c.decodeWidth, 1, 32);
+    p.getInt("issue_width", c.issueWidth, 1, 32);
+    p.getInt("commit_width", c.commitWidth, 1, 32);
+    p.getInt("pipeline_depth", c.pipelineStages, 3, 64);
+    p.getDouble("dynamic_margin", c.dynamicMargin, 1.0, 5.0);
     p.getBool("power_gating", c.powerGating);
 
-    p.getInt("rob_size", c.robEntries);
-    p.getInt("instruction_window_size", c.intWindowEntries);
-    p.getInt("fp_instruction_window_size", c.fpWindowEntries);
-    p.getInt("phy_int_regs", c.physIntRegs);
-    p.getInt("phy_fp_regs", c.physFpRegs);
-    p.getInt("arch_int_regs", c.archIntRegs);
-    p.getInt("arch_fp_regs", c.archFpRegs);
+    p.getInt("rob_size", c.robEntries, 8, kMaxCount);
+    p.getInt("instruction_window_size", c.intWindowEntries, 2,
+             kMaxCount);
+    p.getInt("fp_instruction_window_size", c.fpWindowEntries, 1,
+             kMaxCount);
+    p.getInt("phy_int_regs", c.physIntRegs, 1, kMaxCount);
+    p.getInt("phy_fp_regs", c.physFpRegs, 1, kMaxCount);
+    p.getInt("arch_int_regs", c.archIntRegs, 1, kMaxCount);
+    p.getInt("arch_fp_regs", c.archFpRegs, 1, kMaxCount);
 
-    std::string rat = "ram";
-    p.getString("rat_style", rat);
-    c.ratStyle = (rat == "cam") ? logic::RatStyle::Cam
-                                : logic::RatStyle::Ram;
+    p.getEnum("rat_style", c.ratStyle,
+              {{"ram", logic::RatStyle::Ram},
+               {"cam", logic::RatStyle::Cam}});
 
-    p.getInt("alu_count", c.intAlus);
-    p.getInt("fpu_count", c.fpus);
-    p.getInt("mul_count", c.muls);
+    p.getInt("alu_count", c.intAlus, 1, 64);
+    p.getInt("fpu_count", c.fpus, 0, 64);
+    p.getInt("mul_count", c.muls, 0, 64);
     p.getBool("has_fpu", c.hasFpu);
     p.getBool("has_branch_predictor", c.hasBranchPredictor);
 
-    p.getInt("load_queue_size", c.loadQueueEntries);
-    p.getInt("store_queue_size", c.storeQueueEntries);
-    p.getInt("itlb_entries", c.itlbEntries);
-    p.getInt("dtlb_entries", c.dtlbEntries);
+    p.getInt("load_queue_size", c.loadQueueEntries, 1, kMaxCount);
+    p.getInt("store_queue_size", c.storeQueueEntries, 1, kMaxCount);
+    p.getInt("itlb_entries", c.itlbEntries, 1, kMaxCount);
+    p.getInt("dtlb_entries", c.dtlbEntries, 1, kMaxCount);
 
-    p.getInt("btb_entries", c.predictor.btbEntries);
-    p.getInt("local_predictor_entries", c.predictor.localEntries);
-    p.getInt("global_predictor_entries", c.predictor.globalEntries);
-    p.getInt("chooser_predictor_entries", c.predictor.chooserEntries);
-    p.getInt("ras_size", c.predictor.rasEntries);
+    p.getInt("btb_entries", c.predictor.btbEntries, 1, kMaxCount);
+    p.getInt("local_predictor_entries", c.predictor.localEntries, 1,
+             kMaxCount);
+    p.getInt("global_predictor_entries", c.predictor.globalEntries, 1,
+             kMaxCount);
+    p.getInt("chooser_predictor_entries", c.predictor.chooserEntries,
+             1, kMaxCount);
+    p.getInt("ras_size", c.predictor.rasEntries, 1, kMaxCount);
 
     double icache_kb = c.icache.capacityBytes / 1024.0;
-    p.getDouble("icache_kb", icache_kb);
+    p.getDouble("icache_kb", icache_kb, 0.125, 65536.0);
     c.icache.capacityBytes = icache_kb * 1024.0;
-    p.getInt("icache_block", c.icache.blockBytes);
-    p.getInt("icache_assoc", c.icache.assoc);
-    p.getInt("icache_banks", c.icache.banks);
+    p.getInt("icache_block", c.icache.blockBytes, 4, 4096);
+    p.getInt("icache_assoc", c.icache.assoc, 0, 128);
+    p.getInt("icache_banks", c.icache.banks, 1, 1024);
 
     double dcache_kb = c.dcache.capacityBytes / 1024.0;
-    p.getDouble("dcache_kb", dcache_kb);
+    p.getDouble("dcache_kb", dcache_kb, 0.125, 65536.0);
     c.dcache.capacityBytes = dcache_kb * 1024.0;
-    p.getInt("dcache_block", c.dcache.blockBytes);
-    p.getInt("dcache_assoc", c.dcache.assoc);
-    p.getInt("dcache_banks", c.dcache.banks);
+    p.getInt("dcache_block", c.dcache.blockBytes, 4, 4096);
+    p.getInt("dcache_assoc", c.dcache.assoc, 0, 128);
+    p.getInt("dcache_banks", c.dcache.banks, 1, 1024);
 }
 
 void
 loadSharedCache(const XmlNode &node, uncore::SharedCacheParams &l,
-                int &count, std::vector<std::string> &warnings)
+                int &count, DiagnosticList &diags)
 {
-    ParamReader p(node, warnings);
-    p.getInt("count", count);
+    ParamReader p(node, diags);
+    p.getInt("count", count, 1, 1024);
     double kb = l.capacityBytes / 1024.0;
-    p.getDouble("size_kb", kb);
+    p.getDouble("size_kb", kb, 1.0, 1048576.0);
     l.capacityBytes = kb * 1024.0;
-    p.getInt("block", l.blockBytes);
-    p.getInt("assoc", l.assoc);
-    p.getInt("banks", l.banks);
-    p.getInt("ports", l.ports);
-    p.getInt("directory_sharers", l.directorySharers);
+    p.getInt("block", l.blockBytes, 4, 4096);
+    p.getInt("assoc", l.assoc, 0, 128);
+    p.getInt("banks", l.banks, 1, 1024);
+    p.getInt("ports", l.ports, 1, 16);
+    p.getInt("directory_sharers", l.directorySharers, 0, 4096);
     double mhz = l.clockRate / MHz;
-    p.getDouble("clock_rate_mhz", mhz);
+    p.getDouble("clock_rate_mhz", mhz, 1.0, 100000.0);
     l.clockRate = mhz * MHz;
-    std::string flavor = "LSTP";
-    p.getString("device_type", flavor);
-    l.flavor = parseFlavor(flavor);
-    std::string cell = "SRAM";
-    p.getString("cell_type", cell);
-    if (cell == "EDRAM" || cell == "edram")
-        l.dataCell = array::CellType::EDRAM;
-    else if (cell != "SRAM" && cell != "sram")
-        throw ConfigError("unknown cache cell type '" + cell + "'");
+    p.getEnum("device_type", l.flavor, kFlavors);
+    p.getEnum("cell_type", l.dataCell,
+              {{"SRAM", array::CellType::SRAM},
+               {"sram", array::CellType::SRAM},
+               {"EDRAM", array::CellType::EDRAM},
+               {"edram", array::CellType::EDRAM}});
     l.name = node.attr("id").empty() ? l.name : node.attr("id");
 }
 
 void
 loadNoc(const XmlNode &node, uncore::NocParams &n,
-        std::vector<std::string> &warnings)
+        DiagnosticList &diags)
 {
-    ParamReader p(node, warnings);
-    std::string topo = "mesh";
-    p.getString("topology", topo);
-    if (topo == "mesh")
-        n.topology = uncore::NocTopology::Mesh2D;
-    else if (topo == "torus")
-        n.topology = uncore::NocTopology::Torus2D;
-    else if (topo == "ring")
-        n.topology = uncore::NocTopology::Ring;
-    else if (topo == "bus")
-        n.topology = uncore::NocTopology::Bus;
-    else if (topo == "crossbar")
-        n.topology = uncore::NocTopology::Crossbar;
-    else
-        throw ConfigError("unknown NoC topology '" + topo + "'");
+    ParamReader p(node, diags);
+    p.getEnum("topology", n.topology,
+              {{"mesh", uncore::NocTopology::Mesh2D},
+               {"torus", uncore::NocTopology::Torus2D},
+               {"ring", uncore::NocTopology::Ring},
+               {"bus", uncore::NocTopology::Bus},
+               {"crossbar", uncore::NocTopology::Crossbar}});
 
-    p.getInt("nodes_x", n.nodesX);
-    p.getInt("nodes_y", n.nodesY);
-    p.getInt("flit_bits", n.flitBits);
+    p.getInt("nodes_x", n.nodesX, 1, 1024);
+    p.getInt("nodes_y", n.nodesY, 1, 1024);
+    p.getInt("flit_bits", n.flitBits, 1, 4096);
     double link_mm = n.linkLength / mm;
-    p.getDouble("link_length_mm", link_mm);
+    // 0 keeps the "derive from tile pitch" behavior.
+    p.getDouble("link_length_mm", link_mm, 0.0, 100.0);
     n.linkLength = link_mm * mm;
     double mhz = n.clockRate / MHz;
-    p.getDouble("clock_rate_mhz", mhz);
+    p.getDouble("clock_rate_mhz", mhz, 1.0, 100000.0);
     n.clockRate = mhz * MHz;
-    p.getInt("virtual_channels", n.router.virtualChannels);
-    p.getInt("buffer_depth", n.router.bufferDepth);
+    p.getInt("virtual_channels", n.router.virtualChannels, 1, 64);
+    p.getInt("buffer_depth", n.router.bufferDepth, 1, 1024);
     p.getBool("low_swing_links", n.lowSwingLinks);
 }
 
 void
 loadMemCtrl(const XmlNode &node, uncore::MemCtrlParams &m,
-            std::vector<std::string> &warnings)
+            DiagnosticList &diags)
 {
-    ParamReader p(node, warnings);
-    p.getInt("channels", m.channels);
-    p.getInt("bus_width", m.dataBusBits);
+    ParamReader p(node, diags);
+    p.getInt("channels", m.channels, 1, 64);
+    p.getInt("bus_width", m.dataBusBits, 1, 1024);
     double mhz = m.busClock / MHz;
-    p.getDouble("bus_clock_mhz", mhz);
+    p.getDouble("bus_clock_mhz", mhz, 1.0, 100000.0);
     m.busClock = mhz * MHz;
-    std::string type = "DDR2";
-    p.getString("dram_type", type);
-    if (type == "DDR2")
-        m.dramType = uncore::DramType::DDR2;
-    else if (type == "DDR3")
-        m.dramType = uncore::DramType::DDR3;
-    else if (type == "FBDIMM" || type == "FbDimm")
-        m.dramType = uncore::DramType::FbDimm;
-    else if (type == "RDRAM" || type == "Rdram")
-        m.dramType = uncore::DramType::Rdram;
-    else
-        throw ConfigError("unknown DRAM type '" + type + "'");
-    p.getInt("request_queue", m.requestQueueEntries);
+    p.getEnum("dram_type", m.dramType,
+              {{"DDR2", uncore::DramType::DDR2},
+               {"DDR3", uncore::DramType::DDR3},
+               {"FBDIMM", uncore::DramType::FbDimm},
+               {"FbDimm", uncore::DramType::FbDimm},
+               {"RDRAM", uncore::DramType::Rdram},
+               {"Rdram", uncore::DramType::Rdram}});
+    p.getInt("request_queue", m.requestQueueEntries, 1, kMaxCount);
 }
 
 void
 loadChipIo(const XmlNode &node, uncore::ChipIoParams &io,
-           std::vector<std::string> &warnings)
+           DiagnosticList &diags)
 {
-    ParamReader p(node, warnings);
-    p.getInt("pins", io.signalPins);
-    p.getDouble("io_voltage", io.ioVoltage);
+    ParamReader p(node, diags);
+    p.getInt("pins", io.signalPins, 1, 100000);
+    p.getDouble("io_voltage", io.ioVoltage, 0.1, 5.0);
     double pin_cap_pf = io.pinCap / pF;
-    p.getDouble("pin_cap_pf", pin_cap_pf);
+    p.getDouble("pin_cap_pf", pin_cap_pf, 0.01, 100.0);
     io.pinCap = pin_cap_pf * pF;
-    p.getDouble("toggle_rate", io.toggleRate);
+    p.getDouble("toggle_rate", io.toggleRate, 0.0, 1.0);
     double mhz = io.busClock / MHz;
-    p.getDouble("bus_clock_mhz", mhz);
+    p.getDouble("bus_clock_mhz", mhz, 1.0, 100000.0);
     io.busClock = mhz * MHz;
-    p.getDouble("static_power", io.staticPower);
+    p.getDouble("static_power", io.staticPower, 0.0, 1000.0);
+}
+
+void
+loadDirectory(const XmlNode &node, uncore::DirectoryParams &d,
+              DiagnosticList &diags)
+{
+    ParamReader p(node, diags);
+    p.getEnum("style", d.style,
+              {{"sparse", uncore::DirectoryStyle::SparseFullMap},
+               {"duplicate_tags",
+                uncore::DirectoryStyle::DuplicateTags}});
+    p.getInt("tracked_lines", d.trackedLines, 1, 1 << 28);
+    p.getInt("sharers", d.sharers, 1, 4096);
+    p.getInt("banks", d.banks, 1, 1024);
+    double dir_mhz = d.clockRate / MHz;
+    p.getDouble("clock_rate_mhz", dir_mhz, 1.0, 100000.0);
+    d.clockRate = dir_mhz * MHz;
 }
 
 } // namespace
@@ -288,83 +410,125 @@ loadSystemParams(const XmlNode &root)
     s.name = root.hasAttr("id") ? root.attr("id") : s.name;
 
     {
-        ParamReader p(root, out.warnings);
-        p.getInt("technology_node", s.nodeNm);
-        p.getDouble("temperature", s.temperature);
-        std::string flavor = "HP";
-        p.getString("device_type", flavor);
-        s.coreFlavor = parseFlavor(flavor);
-        std::string proj = "aggressive";
-        p.getString("interconnect_projection", proj);
-        s.projection = (proj == "conservative")
-            ? tech::WireProjection::Conservative
-            : tech::WireProjection::Aggressive;
-        p.getInt("core_count", s.numCores);
-        p.getDouble("vdd", s.vdd);
-        p.getDouble("white_space", s.whiteSpaceFraction);
+        ParamReader p(root, out.diagnostics);
+        p.require("technology_node");
+        p.require("core_count");
+        p.getInt("technology_node", s.nodeNm, 22, 180);
+        p.getDouble("temperature", s.temperature, 233.0, 420.0);
+        p.getEnum("device_type", s.coreFlavor, kFlavors);
+        p.getEnum("interconnect_projection", s.projection,
+                  {{"aggressive", tech::WireProjection::Aggressive},
+                   {"conservative",
+                    tech::WireProjection::Conservative}});
+        p.getInt("core_count", s.numCores, 1, 65536);
+        p.getDouble("vdd", s.vdd, 0.2, 2.5);
+        p.getDouble("white_space", s.whiteSpaceFraction, 0.0, 0.6);
     }
 
     bool saw_core = false;
     for (const XmlNode *comp : root.childrenNamed("component")) {
         const std::string &type = comp->attr("type");
         if (type == "Core") {
-            loadCore(*comp, s.core, out.warnings);
+            loadCore(*comp, s.core, out.diagnostics);
             saw_core = true;
         } else if (type == "L2") {
             s.numL2 = 1;
-            loadSharedCache(*comp, s.l2, s.numL2, out.warnings);
+            loadSharedCache(*comp, s.l2, s.numL2, out.diagnostics);
         } else if (type == "L3") {
             s.numL3 = 1;
-            loadSharedCache(*comp, s.l3, s.numL3, out.warnings);
+            loadSharedCache(*comp, s.l3, s.numL3, out.diagnostics);
         } else if (type == "Directory") {
             s.hasDirectory = true;
-            ParamReader p(*comp, out.warnings);
-            std::string style = "sparse";
-            p.getString("style", style);
-            s.directory.style = (style == "duplicate_tags")
-                ? uncore::DirectoryStyle::DuplicateTags
-                : uncore::DirectoryStyle::SparseFullMap;
-            p.getInt("tracked_lines", s.directory.trackedLines);
-            p.getInt("sharers", s.directory.sharers);
-            p.getInt("banks", s.directory.banks);
-            double dir_mhz = s.directory.clockRate / MHz;
-            p.getDouble("clock_rate_mhz", dir_mhz);
-            s.directory.clockRate = dir_mhz * MHz;
+            loadDirectory(*comp, s.directory, out.diagnostics);
         } else if (type == "Noc") {
             s.hasNoc = true;
-            loadNoc(*comp, s.noc, out.warnings);
+            loadNoc(*comp, s.noc, out.diagnostics);
         } else if (type == "MemoryController") {
             s.hasMemCtrl = true;
-            loadMemCtrl(*comp, s.memCtrl, out.warnings);
+            loadMemCtrl(*comp, s.memCtrl, out.diagnostics);
         } else if (type == "ChipIo") {
             s.hasIo = true;
-            loadChipIo(*comp, s.io, out.warnings);
+            loadChipIo(*comp, s.io, out.diagnostics);
         } else {
-            out.warnings.push_back("unknown component type '" + type +
-                                   "'");
+            out.diagnostics.add(
+                Severity::Warning, s.name, "",
+                "unknown component type '" + type + "'", comp->line);
         }
     }
-    fatalIf(!saw_core, "configuration has no <component type=\"Core\">");
+    if (!saw_core) {
+        out.diagnostics.add(
+            Severity::Error, s.name, "",
+            "configuration has no <component type=\"Core\">",
+            root.line);
+    }
+
+    // Legacy string mirror of the Warning-severity diagnostics.
+    for (const auto &d : out.diagnostics) {
+        if (d.severity != Severity::Warning)
+            continue;
+        if (!d.key.empty()) {
+            out.warnings.push_back("unknown param '" + d.key +
+                                   "' in component '" + d.component +
+                                   "'");
+        } else {
+            out.warnings.push_back(d.message);
+        }
+    }
+
+    out.diagnostics.throwIfErrors("configuration '" + s.name + "'");
     return out;
 }
 
 LoadResult
 loadSystemParamsFromFile(const std::string &path)
 {
-    return loadSystemParams(parseXmlFile(path));
+    try {
+        return loadSystemParams(parseXmlFile(path));
+    } catch (const ValidationError &e) {
+        // Re-key the summary on the file path (more useful than the
+        // config's self-declared name when batching many files).
+        throw ValidationError(path, e.diagnostics());
+    }
 }
 
 namespace {
 
-/** Read the <stat> entries of one component into a name->value map. */
+/**
+ * Read the <stat> entries of one component into a name->value map.
+ * Malformed or non-finite values are located errors — a runtime
+ * counter that does not parse must not silently fall back to TDP
+ * defaults.
+ */
 std::map<std::string, double>
-readStats(const XmlNode &node)
+readStats(const XmlNode &node, DiagnosticList &diags)
 {
+    const std::string component = node.attr("id").empty()
+        ? node.attr("type")
+        : node.attr("id");
     std::map<std::string, double> out;
     for (const XmlNode *st : node.childrenNamed("stat")) {
-        fatalIf(!st->hasAttr("name") || !st->hasAttr("value"),
-                "<stat> needs name and value attributes");
-        out[st->attr("name")] = std::stod(st->attr("value"));
+        if (!st->hasAttr("name") || !st->hasAttr("value")) {
+            diags.add(Severity::Error, component, "",
+                      "<stat> needs name and value attributes",
+                      st->line);
+            continue;
+        }
+        double v = 0.0;
+        if (!common::parseDoubleStrict(st->attr("value"), v)) {
+            diags.add(Severity::Error, component, st->attr("name"),
+                      "invalid stat value '" + st->attr("value") +
+                          "' (the whole value must be a finite number)",
+                      st->line);
+            continue;
+        }
+        if (v < 0.0) {
+            diags.add(Severity::Error, component, st->attr("name"),
+                      "negative stat value '" + st->attr("value") +
+                          "' (counters cannot run backwards)",
+                      st->line);
+            continue;
+        }
+        out[st->attr("name")] = v;
     }
     return out;
 }
@@ -384,9 +548,9 @@ rate(const std::map<std::string, double> &counters,
 /** Apply a core component's simulator counters over the TDP defaults. */
 void
 applyCoreCounters(const XmlNode &node, const chip::SystemParams &sys,
-                  core::CoreStats &c)
+                  core::CoreStats &c, DiagnosticList &diags)
 {
-    const auto counters = readStats(node);
+    const auto counters = readStats(node, diags);
     auto cyc = counters.find("total_cycles");
     if (cyc == counters.end())
         return;  // no counters: keep the defaults
@@ -470,9 +634,9 @@ applyCoreCounters(const XmlNode &node, const chip::SystemParams &sys,
 /** Apply a shared-cache component's counters. */
 void
 applyCacheCounters(const XmlNode &node, double cycles,
-                   array::CacheRates &r)
+                   array::CacheRates &r, DiagnosticList &diags)
 {
-    const auto counters = readStats(node);
+    const auto counters = readStats(node, diags);
     if (counters.empty() || cycles <= 0.0)
         return;
     const double ra =
@@ -497,29 +661,30 @@ stats::ChipStats
 loadChipStats(const XmlNode &root, const chip::SystemParams &params)
 {
     stats::ChipStats s = stats::ChipStats::tdp(params);
+    DiagnosticList diags;
 
     // --- Pass 1: per-component simulator counters. -----------------------
     double core_cycles = 0.0;
     for (const XmlNode *comp : root.childrenNamed("component")) {
         const std::string &type = comp->attr("type");
         if (type == "Core") {
-            applyCoreCounters(*comp, params, s.perCore);
-            const auto counters = readStats(*comp);
+            applyCoreCounters(*comp, params, s.perCore, diags);
+            const auto counters = readStats(*comp, diags);
             auto it = counters.find("total_cycles");
             if (it != counters.end())
                 core_cycles = it->second;
             s.perGroup.clear();  // counters describe the average core
         } else if (type == "L2") {
-            applyCacheCounters(*comp, core_cycles, s.l2Rates);
+            applyCacheCounters(*comp, core_cycles, s.l2Rates, diags);
         } else if (type == "L3") {
-            applyCacheCounters(*comp, core_cycles, s.l3Rates);
+            applyCacheCounters(*comp, core_cycles, s.l3Rates, diags);
         } else if (type == "Noc" && core_cycles > 0.0) {
-            const auto counters = readStats(*comp);
+            const auto counters = readStats(*comp, diags);
             auto it = counters.find("total_flits");
             if (it != counters.end())
                 s.nocFlitsPerCycle = it->second / core_cycles;
         } else if (type == "MemoryController" && core_cycles > 0.0) {
-            const auto counters = readStats(*comp);
+            const auto counters = readStats(*comp, diags);
             auto it = counters.find("bytes_transferred");
             if (it != counters.end()) {
                 uncore::MemCtrlParams mc = params.memCtrl;
@@ -538,9 +703,22 @@ loadChipStats(const XmlNode &root, const chip::SystemParams &params)
     // --- Pass 2: global activity scaling. --------------------------------
     double activity_scale = 1.0;
     for (const XmlNode *st : root.childrenNamed("stat")) {
-        if (st->attr("name") == "activity_scale")
-            activity_scale = std::stod(st->attr("value"));
+        if (st->attr("name") != "activity_scale")
+            continue;
+        double v = 1.0;
+        if (!common::parseDoubleStrict(st->attr("value"), v) ||
+            v < 0.0) {
+            diags.add(Severity::Error, params.name, "activity_scale",
+                      "invalid stat value '" + st->attr("value") +
+                          "' (must be a finite number >= 0)",
+                      st->line);
+            continue;
+        }
+        activity_scale = v;
     }
+    diags.throwIfErrors("runtime statistics for '" + params.name +
+                        "'");
+
     s.perCore = s.perCore.scaled(activity_scale);
     s.nocFlitsPerCycle *= activity_scale;
     s.mcUtilization *= activity_scale;

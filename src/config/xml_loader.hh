@@ -28,24 +28,41 @@
 #include <vector>
 
 #include "chip/system_params.hh"
+#include "common/diagnostics.hh"
 #include "config/xml_parser.hh"
 #include "stats/activity_stats.hh"
 
 namespace mcpat {
 namespace config {
 
-/** Result of loading a config: parameters + any unknown-key warnings. */
+/**
+ * Result of loading a config: parameters plus every diagnostic the
+ * load produced.  `warnings` is the legacy string form of the
+ * Warning-severity diagnostics (unknown keys / component types);
+ * `diagnostics` carries the full structured list including component,
+ * key, and source-line context.
+ */
 struct LoadResult
 {
     chip::SystemParams system;
     std::vector<std::string> warnings;
+    DiagnosticList diagnostics;
 };
 
-/** Build SystemParams from a parsed XML tree (root <component
- *  type="System">). */
+/**
+ * Build SystemParams from a parsed XML tree (root <component
+ * type="System">).
+ *
+ * Every <param> is parsed strictly (full-token numbers, closed enum
+ * sets, per-key ranges).  All violations in the tree are collected;
+ * if any are Error severity, a ValidationError summarizing the whole
+ * list is thrown — the partially-filled SystemParams is never
+ * returned, so a malformed value cannot silently become a default.
+ */
 LoadResult loadSystemParams(const XmlNode &root);
 
-/** Convenience: parse a file and load it. */
+/** Convenience: parse a file and load it (ValidationError is re-keyed
+ *  on the file path). */
 LoadResult loadSystemParamsFromFile(const std::string &path);
 
 /**
@@ -66,6 +83,10 @@ LoadResult loadSystemParamsFromFile(const std::string &path);
  *
  * 2. A system-level <stat name="activity_scale" value="0.7"/> scales
  *    whatever the previous step produced (default 1.0).
+ *
+ * Stat values are parsed strictly (full token, finite); malformed
+ * entries raise a ValidationError naming the component, stat, and
+ * source line rather than silently falling back to TDP defaults.
  */
 stats::ChipStats loadChipStats(const XmlNode &root,
                                const chip::SystemParams &params);

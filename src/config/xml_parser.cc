@@ -57,7 +57,17 @@ class Cursor
 
     bool atEnd() const { return _pos >= _text.size(); }
     char peek() const { return atEnd() ? '\0' : _text[_pos]; }
-    char get() { return atEnd() ? '\0' : _text[_pos++]; }
+
+    char
+    get()
+    {
+        if (atEnd())
+            return '\0';
+        const char c = _text[_pos++];
+        if (c == '\n')
+            ++_line;
+        return c;
+    }
 
     bool
     startsWith(const std::string &s) const
@@ -65,7 +75,17 @@ class Cursor
         return _text.compare(_pos, s.size(), s) == 0;
     }
 
-    void advance(std::size_t n) { _pos += n; }
+    void
+    advance(std::size_t n)
+    {
+        for (std::size_t i = 0; i < n && _pos < _text.size(); ++i) {
+            if (_text[_pos++] == '\n')
+                ++_line;
+        }
+    }
+
+    /** 1-based line number of the cursor position. */
+    int line() const { return _line; }
 
     void
     skipWhitespace()
@@ -78,17 +98,14 @@ class Cursor
     [[noreturn]] void
     fail(const std::string &what) const
     {
-        std::size_t line = 1;
-        for (std::size_t i = 0; i < _pos && i < _text.size(); ++i)
-            if (_text[i] == '\n')
-                ++line;
         throw ConfigError("XML parse error at line " +
-                          std::to_string(line) + ": " + what);
+                          std::to_string(_line) + ": " + what);
     }
 
   private:
     const std::string &_text;
     std::size_t _pos = 0;
+    int _line = 1;
 };
 
 void
@@ -156,9 +173,11 @@ parseAttributes(Cursor &c, XmlNode &node)
 XmlNode
 parseElement(Cursor &c)
 {
+    const int open_line = c.line();
     if (c.get() != '<')
         c.fail("expected '<'");
     XmlNode node;
+    node.line = open_line;
     node.tag = parseName(c);
     parseAttributes(c, node);
     c.skipWhitespace();

@@ -25,6 +25,9 @@ struct XmlNode
     std::map<std::string, std::string> attrs;
     std::vector<XmlNode> children;
 
+    /** 1-based source line of the opening '<'; 0 = synthesized node. */
+    int line = 0;
+
     /** Attribute value; empty string when absent. */
     const std::string &attr(const std::string &name) const;
 

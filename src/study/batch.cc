@@ -47,6 +47,39 @@ hitRate(std::uint64_t hits, std::uint64_t total)
     return os.str();
 }
 
+/**
+ * Write <stem>.diagnostics.json / .csv next to the item's reports so a
+ * failing input in a thousand-config batch leaves a machine-readable
+ * record of *why* instead of one interleaved log line.
+ */
+void
+writeDiagnosticSidecars(BatchItemResult &item, const BatchOptions &opts,
+                        const fs::path &out_base)
+{
+    if (item.diagnostics.empty())
+        return;
+    if (opts.writeJson) {
+        const std::string path = out_base.string() + ".diagnostics.json";
+        std::ofstream jf(path);
+        if (jf) {
+            jf << "{\n  \"input\": \"" << jsonEscapeString(item.input)
+               << "\",\n  \"valid\": " << (item.ok ? "true" : "false")
+               << ",\n  \"diagnostics\": ";
+            writeDiagnosticsJson(jf, item.diagnostics, 2);
+            jf << "\n}\n";
+            item.diagnosticsJsonPath = path;
+        }
+    }
+    if (opts.writeCsv) {
+        const std::string path = out_base.string() + ".diagnostics.csv";
+        std::ofstream cf(path);
+        if (cf) {
+            writeDiagnosticsCsv(cf, item.diagnostics);
+            item.diagnosticsCsvPath = path;
+        }
+    }
+}
+
 /** Unique output stem for an input path within this batch. */
 std::string
 uniqueStem(const std::string &input, std::vector<std::string> &used)
@@ -108,11 +141,22 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
         BatchItemResult item;
         item.input = input;
         item.name = uniqueStem(input, used_stems);
+        const fs::path out_base = fs::path(opts.outputDir) / item.name;
         try {
             const config::XmlNode root = config::parseXmlFile(input);
             config::LoadResult loaded = config::loadSystemParams(root);
-            for (const auto &w : loaded.warnings)
-                log << "warning: " << input << ": " << w << "\n";
+            item.diagnostics = loaded.diagnostics;
+            item.diagnostics.merge(loaded.system.check());
+            item.diagnostics.throwIfErrors("configuration '" + input +
+                                           "'");
+            for (const auto &d : item.diagnostics)
+                log << input << ": " << d.format() << "\n";
+            if (opts.strict && item.diagnostics.hasWarnings()) {
+                throw ConfigError(
+                    "strict mode: " +
+                    std::to_string(item.diagnostics.size()) +
+                    " validation warning(s) for '" + input + "'");
+            }
 
             chip::Processor proc(loaded.system);
             const stats::ChipStats rt =
@@ -123,8 +167,6 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
             item.peakPower = report.peakPower();
             item.runtimePower = report.runtimePower();
 
-            const fs::path out_base =
-                fs::path(opts.outputDir) / item.name;
             if (opts.writeJson) {
                 const std::string path = out_base.string() + ".json";
                 std::ofstream jf(path);
@@ -143,12 +185,24 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
             log << "batch: " << input << ": ok, area "
                 << item.area * 1e6 << " mm^2, peak " << item.peakPower
                 << " W\n";
+        } catch (const ValidationError &e) {
+            // Keep the per-key context: a structured failure is worth
+            // more than its flattened what() in a long batch.  When the
+            // throw came from the item's own merged list (cross-field
+            // errors) the diagnostics are already present.
+            if (item.diagnostics.empty())
+                item.diagnostics.merge(e.diagnostics());
+            item.ok = false;
+            item.error = e.what();
+            ++result.failures;
+            log << "batch: " << input << ": FAILED: " << e.what() << "\n";
         } catch (const std::exception &e) {
             item.ok = false;
             item.error = e.what();
             ++result.failures;
             log << "batch: " << input << ": FAILED: " << e.what() << "\n";
         }
+        writeDiagnosticSidecars(item, opts, out_base);
         result.items.push_back(std::move(item));
         if (!result.items.back().ok && opts.stopOnError)
             break;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "array/array_cache.hh"
+#include "common/diagnostics.hh"
 
 namespace mcpat {
 namespace study {
@@ -34,6 +35,14 @@ struct BatchOptions
      * remaining configurations.
      */
     bool stopOnError = false;
+
+    /**
+     * Treat validation warnings as failures (the CLI's -strict).
+     * Validation *errors* always fail the item regardless of this
+     * flag; either way the failure is isolated to that input and its
+     * diagnostics land in the per-input sidecar files.
+     */
+    bool strict = false;
 };
 
 /** Outcome of one configuration in the batch. */
@@ -45,6 +54,13 @@ struct BatchItemResult
     std::string error;       ///< failure reason when !ok
     std::string jsonPath;    ///< written report, empty if not written
     std::string csvPath;     ///< written report, empty if not written
+
+    /** Every validation diagnostic this input produced. */
+    DiagnosticList diagnostics;
+    /** Sidecar diagnostic reports (<stem>.diagnostics.{json,csv}),
+     *  written whenever diagnostics is non-empty. */
+    std::string diagnosticsJsonPath;
+    std::string diagnosticsCsvPath;
 
     // Chip-level headline figures (valid when ok).
     double area = 0.0;       ///< m^2
@@ -80,6 +96,9 @@ std::vector<std::string> readBatchList(const std::string &listFile);
  *
  * A failing input is reported and counted but does not abort the batch
  * unless opts.stopOnError is set.  Only list-file level problems throw.
+ * Any input that produced validation diagnostics additionally gets
+ * <stem>.diagnostics.json / .csv sidecar files recording each
+ * diagnostic's severity, component, key, and source line.
  */
 BatchResult runBatch(const std::string &listFile, const BatchOptions &opts,
                      std::ostream &log);

@@ -215,9 +215,10 @@ lookupTechNode(int node_nm)
     auto it = t.find(node_nm);
     if (it != t.end())
         return it->second;
-    fatalIf(node_nm < 22 || node_nm > 180,
+    fatalIf(node_nm < kMinTechNode || node_nm > kMaxTechNode,
             "technology node " + std::to_string(node_nm) +
-            " nm outside the covered 22-180 nm range");
+            " nm outside the covered " + std::to_string(kMinTechNode) +
+            "-" + std::to_string(kMaxTechNode) + " nm range");
     return interpolatedNode(node_nm);
 }
 

@@ -44,6 +44,11 @@ constexpr int numDeviceFlavors = 3;
 constexpr int numWireLayers = 3;
 constexpr int numWireProjections = 2;
 
+/** Smallest / largest node the tables cover (inclusive, nm);
+ *  intermediate nodes are interpolated. */
+constexpr int kMinTechNode = 22;
+constexpr int kMaxTechNode = 180;
+
 /**
  * Transistor parameters for one (node, flavor) pair.
  *

@@ -192,14 +192,24 @@ TEST(XmlLoader, UnknownParamWarns)
     const char *cfg = R"(
 <component id="sys" type="System">
   <param name="technology_node" value="45"/>
+  <param name="core_count" value="1"/>
   <param name="not_a_real_param" value="7"/>
-  <component id="sys.core" type="Core"/>
+  <component id="sys.core" type="Core">
+    <param name="clock_rate_mhz" value="2000"/>
+  </component>
 </component>
 )";
     const auto loaded = loadSystemParams(parseXmlString(cfg));
     ASSERT_EQ(loaded.warnings.size(), 1u);
     EXPECT_NE(loaded.warnings[0].find("not_a_real_param"),
               std::string::npos);
+    // The structured form carries component/key/line context.
+    ASSERT_EQ(loaded.diagnostics.size(), 1u);
+    const auto &d = *loaded.diagnostics.begin();
+    EXPECT_EQ(d.severity, Severity::Warning);
+    EXPECT_EQ(d.component, "sys");
+    EXPECT_EQ(d.key, "not_a_real_param");
+    EXPECT_EQ(d.line, 5);
 }
 
 TEST(XmlLoader, MissingCoreRejected)
@@ -234,7 +244,10 @@ TEST(XmlLoader, StatActivityScale)
     const XmlNode root = parseXmlString(R"(
 <component id="sys" type="System">
   <param name="technology_node" value="45"/>
-  <component id="sys.core" type="Core"/>
+  <param name="core_count" value="1"/>
+  <component id="sys.core" type="Core">
+    <param name="clock_rate_mhz" value="2000"/>
+  </component>
   <stat name="activity_scale" value="0.5"/>
 </component>
 )");

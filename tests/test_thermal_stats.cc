@@ -155,7 +155,10 @@ TEST(StatCounters, MissingCountersKeepTdpDefaults)
     const char *cfg = R"(
 <component id="sys" type="System">
   <param name="technology_node" value="45"/>
-  <component id="sys.core" type="Core"/>
+  <param name="core_count" value="1"/>
+  <component id="sys.core" type="Core">
+    <param name="clock_rate_mhz" value="2000"/>
+  </component>
 </component>
 )";
     const auto root = config::parseXmlString(cfg);
@@ -182,7 +185,9 @@ TEST(StatCounters, InvalidCountersRejected)
     const char *bad_cycles = R"(
 <component id="sys" type="System">
   <param name="technology_node" value="45"/>
+  <param name="core_count" value="1"/>
   <component id="sys.core" type="Core">
+    <param name="clock_rate_mhz" value="2000"/>
     <stat name="total_cycles" value="0"/>
   </component>
 </component>
