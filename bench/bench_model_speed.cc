@@ -17,6 +17,7 @@
 #include "array/array_cache.hh"
 #include "array/cache_model.hh"
 #include "chip/processor.hh"
+#include "common/instrument.hh"
 #include "common/parallel.hh"
 #include "config/xml_loader.hh"
 #include "core/core.hh"
@@ -186,6 +187,60 @@ BENCHMARK(BM_CaseStudy)
     ->ArgName("threads")
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Instrumentation-overhead scoreboard: the same full-chip solve with
+ * the instrumentation layer off vs on (spans recording, registry
+ * live).  The `overhead_pct` counter is the headline; the layer's
+ * budget is < 2% on this workload (sites sit at phase/component
+ * granularity, so a solve crosses only a handful of them).  Both arms
+ * run with the array cache cold — the cost profile of a real CLI run,
+ * where every array's organization search actually executes; a
+ * cache-hot rebuild finishes in microseconds and would measure the
+ * fixed span cost against almost no work.
+ */
+void
+BM_InstrumentationOverhead(benchmark::State &state)
+{
+    using clock = std::chrono::steady_clock;
+    const auto loaded = config::loadSystemParamsFromFile(
+        bench::findConfig("niagara.xml"));
+    auto &cache = array::ArrayResultCache::instance();
+
+    double off_s = 0.0, on_s = 0.0;
+    for (auto _ : state) {
+        instr::setEnabled(false);
+        cache.clear();
+        const auto t0 = clock::now();
+        {
+            chip::Processor proc(loaded.system);
+            benchmark::DoNotOptimize(proc.tdp());
+        }
+        const auto t1 = clock::now();
+
+        instr::setEnabled(true);
+        cache.clear();
+        const auto t2 = clock::now();
+        {
+            chip::Processor proc(loaded.system);
+            benchmark::DoNotOptimize(proc.tdp());
+        }
+        const auto t3 = clock::now();
+        instr::setEnabled(false);
+        instr::clearTrace();
+
+        off_s += std::chrono::duration<double>(t1 - t0).count();
+        on_s += std::chrono::duration<double>(t3 - t2).count();
+    }
+    cache.clear();
+    instr::Registry::instance().reset();
+    const double n = static_cast<double>(state.iterations());
+    state.counters["off_ms"] = 1e3 * off_s / n;
+    state.counters["on_ms"] = 1e3 * on_s / n;
+    state.counters["overhead_pct"] =
+        off_s > 0.0 ? 100.0 * (on_s - off_s) / off_s : 0.0;
+}
+BENCHMARK(BM_InstrumentationOverhead)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

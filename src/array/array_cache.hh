@@ -33,6 +33,7 @@
 #define MCPAT_ARRAY_ARRAY_CACHE_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -109,6 +110,16 @@ struct ArrayCacheStats
 };
 
 class ArrayDiskCache;
+
+/**
+ * Registry-backed cache reporter: publish both tiers' counters into
+ * the instrumentation registry (via its collectors) and print the
+ * canonical one-line summary — hits, misses, hit rates, entries,
+ * corruption/write-failure counts, and the evaluation thread count.
+ * The CLI's -cache_stats (single-run and batch) and the batch summary
+ * all route through this one function, so the two modes cannot drift.
+ */
+void reportCacheStats(std::ostream &os);
 
 /**
  * Process-global, thread-safe memo table for ArrayModel solutions,

@@ -19,6 +19,7 @@
 #include "array/cam.hh"
 #include "array/mat.hh"
 #include "circuit/wire.hh"
+#include "common/instrument.hh"
 #include "common/parallel.hh"
 
 namespace mcpat {
@@ -74,6 +75,22 @@ pruneDefaultFromEnv()
     }();
     return enabled;
 }
+
+/** Mirrors the organization-search counters into registry snapshots. */
+[[maybe_unused]] const bool g_prune_collector_registered =
+    instr::Registry::instance().addCollector([](instr::Registry &reg) {
+        const std::uint64_t evaluated =
+            g_evaluated.load(std::memory_order_relaxed);
+        const std::uint64_t pruned =
+            g_pruned.load(std::memory_order_relaxed);
+        reg.gauge("prune.evaluated")
+            .set(static_cast<double>(evaluated));
+        reg.gauge("prune.pruned").set(static_cast<double>(pruned));
+        reg.gauge("prune.prune_fraction")
+            .set(evaluated + pruned
+                     ? static_cast<double>(pruned) / (evaluated + pruned)
+                     : 0.0);
+    });
 
 } // namespace
 
@@ -645,6 +662,7 @@ ArrayModel::selectBest(std::vector<Candidate> &cands,
 void
 ArrayModel::optimize(const OptimizationWeights &weights)
 {
+    MCPAT_SPAN("array.optimize", _params.name);
     std::vector<Candidate> cands;
     if (optimizerPruning())
         searchPruned(weights, cands);

@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/instrument.hh"
 #include "common/parallel.hh"
 
 namespace mcpat {
@@ -49,47 +50,55 @@ Processor::Processor(SystemParams params)
     // the shared const Technology), so build them in parallel.  Every
     // task writes its own member; the NoC is deferred because its link
     // length derives from core and L2 areas.
+    MCPAT_SPAN("assemble", _params.name);
     const auto groups = _params.resolvedCoreGroups();
     _cores.resize(groups.size());
     std::vector<std::function<void()>> build;
     for (std::size_t g = 0; g < groups.size(); ++g) {
         build.push_back([this, g, &groups] {
+            MCPAT_SPAN("build.core", groups[g].core.name);
             _cores[g] =
                 std::make_unique<core::Core>(groups[g].core, *_tech);
         });
     }
     if (_params.numL2 > 0) {
         build.push_back([this] {
+            MCPAT_SPAN("build.l2");
             _l2 = std::make_unique<uncore::SharedCache>(_params.l2,
                                                         *_tech);
         });
     }
     if (_params.numL3 > 0) {
         build.push_back([this] {
+            MCPAT_SPAN("build.l3");
             _l3 = std::make_unique<uncore::SharedCache>(_params.l3,
                                                         *_tech);
         });
     }
     if (_params.hasDirectory) {
         build.push_back([this] {
+            MCPAT_SPAN("build.directory");
             _directory = std::make_unique<uncore::Directory>(
                 _params.directory, *_tech);
         });
     }
     if (_params.hasMemCtrl) {
         build.push_back([this] {
+            MCPAT_SPAN("build.memctrl");
             _memCtrl = std::make_unique<uncore::MemoryController>(
                 _params.memCtrl, *_tech);
         });
     }
     if (_params.hasIo) {
         build.push_back([this] {
+            MCPAT_SPAN("build.io");
             _io = std::make_unique<uncore::ChipIo>(_params.io, *_tech);
         });
     }
     parallel::parallelFor(build.size(),
                           [&](std::size_t i) { build[i](); });
     if (_params.hasNoc) {
+        MCPAT_SPAN("build.noc");
         uncore::NocParams noc = _params.noc;
         if (noc.linkLength <= 0.0) {
             // Derive the hop span from the tile pitch: each fabric
@@ -105,6 +114,7 @@ Processor::Processor(SystemParams params)
         _noc = std::make_unique<uncore::Noc>(noc, *_tech);
     }
 
+    MCPAT_SPAN("tdp");
     _tdpStats = stats::ChipStats::tdp(_params);
     _tdpReport = makeReport(_tdpStats);
     _area = _tdpReport.area;

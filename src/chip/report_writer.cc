@@ -81,12 +81,17 @@ reportAllFinite(const Report &r)
 
 void
 writeJsonNode(std::ostream &os, const Report &r, int indent, bool &valid,
-              const bool *root_valid = nullptr)
+              const bool *root_valid = nullptr,
+              const std::string *instrumentation = nullptr)
 {
     const std::string pad(indent, ' ');
     os << pad << "{\n";
     if (root_valid) {
         os << pad << "  \"valid\": " << (*root_valid ? "true" : "false")
+           << ",\n";
+    }
+    if (instrumentation && !instrumentation->empty()) {
+        os << pad << "  \"instrumentation\":\n" << *instrumentation
            << ",\n";
     }
     os << pad << "  \"name\": \"" << jsonEscape(r.name) << "\",\n";
@@ -149,7 +154,8 @@ writeCsvNode(std::ostream &os, const Report &r, const std::string &path)
 } // namespace
 
 void
-writeReportJson(std::ostream &os, const Report &report)
+writeReportJson(std::ostream &os, const Report &report,
+                const std::string *instrumentation)
 {
     const auto flags = os.flags();
     const auto precision = os.precision();
@@ -158,7 +164,7 @@ writeReportJson(std::ostream &os, const Report &report)
     os << std::setprecision(17);
     bool valid = true;
     const bool all_finite = reportAllFinite(report);
-    writeJsonNode(os, report, 0, valid, &all_finite);
+    writeJsonNode(os, report, 0, valid, &all_finite, instrumentation);
     os << "\n";
     os.flags(flags);
     os.precision(precision);

@@ -30,8 +30,14 @@ namespace chip {
  * NaN/Infinity literals: any non-finite metric is emitted as `null`
  * and the root `valid` flag becomes false, so downstream tooling can
  * both parse the document and detect that it is incomplete.
+ *
+ * @param instrumentation pre-rendered run-manifest JSON object (see
+ *        instr::runManifestJson) to embed as an "instrumentation"
+ *        section on the root node; null/empty (the default) leaves the
+ *        document byte-identical to builds without instrumentation.
  */
-void writeReportJson(std::ostream &os, const Report &report);
+void writeReportJson(std::ostream &os, const Report &report,
+                     const std::string *instrumentation = nullptr);
 
 /**
  * Write the report tree as CSV (one row per node, depth-first), with a

@@ -6,6 +6,7 @@
  *   mcpat -infile <config.xml> [-print_level N]
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -17,6 +18,7 @@
 
 #include "array/array_cache.hh"
 #include "chip/report_printer.hh"
+#include "common/instrument.hh"
 #include "common/parallel.hh"
 #include "chip/report_writer.hh"
 #include "chip/thermal.hh"
@@ -69,22 +71,83 @@ usage(const char *prog)
               << "               (also: MCPAT_CACHE_DIR env var)\n"
               << "  -cache_stats print array-optimizer cache counters "
                  "for both\n"
-              << "               the in-memory and on-disk tiers\n";
+              << "               the in-memory and on-disk tiers\n"
+              << "  -trace_out   write a Chrome trace_event JSON file "
+                 "of the\n"
+              << "               run's phase spans (chrome://tracing, "
+                 "Perfetto)\n"
+              << "  -metrics_out write the run manifest JSON (per-phase "
+                 "wall\n"
+              << "               clock, cache/prune/pool metrics, "
+                 "config\n"
+              << "               checksum)\n"
+              << "  -progress    one-line stderr progress updates "
+                 "during\n"
+              << "               batch/sweep loops (off by default)\n";
 }
 
-void
-printCacheStats()
+/**
+ * Wall clock and trace/manifest export shared by both CLI modes; the
+ * files are written after everything else so every span has closed.
+ */
+struct InstrumentationOutputs
 {
-    const auto cs = mcpat::array::ArrayResultCache::instance().stats();
-    std::cerr << "array cache: memory " << cs.hits << " hits, "
-              << cs.misses << " misses, " << cs.entries
-              << " entries; disk " << cs.diskHits << " hits, "
-              << cs.diskMisses << " misses, " << cs.diskCorrupt
-              << " corrupt, " << cs.diskWriteFailures
-              << " write failures ("
-              << mcpat::parallel::threadCount()
-              << " evaluation threads)\n";
-}
+    std::string traceOut;
+    std::string metricsOut;
+    std::chrono::steady_clock::time_point start =
+        std::chrono::steady_clock::now();
+
+    bool requested() const
+    {
+        return !traceOut.empty() || !metricsOut.empty();
+    }
+
+    double
+    wallSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+    mcpat::instr::RunInfo
+    runInfo(const std::string &config, bool valid) const
+    {
+        mcpat::instr::RunInfo info;
+        info.configPath = config;
+        info.configChecksum = mcpat::instr::fileChecksumHex(config);
+        info.wallSeconds = wallSeconds();
+        info.valid = valid;
+        return info;
+    }
+
+    /** Write -trace_out and (single-run mode) -metrics_out files. */
+    void
+    write(const std::string &config, bool valid,
+          bool write_metrics) const
+    {
+        if (!traceOut.empty()) {
+            std::ofstream tf(traceOut);
+            if (tf) {
+                mcpat::instr::writeChromeTrace(tf);
+                std::cerr << "wrote " << traceOut << "\n";
+            } else {
+                std::cerr << "cannot write " << traceOut << "\n";
+            }
+        }
+        if (write_metrics && !metricsOut.empty()) {
+            std::ofstream mf(metricsOut);
+            if (mf) {
+                mcpat::instr::writeRunManifest(mf,
+                                               runInfo(config, valid));
+                mf << "\n";
+                std::cerr << "wrote " << metricsOut << "\n";
+            } else {
+                std::cerr << "cannot write " << metricsOut << "\n";
+            }
+        }
+    }
+};
 
 /// Parse a numeric flag value, exiting with a clear error (rather than
 /// an uncaught std::invalid_argument) on garbage like `-threads abc`.
@@ -119,6 +182,7 @@ main(int argc, char **argv)
     int print_level = 3;
     bool cache_stats = false;
     bool strict = false;
+    InstrumentationOutputs instrumentation;
 
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "-infile") == 0 && i + 1 < argc) {
@@ -155,6 +219,14 @@ main(int argc, char **argv)
             strict = false;
         } else if (std::strcmp(argv[i], "-cache_stats") == 0) {
             cache_stats = true;
+        } else if (std::strcmp(argv[i], "-trace_out") == 0 &&
+                   i + 1 < argc) {
+            instrumentation.traceOut = argv[++i];
+        } else if (std::strcmp(argv[i], "-metrics_out") == 0 &&
+                   i + 1 < argc) {
+            instrumentation.metricsOut = argv[++i];
+        } else if (std::strcmp(argv[i], "-progress") == 0) {
+            mcpat::instr::setProgressEnabled(true);
         } else if (std::strcmp(argv[i], "-h") == 0 ||
                    std::strcmp(argv[i], "--help") == 0) {
             usage(argv[0]);
@@ -171,16 +243,25 @@ main(int argc, char **argv)
     }
     if (!cache_dir.empty())
         mcpat::array::ArrayResultCache::instance().setCacheDir(cache_dir);
+    if (instrumentation.requested())
+        mcpat::instr::setEnabled(true);
 
     if (!batch_list.empty()) {
         try {
             mcpat::study::BatchOptions opts;
             opts.outputDir = batch_out;
             opts.strict = strict;
+            // Batch writes its own aggregated manifest (per-input
+            // timing rows plus the registry), so hand the path down.
+            opts.metricsOut = instrumentation.metricsOut;
             const mcpat::study::BatchResult res =
                 mcpat::study::runBatch(batch_list, opts, std::cout);
             if (cache_stats)
-                printCacheStats();
+                mcpat::array::reportCacheStats(std::cerr);
+            if (!res.metricsPath.empty())
+                std::cerr << "wrote " << res.metricsPath << "\n";
+            instrumentation.write(batch_list, res.ok(),
+                                  /*write_metrics=*/false);
             return res.ok() ? 0 : 1;
         } catch (const std::exception &e) {
             std::cerr << e.what() << "\n";
@@ -189,26 +270,32 @@ main(int argc, char **argv)
     }
 
     try {
-        const mcpat::config::XmlNode root =
-            mcpat::config::parseXmlFile(infile);
-        mcpat::config::LoadResult loaded =
-            mcpat::config::loadSystemParams(root);
+        mcpat::config::XmlNode root;
+        mcpat::config::LoadResult loaded;
+        {
+            MCPAT_SPAN("config_load");
+            root = mcpat::config::parseXmlFile(infile);
+            loaded = mcpat::config::loadSystemParams(root);
+        }
 
         // Load-time diagnostics (surviving a non-throwing load means
         // they are all warnings) plus the cross-field consistency pass.
-        mcpat::DiagnosticList diags = loaded.diagnostics;
-        diags.merge(loaded.system.check());
-        diags.print(std::cerr);
-        if (diags.hasErrors()) {
-            std::cerr << "mcpat: invalid configuration: " << infile
-                      << "\n";
-            return 1;
-        }
-        if (strict && diags.hasWarnings()) {
-            std::cerr << "mcpat: strict mode: " << diags.size()
-                      << " warning(s) treated as errors for " << infile
-                      << "\n";
-            return 1;
+        {
+            MCPAT_SPAN("validate");
+            mcpat::DiagnosticList diags = loaded.diagnostics;
+            diags.merge(loaded.system.check());
+            diags.print(std::cerr);
+            if (diags.hasErrors()) {
+                std::cerr << "mcpat: invalid configuration: " << infile
+                          << "\n";
+                return 1;
+            }
+            if (strict && diags.hasWarnings()) {
+                std::cerr << "mcpat: strict mode: " << diags.size()
+                          << " warning(s) treated as errors for "
+                          << infile << "\n";
+                return 1;
+            }
         }
 
         mcpat::chip::Processor proc(loaded.system);
@@ -218,54 +305,79 @@ main(int argc, char **argv)
                   mcpat::config::parseGem5StatsFile(gem5_stats),
                   loaded.system);
 
-        const mcpat::Report report = proc.makeReport(rt);
+        {
+            MCPAT_SPAN("report");
+            const mcpat::Report report = proc.makeReport(rt);
 
-        std::cout << "McPAT (reproduction) results\n"
-                  << "-----------------------------------------------\n";
-        mcpat::chip::printReport(std::cout, report, print_level);
+            std::cout << "McPAT (reproduction) results\n"
+                      << "-----------------------------------------------"
+                         "\n";
+            mcpat::chip::printReport(std::cout, report, print_level);
 
-        if (!json_out.empty()) {
-            std::ofstream jf(json_out);
-            if (!jf)
-                throw mcpat::ConfigError("cannot write " + json_out);
-            mcpat::chip::writeReportJson(jf, report);
-            std::cerr << "wrote " << json_out << "\n";
+            if (!json_out.empty()) {
+                std::ofstream jf(json_out);
+                if (!jf)
+                    throw mcpat::ConfigError("cannot write " + json_out);
+                if (mcpat::instr::enabled()) {
+                    // Embed the manifest so the report is
+                    // self-describing; without instrumentation flags the
+                    // document stays byte-identical to previous
+                    // releases.
+                    const std::string manifest =
+                        mcpat::instr::runManifestJson(
+                            instrumentation.runInfo(infile, true), 2);
+                    mcpat::chip::writeReportJson(jf, report, &manifest);
+                } else {
+                    mcpat::chip::writeReportJson(jf, report);
+                }
+                std::cerr << "wrote " << json_out << "\n";
+            }
+            if (!csv_out.empty()) {
+                std::ofstream cf(csv_out);
+                if (!cf)
+                    throw mcpat::ConfigError("cannot write " + csv_out);
+                mcpat::chip::writeReportCsv(cf, report);
+                std::cerr << "wrote " << csv_out << "\n";
+            }
+            if (thermal_rth > 0.0) {
+                mcpat::chip::ThermalParams env;
+                env.junctionToAmbient = thermal_rth;
+                const auto th =
+                    mcpat::chip::solveThermal(loaded.system, env);
+                std::cout
+                    << "-----------------------------------------------\n"
+                    << "Thermal fixed point (R = " << thermal_rth
+                    << " K/W): "
+                    << (th.converged ? "" : "RUNAWAY at ")
+                    << th.temperature << " K, " << th.power
+                    << " W (" << th.leakage << " W leakage)\n";
+            }
+            std::cout << "-----------------------------------------------"
+                         "\n"
+                      << "Core timing check: "
+                      << (proc.meetsTiming() ? "PASS" : "FAIL (structure "
+                         "slower than one clock; pipeline it)")
+                      << "\n";
         }
-        if (!csv_out.empty()) {
-            std::ofstream cf(csv_out);
-            if (!cf)
-                throw mcpat::ConfigError("cannot write " + csv_out);
-            mcpat::chip::writeReportCsv(cf, report);
-            std::cerr << "wrote " << csv_out << "\n";
-        }
-        if (thermal_rth > 0.0) {
-            mcpat::chip::ThermalParams env;
-            env.junctionToAmbient = thermal_rth;
-            const auto th =
-                mcpat::chip::solveThermal(loaded.system, env);
-            std::cout << "-----------------------------------------------\n"
-                      << "Thermal fixed point (R = " << thermal_rth
-                      << " K/W): "
-                      << (th.converged ? "" : "RUNAWAY at ")
-                      << th.temperature << " K, " << th.power
-                      << " W (" << th.leakage << " W leakage)\n";
-        }
-        std::cout << "-----------------------------------------------\n"
-                  << "Core timing check: "
-                  << (proc.meetsTiming() ? "PASS" : "FAIL (structure "
-                     "slower than one clock; pipeline it)")
-                  << "\n";
         if (cache_stats)
-            printCacheStats();
+            mcpat::array::reportCacheStats(std::cerr);
+        // All spans have closed; the exported trace and manifest see
+        // every phase including "report".
+        instrumentation.write(infile, /*valid=*/true,
+                              /*write_metrics=*/true);
         return 0;
     } catch (const mcpat::ValidationError &e) {
         // Per-diagnostic lines (component, key, source line), then a
         // one-line verdict for scripts grepping the tail.
         e.diagnostics().print(std::cerr);
         std::cerr << "mcpat: invalid configuration: " << infile << "\n";
+        instrumentation.write(infile, /*valid=*/false,
+                              /*write_metrics=*/true);
         return 1;
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";
+        instrumentation.write(infile, /*valid=*/false,
+                              /*write_metrics=*/true);
         return 1;
     }
 }

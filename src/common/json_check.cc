@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Recursive-descent JSON syntax validator.
+ */
+
+#include "common/json_check.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace mcpat {
+namespace common {
+
+namespace {
+
+/** Single-pass validator over the document text. */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : _text(text) {}
+
+    bool
+    run(std::string *error)
+    {
+        bool ok = skipWs() && value() && (skipWs(), atEnd());
+        if (!ok && _error.empty())
+            fail("trailing content after JSON value");
+        if (!ok && error)
+            *error = _error;
+        return ok;
+    }
+
+  private:
+    bool
+    fail(const std::string &why)
+    {
+        if (_error.empty()) {
+            std::ostringstream os;
+            os << why << " at byte " << _pos;
+            _error = os.str();
+        }
+        return false;
+    }
+
+    bool atEnd() const { return _pos >= _text.size(); }
+    char peek() const { return atEnd() ? '\0' : _text[_pos]; }
+
+    bool
+    skipWs()
+    {
+        while (!atEnd()) {
+            const char c = _text[_pos];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++_pos;
+        }
+        return true;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (peek() != c)
+            return fail(std::string("expected '") + c + "'");
+        ++_pos;
+        return true;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (peek() != *p)
+                return fail(std::string("invalid literal (expected \"") +
+                            word + "\")");
+            ++_pos;
+        }
+        return true;
+    }
+
+    bool
+    value()
+    {
+        // Hand-rolled writers overflow on deep report trees before any
+        // parser does; bound recursion the way real parsers do.
+        if (++_depth > 512)
+            return fail("nesting deeper than 512");
+        bool ok;
+        switch (peek()) {
+          case '{':
+            ok = object();
+            break;
+          case '[':
+            ok = array();
+            break;
+          case '"':
+            ok = string();
+            break;
+          case 't':
+            ok = literal("true");
+            break;
+          case 'f':
+            ok = literal("false");
+            break;
+          case 'n':
+            ok = literal("null");
+            break;
+          default:
+            ok = number();
+            break;
+        }
+        --_depth;
+        return ok;
+    }
+
+    bool
+    object()
+    {
+        if (!expect('{'))
+            return false;
+        skipWs();
+        if (peek() == '}') {
+            ++_pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (peek() != '"')
+                return fail("object key must be a string");
+            if (!string())
+                return false;
+            skipWs();
+            if (!expect(':'))
+                return false;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++_pos;
+                continue;
+            }
+            return expect('}');
+        }
+    }
+
+    bool
+    array()
+    {
+        if (!expect('['))
+            return false;
+        skipWs();
+        if (peek() == ']') {
+            ++_pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++_pos;
+                continue;
+            }
+            return expect(']');
+        }
+    }
+
+    bool
+    string()
+    {
+        if (!expect('"'))
+            return false;
+        while (!atEnd()) {
+            const unsigned char c =
+                static_cast<unsigned char>(_text[_pos]);
+            if (c == '"') {
+                ++_pos;
+                return true;
+            }
+            if (c < 0x20)
+                return fail("unescaped control character in string");
+            if (c == '\\') {
+                ++_pos;
+                const char e = peek();
+                if (e == 'u') {
+                    ++_pos;
+                    for (int i = 0; i < 4; ++i, ++_pos) {
+                        if (!std::isxdigit(
+                                static_cast<unsigned char>(peek())))
+                            return fail("bad \\u escape");
+                    }
+                    continue;
+                }
+                if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                    e != 'f' && e != 'n' && e != 'r' && e != 't')
+                    return fail("bad escape sequence");
+                ++_pos;
+                continue;
+            }
+            ++_pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number()
+    {
+        // number = [-] int [frac] [exp]; rejects NaN, Infinity, '+',
+        // leading zeros, and bare '.' — everything RFC 8259 rejects.
+        if (peek() == '-')
+            ++_pos;
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("invalid value");
+        if (peek() == '0') {
+            ++_pos;
+        } else {
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++_pos;
+        }
+        if (peek() == '.') {
+            ++_pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("digit required after decimal point");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++_pos;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++_pos;
+            if (peek() == '+' || peek() == '-')
+                ++_pos;
+            if (!std::isdigit(static_cast<unsigned char>(peek())))
+                return fail("digit required in exponent");
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++_pos;
+        }
+        return true;
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+    int _depth = 0;
+    std::string _error;
+};
+
+} // namespace
+
+bool
+jsonValid(const std::string &text, std::string *error)
+{
+    return JsonChecker(text).run(error);
+}
+
+bool
+jsonFileValid(const std::string &path, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot read '" + path + "'";
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return jsonValid(ss.str(), error);
+}
+
+} // namespace common
+} // namespace mcpat

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal strict JSON syntax checker (RFC 8259).
+ *
+ * The instrumentation layer emits three JSON artifacts — the report
+ * tree, Chrome trace files, and run manifests — that downstream tools
+ * parse with real JSON parsers.  This validator lets tests and CI
+ * assert "a conforming parser will accept this" without an external
+ * dependency: it checks syntax only (no schema), rejects the things
+ * hand-rolled writers most often get wrong (trailing commas, bare NaN
+ * or Infinity, unescaped control characters, truncated documents), and
+ * reports the byte offset of the first violation.
+ */
+
+#ifndef MCPAT_COMMON_JSON_CHECK_HH
+#define MCPAT_COMMON_JSON_CHECK_HH
+
+#include <string>
+
+namespace mcpat {
+namespace common {
+
+/**
+ * True when @p text is one complete, syntactically valid JSON value
+ * (with optional surrounding whitespace).  On failure, @p error (when
+ * non-null) receives a one-line description with the byte offset.
+ */
+bool jsonValid(const std::string &text, std::string *error = nullptr);
+
+/**
+ * Validate a JSON file on disk.  Returns false (with an explanatory
+ * @p error) when the file cannot be read or does not parse.
+ */
+bool jsonFileValid(const std::string &path, std::string *error = nullptr);
+
+} // namespace common
+} // namespace mcpat
+
+#endif // MCPAT_COMMON_JSON_CHECK_HH

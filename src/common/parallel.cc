@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/instrument.hh"
 #include "common/strict_parse.hh"
 
 namespace mcpat {
@@ -91,6 +92,14 @@ class Pool
         // concurrent outer callers just serialize here.
         std::lock_guard<std::mutex> submit(_submitMutex);
 
+        const bool instrumented = instr::enabled();
+        if (instrumented) {
+            auto &reg = instr::Registry::instance();
+            reg.counter("parallel.jobs").add();
+            reg.gauge("parallel.queue_depth_max")
+                .setMax(static_cast<double>(n));
+        }
+
         auto job = std::make_shared<Job>();
         job->n = n;
         job->fn = &fn;
@@ -107,9 +116,18 @@ class Pool
         drain(*job);  // the submitting thread works too
 
         {
+            // Time the submitter's wait for stragglers: the closest
+            // thing this claim-based pool has to steal/imbalance cost.
+            const std::uint64_t t0 =
+                instrumented ? instr::nowNanos() : 0;
             std::unique_lock<std::mutex> lock(_mutex);
             _done.wait(lock, [&] { return job->done.load() == job->n; });
             _job.reset();
+            if (instrumented) {
+                instr::Registry::instance()
+                    .timer("parallel.wait")
+                    .addNanos(instr::nowNanos() - t0);
+            }
         }
         if (job->error)
             std::rethrow_exception(job->error);
@@ -165,6 +183,8 @@ class Pool
     void
     drain(Job &job)
     {
+        const bool instrumented = instr::enabled();
+        const std::uint64_t t0 = instrumented ? instr::nowNanos() : 0;
         t_inParallelRegion = true;
         std::size_t finished = 0;
         for (;;) {
@@ -184,6 +204,12 @@ class Pool
             ++finished;
         }
         t_inParallelRegion = false;
+        if (instrumented) {
+            auto &reg = instr::Registry::instance();
+            reg.counter("parallel.tasks").add(finished);
+            reg.timer("parallel.busy").addNanos(instr::nowNanos() - t0,
+                                                finished);
+        }
         if (finished &&
             job.done.fetch_add(finished) + finished == job.n) {
             // Pair the notification with the mutex so the submitter
@@ -202,6 +228,13 @@ class Pool
     std::uint64_t _jobSeq = 0;
     bool _shutdown = false;
 };
+
+/** Publishes the effective worker count into every registry snapshot. */
+[[maybe_unused]] const bool g_threads_collector_registered =
+    instr::Registry::instance().addCollector([](instr::Registry &reg) {
+        reg.gauge("parallel.threads")
+            .set(static_cast<double>(threadCount()));
+    });
 
 } // namespace
 
@@ -249,6 +282,10 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn)
     if (n == 1 || threads <= 1 || t_inParallelRegion) {
         // Serial fallback: also taken for nested calls so inner
         // parallelism cannot deadlock on or oversubscribe the pool.
+        if (instr::enabled())
+            instr::Registry::instance()
+                .counter("parallel.serial_tasks")
+                .add(n);
         const bool outer = t_inParallelRegion;
         t_inParallelRegion = true;
         try {

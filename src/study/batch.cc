@@ -6,6 +6,7 @@
 #include "study/batch.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -15,6 +16,7 @@
 #include "chip/report_writer.hh"
 #include "config/xml_loader.hh"
 #include "config/xml_parser.hh"
+#include "common/instrument.hh"
 #include "common/logging.hh"
 
 namespace mcpat {
@@ -35,16 +37,29 @@ trim(const std::string &s)
     return s.substr(b, e - b + 1);
 }
 
-/** Percentage string for a hit/total pair; "-" when nothing happened. */
-std::string
-hitRate(std::uint64_t hits, std::uint64_t total)
+/** Seconds between two steady-clock points. */
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
 {
-    if (total == 0)
-        return "-";
-    std::ostringstream os;
-    os.precision(1);
-    os << std::fixed << (100.0 * hits / total) << "%";
-    return os.str();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Quote a CSV field when it contains separators or quotes. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    return out + "\"";
 }
 
 /**
@@ -78,6 +93,70 @@ writeDiagnosticSidecars(BatchItemResult &item, const BatchOptions &opts,
             item.diagnosticsCsvPath = path;
         }
     }
+}
+
+/**
+ * One row per input with headline figures and the per-input timing
+ * columns — the batch-level view the per-input report files can't give.
+ */
+void
+writeSummaryCsv(BatchResult &result, const BatchOptions &opts)
+{
+    const std::string path =
+        (fs::path(opts.outputDir) / "batch_summary.csv").string();
+    std::ofstream cf(path);
+    if (!cf)
+        return;  // summary is best-effort; reports already landed
+    cf << "input,name,ok,area_mm2,peak_w,runtime_w,load_ms,"
+          "assemble_ms,report_ms,total_ms,error\n";
+    for (const auto &item : result.items) {
+        cf << csvField(item.input) << ',' << csvField(item.name) << ','
+           << (item.ok ? 1 : 0) << ',' << item.area * 1e6 << ','
+           << item.peakPower << ',' << item.runtimePower << ','
+           << 1e3 * item.loadSeconds << ','
+           << 1e3 * item.assembleSeconds << ','
+           << 1e3 * item.reportSeconds << ','
+           << 1e3 * item.wallSeconds << ',' << csvField(item.error)
+           << '\n';
+    }
+    result.summaryCsvPath = path;
+}
+
+/**
+ * Aggregated run manifest for the whole batch: per-input outcome and
+ * timing plus the full instrumentation registry ("run" section).
+ */
+void
+writeBatchManifest(BatchResult &result, const BatchOptions &opts,
+                   const std::string &listFile)
+{
+    std::ofstream mf(opts.metricsOut);
+    if (!mf)
+        return;
+    instr::RunInfo info;
+    info.configPath = listFile;
+    info.configChecksum = instr::fileChecksumHex(listFile);
+    info.wallSeconds = result.wallSeconds;
+    info.valid = result.failures == 0;
+
+    mf << "{\n  \"schema\": \"mcpat-batch-manifest-v1\",\n"
+       << "  \"items\": [";
+    for (std::size_t i = 0; i < result.items.size(); ++i) {
+        const BatchItemResult &item = result.items[i];
+        mf << (i ? ",\n" : "\n") << "    {\"name\": \""
+           << jsonEscapeString(item.name) << "\", \"input\": \""
+           << jsonEscapeString(item.input) << "\", \"ok\": "
+           << (item.ok ? "true" : "false")
+           << ", \"area_mm2\": " << item.area * 1e6
+           << ", \"peak_w\": " << item.peakPower
+           << ", \"load_ms\": " << 1e3 * item.loadSeconds
+           << ", \"assemble_ms\": " << 1e3 * item.assembleSeconds
+           << ", \"report_ms\": " << 1e3 * item.reportSeconds
+           << ", \"wall_ms\": " << 1e3 * item.wallSeconds << "}";
+    }
+    mf << (result.items.empty() ? "],\n" : "\n  ],\n");
+    mf << "  \"run\":\n" << instr::runManifestJson(info, 2) << "\n}\n";
+    result.metricsPath = opts.metricsOut;
 }
 
 /** Unique output stem for an input path within this batch. */
@@ -137,11 +216,15 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
 
     BatchResult result;
     std::vector<std::string> used_stems;
+    const auto batch_t0 = std::chrono::steady_clock::now();
+    instr::ProgressMeter progress("batch", configs.size());
     for (const auto &input : configs) {
         BatchItemResult item;
         item.input = input;
         item.name = uniqueStem(input, used_stems);
         const fs::path out_base = fs::path(opts.outputDir) / item.name;
+        const auto item_t0 = std::chrono::steady_clock::now();
+        MCPAT_SPAN("batch.item", item.name);
         try {
             const config::XmlNode root = config::parseXmlFile(input);
             config::LoadResult loaded = config::loadSystemParams(root);
@@ -157,10 +240,15 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
                     std::to_string(item.diagnostics.size()) +
                     " validation warning(s) for '" + input + "'");
             }
+            item.loadSeconds = secondsSince(item_t0);
 
+            const auto assemble_t0 = std::chrono::steady_clock::now();
             chip::Processor proc(loaded.system);
             const stats::ChipStats rt =
                 config::loadChipStats(root, loaded.system);
+            item.assembleSeconds = secondsSince(assemble_t0);
+
+            const auto report_t0 = std::chrono::steady_clock::now();
             const Report report = proc.makeReport(rt);
 
             item.area = report.area;
@@ -181,6 +269,7 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
                 chip::writeReportCsv(cf, report);
                 item.csvPath = path;
             }
+            item.reportSeconds = secondsSince(report_t0);
             item.ok = true;
             log << "batch: " << input << ": ok, area "
                 << item.area * 1e6 << " mm^2, peak " << item.peakPower
@@ -202,24 +291,26 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
             ++result.failures;
             log << "batch: " << input << ": FAILED: " << e.what() << "\n";
         }
+        item.wallSeconds = secondsSince(item_t0);
         writeDiagnosticSidecars(item, opts, out_base);
         result.items.push_back(std::move(item));
+        progress.tick();
         if (!result.items.back().ok && opts.stopOnError)
             break;
     }
+    result.wallSeconds = secondsSince(batch_t0);
 
-    const auto cs = array::ArrayResultCache::instance().stats();
-    result.cacheStats = cs;
+    result.cacheStats = array::ArrayResultCache::instance().stats();
     log << "batch summary: " << result.items.size() << " configs, "
         << (result.items.size() - result.failures) << " ok, "
-        << result.failures << " failed\n"
-        << "array cache: memory " << cs.hits << " hits, " << cs.misses
-        << " misses (" << hitRate(cs.hits, cs.hits + cs.misses)
-        << " hit rate); disk " << cs.diskHits << " hits, "
-        << cs.diskMisses << " misses ("
-        << hitRate(cs.diskHits, cs.diskHits + cs.diskMisses)
-        << " hit rate, " << cs.diskCorrupt << " corrupt, "
-        << cs.diskWriteFailures << " write failures)\n";
+        << result.failures << " failed in "
+        << 1e3 * result.wallSeconds << " ms\n";
+    array::reportCacheStats(log);
+
+    if (opts.writeSummaryCsv)
+        writeSummaryCsv(result, opts);
+    if (!opts.metricsOut.empty())
+        writeBatchManifest(result, opts, listFile);
     return result;
 }
 

@@ -43,6 +43,21 @@ struct BatchOptions
      * diagnostics land in the per-input sidecar files.
      */
     bool strict = false;
+
+    /**
+     * Write <outputDir>/batch_summary.csv: one row per input with the
+     * headline figures and per-input timing columns (load, assemble,
+     * report, total milliseconds).
+     */
+    bool writeSummaryCsv = true;
+
+    /**
+     * When non-empty, write an aggregated run manifest (JSON) here:
+     * per-input timing and outcome plus the full instrumentation
+     * registry (phases, cache tiers, prune efficacy, pool metrics).
+     * The CLI's -metrics_out in batch mode.
+     */
+    std::string metricsOut;
 };
 
 /** Outcome of one configuration in the batch. */
@@ -66,6 +81,13 @@ struct BatchItemResult
     double area = 0.0;       ///< m^2
     double peakPower = 0.0;  ///< W
     double runtimePower = 0.0;  ///< W
+
+    // Per-input wall-clock breakdown, seconds (always recorded; two
+    // clock reads per phase are noise next to a model evaluation).
+    double loadSeconds = 0.0;      ///< parse + load + validation
+    double assembleSeconds = 0.0;  ///< Processor construction (TDP incl.)
+    double reportSeconds = 0.0;    ///< report generation + file writes
+    double wallSeconds = 0.0;      ///< end-to-end for this input
 };
 
 /** Outcome of the whole batch. */
@@ -76,6 +98,15 @@ struct BatchResult
 
     /** Array-cache counters snapshotted after the batch completed. */
     array::ArrayCacheStats cacheStats;
+
+    /** End-to-end batch wall clock, seconds. */
+    double wallSeconds = 0.0;
+
+    /** Written summary CSV path, empty when not written. */
+    std::string summaryCsvPath;
+
+    /** Written aggregated manifest path, empty when not written. */
+    std::string metricsPath;
 
     bool ok() const { return failures == 0 && !items.empty(); }
 };

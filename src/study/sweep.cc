@@ -9,6 +9,7 @@
 #include <limits>
 
 #include "chip/processor.hh"
+#include "common/instrument.hh"
 #include "common/parallel.hh"
 
 namespace mcpat {
@@ -154,6 +155,7 @@ makeCaseStudySystem(const CaseStudyConfig &cfg)
 DesignPointResult
 evaluateDesignPoint(const CaseStudyConfig &cfg, double work)
 {
+    MCPAT_SPAN("sweep.design_point", cfg.label());
     DesignPointResult result;
     result.config = cfg;
 
@@ -222,8 +224,10 @@ runCaseStudy(double work)
         }
     }
     std::vector<DesignPointResult> results(configs.size());
+    instr::ProgressMeter progress("sweep", configs.size());
     parallel::parallelFor(configs.size(), [&](std::size_t i) {
         results[i] = evaluateDesignPoint(configs[i], work);
+        progress.tick();
     });
     return results;
 }
