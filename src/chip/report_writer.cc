@@ -143,15 +143,37 @@ writeCsvNode(std::ostream &os, const Report &r, const std::string &path)
 {
     const std::string full =
         path.empty() ? r.name : path + "/" + r.name;
-    os << csvEscape(full) << ',' << r.area / mm2 << ','
-       << r.peakDynamic << ',' << r.runtimeDynamic << ','
-       << r.subthresholdLeakage << ',' << r.runtimeSubLeak() << ','
-       << r.gateLeakage << ',' << r.criticalPath / ns << '\n';
+    os << csvEscape(full) << ',';
+    writeCsvNumber(os, r.area / mm2);
+    os << ',';
+    writeCsvNumber(os, r.peakDynamic);
+    os << ',';
+    writeCsvNumber(os, r.runtimeDynamic);
+    os << ',';
+    writeCsvNumber(os, r.subthresholdLeakage);
+    os << ',';
+    writeCsvNumber(os, r.runtimeSubLeak());
+    os << ',';
+    writeCsvNumber(os, r.gateLeakage);
+    os << ',';
+    writeCsvNumber(os, r.criticalPath / ns);
+    os << '\n';
     for (const auto &c : r.children)
         writeCsvNode(os, c, full);
 }
 
 } // namespace
+
+void
+writeCsvNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v))
+        os << v;
+    // Non-finite: leave the field empty.  operator<< would print
+    // "nan"/"inf", which CSV consumers (pandas, spreadsheet imports)
+    // either reject or silently coerce to strings; an empty field is
+    // the conventional "missing value" both handle.
+}
 
 void
 writeReportJson(std::ostream &os, const Report &report,

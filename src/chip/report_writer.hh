@@ -48,6 +48,15 @@ void writeReportCsv(std::ostream &os, const Report &report);
 /** Escape a string for inclusion in a JSON document. */
 std::string jsonEscape(const std::string &s);
 
+/**
+ * Emit one numeric CSV field.  Finite values print through the
+ * stream's current precision; non-finite values emit an *empty* field
+ * (the CSV counterpart of the JSON writer's `null`) instead of the
+ * "nan"/"inf" text operator<< would produce, which breaks downstream
+ * CSV parsers.  Shared by the report CSV writer and the batch summary.
+ */
+void writeCsvNumber(std::ostream &os, double v);
+
 } // namespace chip
 } // namespace mcpat
 

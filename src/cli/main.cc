@@ -25,6 +25,7 @@
 #include "config/gem5_stats.hh"
 #include "config/xml_loader.hh"
 #include "study/batch.hh"
+#include "study/server.hh"
 
 namespace {
 
@@ -36,6 +37,8 @@ usage(const char *prog)
               << " [-json <out.json>] [-csv <out.csv>]\n"
               << "       " << prog
               << " -batch <list.txt> [-batch_out <dir>]\n"
+              << "       " << prog
+              << " -serve <port-or-socket-path> [-serve_workers N]\n"
               << "  -infile      McPAT XML configuration file\n"
               << "  -batch       evaluate every config listed in "
                  "<list.txt>\n"
@@ -44,6 +47,23 @@ usage(const char *prog)
               << "  -batch_out   directory for per-config batch reports "
                  "(default\n"
               << "               mcpat_batch)\n"
+              << "  -serve       run as a long-running evaluation "
+                 "server on a\n"
+              << "               loopback TCP port (all digits) or "
+                 "Unix socket\n"
+              << "               path; newline-delimited JSON "
+                 "requests in,\n"
+              << "               one-line JSON responses out (keeps "
+                 "both cache\n"
+              << "               tiers warm across requests)\n"
+              << "  -serve_workers  concurrent request workers "
+                 "(default: the\n"
+              << "               -threads / MCPAT_THREADS resolution)\n"
+              << "  -serve_queue admission control: connections "
+                 "allowed to\n"
+              << "               wait for a worker before new ones "
+                 "get a 503\n"
+              << "               rejection (default 32)\n"
               << "  -strict      treat validation warnings as errors "
                  "(exit\n"
               << "               nonzero; batch items with warnings "
@@ -173,6 +193,9 @@ main(int argc, char **argv)
 {
     std::string infile;
     std::string batch_list;
+    std::string serve_endpoint;
+    int serve_workers = 0;
+    int serve_queue = 32;
     std::string batch_out = "mcpat_batch";
     std::string json_out;
     std::string csv_out;
@@ -192,6 +215,16 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "-batch_out") == 0 &&
                    i + 1 < argc) {
             batch_out = argv[++i];
+        } else if (std::strcmp(argv[i], "-serve") == 0 && i + 1 < argc) {
+            serve_endpoint = argv[++i];
+        } else if (std::strcmp(argv[i], "-serve_workers") == 0 &&
+                   i + 1 < argc) {
+            serve_workers = static_cast<int>(
+                numericArg("-serve_workers", argv[++i]));
+        } else if (std::strcmp(argv[i], "-serve_queue") == 0 &&
+                   i + 1 < argc) {
+            serve_queue = static_cast<int>(
+                numericArg("-serve_queue", argv[++i]));
         } else if (std::strcmp(argv[i], "-cache_dir") == 0 &&
                    i + 1 < argc) {
             cache_dir = argv[++i];
@@ -237,7 +270,10 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    if (infile.empty() == batch_list.empty()) {
+    // Exactly one mode: -infile, -batch, or -serve.
+    const int modes = (infile.empty() ? 0 : 1) +
+        (batch_list.empty() ? 0 : 1) + (serve_endpoint.empty() ? 0 : 1);
+    if (modes != 1) {
         usage(argv[0]);
         return 1;
     }
@@ -245,6 +281,19 @@ main(int argc, char **argv)
         mcpat::array::ArrayResultCache::instance().setCacheDir(cache_dir);
     if (instrumentation.requested())
         mcpat::instr::setEnabled(true);
+
+    if (!serve_endpoint.empty()) {
+        mcpat::study::ServerOptions opts;
+        opts.endpoint = serve_endpoint;
+        opts.workers = serve_workers;
+        if (serve_queue > 0)
+            opts.maxQueue = static_cast<std::size_t>(serve_queue);
+        opts.strictDefault = strict;
+        const int rc = mcpat::study::runServer(opts, std::cerr);
+        if (cache_stats)
+            mcpat::array::reportCacheStats(std::cerr);
+        return rc;
+    }
 
     if (!batch_list.empty()) {
         try {

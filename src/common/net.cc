@@ -1,0 +1,307 @@
+/**
+ * @file
+ * POSIX implementation of the net.hh socket helpers.
+ */
+
+#include "common/net.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace mcpat {
+namespace net {
+
+namespace {
+
+std::string
+errnoString(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+void
+setError(std::string *error, const std::string &msg)
+{
+    if (error)
+        *error = msg;
+}
+
+} // namespace
+
+Endpoint
+parseEndpoint(const std::string &spec)
+{
+    Endpoint ep;
+    const bool all_digits = !spec.empty() &&
+        spec.find_first_not_of("0123456789") == std::string::npos;
+    if (all_digits && spec.size() <= 5) {
+        const unsigned long port = std::stoul(spec);
+        if (port <= 65535) {
+            ep.isUnix = false;
+            ep.port = static_cast<std::uint16_t>(port);
+            return ep;
+        }
+    }
+    ep.isUnix = true;
+    ep.path = spec;
+    return ep;
+}
+
+ServerSocket::~ServerSocket()
+{
+    close();
+}
+
+bool
+ServerSocket::listen(const Endpoint &ep, std::string *error)
+{
+    close();
+    _isUnix = ep.isUnix;
+    if (ep.isUnix) {
+        sockaddr_un addr{};
+        if (ep.path.size() >= sizeof(addr.sun_path)) {
+            setError(error, "socket path too long: " + ep.path);
+            return false;
+        }
+        _fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (_fd < 0) {
+            setError(error, errnoString("socket"));
+            return false;
+        }
+        ::unlink(ep.path.c_str());  // stale socket from a crashed run
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, ep.path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::bind(_fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            setError(error, errnoString(("bind " + ep.path).c_str()));
+            close();
+            return false;
+        }
+        _path = ep.path;
+    } else {
+        _fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (_fd < 0) {
+            setError(error, errnoString("socket"));
+            return false;
+        }
+        const int one = 1;
+        ::setsockopt(_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(ep.port);
+        if (::bind(_fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0) {
+            setError(error, errnoString("bind"));
+            close();
+            return false;
+        }
+        socklen_t len = sizeof(addr);
+        if (::getsockname(_fd, reinterpret_cast<sockaddr *>(&addr),
+                          &len) == 0)
+            _port = ntohs(addr.sin_port);
+    }
+    if (::listen(_fd, 64) != 0) {
+        setError(error, errnoString("listen"));
+        close();
+        return false;
+    }
+    return true;
+}
+
+int
+ServerSocket::acceptClient(int timeout_ms)
+{
+    if (_fd < 0)
+        return -1;
+    pollfd pfd{};
+    pfd.fd = _fd;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r <= 0)
+        return -1;
+    return ::accept(_fd, nullptr, nullptr);
+}
+
+std::string
+ServerSocket::endpointName() const
+{
+    if (_isUnix)
+        return _path;
+    return "127.0.0.1:" + std::to_string(_port);
+}
+
+void
+ServerSocket::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    if (_isUnix && !_path.empty()) {
+        ::unlink(_path.c_str());
+        _path.clear();
+    }
+    _port = 0;
+}
+
+Connection::~Connection()
+{
+    close();
+}
+
+Connection::Connection(Connection &&other) noexcept
+    : _fd(other._fd), _buffer(std::move(other._buffer))
+{
+    other._fd = -1;
+}
+
+Connection &
+Connection::operator=(Connection &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        _fd = other._fd;
+        _buffer = std::move(other._buffer);
+        other._fd = -1;
+    }
+    return *this;
+}
+
+ReadStatus
+Connection::readLineWait(std::string &line, int timeout_ms)
+{
+    for (;;) {
+        const auto nl = _buffer.find('\n');
+        if (nl != std::string::npos) {
+            line = _buffer.substr(0, nl);
+            _buffer.erase(0, nl + 1);
+            return ReadStatus::Line;
+        }
+        // Backstop against a peer streaming gigabytes with no newline:
+        // drop the connection rather than buffer without bound.
+        if (_buffer.size() > kMaxLineBytes)
+            return ReadStatus::Eof;
+        if (timeout_ms >= 0) {
+            pollfd pfd{};
+            pfd.fd = _fd;
+            pfd.events = POLLIN;
+            const int r = ::poll(&pfd, 1, timeout_ms);
+            if (r == 0)
+                return ReadStatus::Timeout;
+            if (r < 0) {
+                if (errno == EINTR)
+                    continue;
+                return ReadStatus::Eof;
+            }
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(_fd, chunk, sizeof(chunk));
+        if (n > 0) {
+            _buffer.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        // EOF (or error): hand back a final unterminated line once.
+        if (!_buffer.empty()) {
+            line.swap(_buffer);
+            _buffer.clear();
+            return ReadStatus::Line;
+        }
+        return ReadStatus::Eof;
+    }
+}
+
+bool
+Connection::readLine(std::string &line)
+{
+    return readLineWait(line, -1) == ReadStatus::Line;
+}
+
+bool
+Connection::writeAll(const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        // MSG_NOSIGNAL: a peer that disconnected mid-response must
+        // surface as a failed write, not a process-killing SIGPIPE
+        // (the server writes to clients it does not control).
+        const ssize_t n = ::send(_fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+void
+Connection::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    _buffer.clear();
+}
+
+Connection
+connectTo(const Endpoint &ep, std::string *error)
+{
+    int fd = -1;
+    if (ep.isUnix) {
+        sockaddr_un addr{};
+        if (ep.path.size() >= sizeof(addr.sun_path)) {
+            setError(error, "socket path too long: " + ep.path);
+            return Connection();
+        }
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            setError(error, errnoString("socket"));
+            return Connection();
+        }
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, ep.path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            setError(error, errnoString(("connect " + ep.path).c_str()));
+            ::close(fd);
+            return Connection();
+        }
+    } else {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+            setError(error, errnoString("socket"));
+            return Connection();
+        }
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(ep.port);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            setError(error, errnoString("connect"));
+            ::close(fd);
+            return Connection();
+        }
+    }
+    return Connection(fd);
+}
+
+} // namespace net
+} // namespace mcpat

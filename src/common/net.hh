@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Minimal stream-socket helpers for the evaluation server and its
+ * clients: listen/accept/connect over Unix-domain or loopback TCP
+ * sockets, plus a buffered line-oriented connection wrapper.
+ *
+ * The server speaks newline-delimited JSON, so the only read primitive
+ * a caller needs is "one full line"; writes are all-or-nothing.  Both
+ * sides of the protocol (server, load bench, tests) share these
+ * wrappers so framing bugs cannot diverge between them.
+ *
+ * Endpoint syntax (CLI -serve and the bench's -connect):
+ *  - all digits       -> TCP on 127.0.0.1:<port> (port 0 picks a free
+ *                        port; ServerSocket::endpointName() reports it)
+ *  - anything else    -> Unix-domain socket at that filesystem path
+ */
+
+#ifndef MCPAT_COMMON_NET_HH
+#define MCPAT_COMMON_NET_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mcpat {
+namespace net {
+
+/** A parsed -serve/-connect endpoint specification. */
+struct Endpoint
+{
+    bool isUnix = true;
+    std::string path;    ///< socket path when isUnix
+    std::uint16_t port = 0;  ///< loopback TCP port otherwise
+};
+
+/** Parse the endpoint syntax described in the file comment. */
+Endpoint parseEndpoint(const std::string &spec);
+
+/**
+ * RAII listening socket.  close() (and destruction) releases the fd
+ * and unlinks a Unix socket path this object bound.
+ */
+class ServerSocket
+{
+  public:
+    ServerSocket() = default;
+    ~ServerSocket();
+    ServerSocket(const ServerSocket &) = delete;
+    ServerSocket &operator=(const ServerSocket &) = delete;
+
+    /**
+     * Bind and listen on @p ep.  A pre-existing Unix socket file at
+     * the path is removed first (stale from a crashed server).
+     * Returns false with a description in @p error on failure.
+     */
+    bool listen(const Endpoint &ep, std::string *error = nullptr);
+
+    /**
+     * Accept one client, waiting at most @p timeout_ms (-1 = forever).
+     * Returns the connected fd, or -1 on timeout or when the socket
+     * has been closed (poll for shutdown with a finite timeout).
+     */
+    int acceptClient(int timeout_ms);
+
+    /** Human-readable bound endpoint ("port 7421" / the socket path). */
+    std::string endpointName() const;
+
+    /** Actual bound TCP port (after port-0 auto-assignment). */
+    std::uint16_t boundPort() const { return _port; }
+
+    bool listening() const { return _fd >= 0; }
+
+    void close();
+
+  private:
+    int _fd = -1;
+    bool _isUnix = true;
+    std::string _path;
+    std::uint16_t _port = 0;
+};
+
+/** Outcome of one readLineWait() call. */
+enum class ReadStatus { Line, Timeout, Eof };
+
+/**
+ * One connected stream socket with buffered line reads.  Owns the fd;
+ * movable, not copyable.
+ */
+class Connection
+{
+  public:
+    explicit Connection(int fd = -1) : _fd(fd) {}
+    ~Connection();
+    Connection(Connection &&other) noexcept;
+    Connection &operator=(Connection &&other) noexcept;
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    bool valid() const { return _fd >= 0; }
+
+    /**
+     * Read up to and including the next '\n'; @p line receives the
+     * content without the terminator.  Returns false on EOF or error
+     * with nothing buffered (a final unterminated line is returned).
+     */
+    bool readLine(std::string &line);
+
+    /**
+     * readLine with a per-poll timeout so a server worker can notice
+     * shutdown while a client holds its connection open idle.
+     * @p timeout_ms < 0 blocks forever (equivalent to readLine).
+     * Lines longer than kMaxLineBytes drop the connection (Eof).
+     */
+    ReadStatus readLineWait(std::string &line, int timeout_ms);
+
+    /** Write the whole buffer, retrying on short writes/EINTR. */
+    bool writeAll(const std::string &data);
+
+    void close();
+
+    /** Largest accepted request/response line (64 MiB). */
+    static constexpr std::size_t kMaxLineBytes = 64ull << 20;
+
+  private:
+    int _fd = -1;
+    std::string _buffer;  ///< bytes read past the last returned line
+};
+
+/**
+ * Connect to a server endpoint.  Returns a valid Connection, or an
+ * invalid one with a description in @p error.
+ */
+Connection connectTo(const Endpoint &ep, std::string *error = nullptr);
+
+} // namespace net
+} // namespace mcpat
+
+#endif // MCPAT_COMMON_NET_HH

@@ -1,23 +1,25 @@
 /**
  * @file
- * Batch evaluation implementation.
+ * Batch evaluation implementation: a thin loop over the shared
+ * request-evaluation core (study/eval_core.hh) plus the batch-only
+ * concerns — output files, sidecars, the summary CSV, and the
+ * aggregated manifest.
  */
 
 #include "study/batch.hh"
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
 
-#include "chip/processor.hh"
 #include "chip/report_writer.hh"
-#include "config/xml_loader.hh"
-#include "config/xml_parser.hh"
 #include "common/instrument.hh"
 #include "common/logging.hh"
+#include "study/eval_core.hh"
 
 namespace mcpat {
 namespace study {
@@ -62,10 +64,34 @@ csvField(const std::string &s)
     return out + "\"";
 }
 
+/** Emit a JSON number, degrading non-finite values to null. */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+/** Append @p what to the item's error field ("; "-joined). */
+void
+recordItemError(BatchItemResult &item, const std::string &what)
+{
+    if (!item.error.empty())
+        item.error += "; ";
+    item.error += what;
+}
+
 /**
  * Write <stem>.diagnostics.json / .csv next to the item's reports so a
  * failing input in a thousand-config batch leaves a machine-readable
  * record of *why* instead of one interleaved log line.
+ *
+ * A sidecar that cannot be opened or written must not silently drop
+ * that record: the failure is appended to the item's diagnostics as a
+ * located warning and recorded in its error field, so the summary CSV
+ * and the server's batch clients still see it.
  */
 void
 writeDiagnosticSidecars(BatchItemResult &item, const BatchOptions &opts,
@@ -82,7 +108,16 @@ writeDiagnosticSidecars(BatchItemResult &item, const BatchOptions &opts,
                << ",\n  \"diagnostics\": ";
             writeDiagnosticsJson(jf, item.diagnostics, 2);
             jf << "\n}\n";
+            jf.flush();
+        }
+        if (jf) {
             item.diagnosticsJsonPath = path;
+        } else {
+            item.diagnostics.add(Severity::Warning, "batch",
+                                 "diagnostics_json",
+                                 "cannot write diagnostics sidecar '" +
+                                     path + "'");
+            recordItemError(item, "cannot write " + path);
         }
     }
     if (opts.writeCsv) {
@@ -90,7 +125,16 @@ writeDiagnosticSidecars(BatchItemResult &item, const BatchOptions &opts,
         std::ofstream cf(path);
         if (cf) {
             writeDiagnosticsCsv(cf, item.diagnostics);
+            cf.flush();
+        }
+        if (cf) {
             item.diagnosticsCsvPath = path;
+        } else {
+            item.diagnostics.add(Severity::Warning, "batch",
+                                 "diagnostics_csv",
+                                 "cannot write diagnostics sidecar '" +
+                                     path + "'");
+            recordItemError(item, "cannot write " + path);
         }
     }
 }
@@ -98,26 +142,46 @@ writeDiagnosticSidecars(BatchItemResult &item, const BatchOptions &opts,
 /**
  * One row per input with headline figures and the per-input timing
  * columns — the batch-level view the per-input report files can't give.
+ *
+ * Failures are reported, not swallowed: an unopenable or half-written
+ * summary logs a warning and lands in BatchResult::summaryError so
+ * callers can distinguish "no summary requested" from "summary lost".
  */
 void
-writeSummaryCsv(BatchResult &result, const BatchOptions &opts)
+writeSummaryCsv(BatchResult &result, const BatchOptions &opts,
+                std::ostream &log)
 {
     const std::string path =
         (fs::path(opts.outputDir) / "batch_summary.csv").string();
     std::ofstream cf(path);
-    if (!cf)
-        return;  // summary is best-effort; reports already landed
+    if (!cf) {
+        result.summaryError = "cannot open '" + path + "'";
+        log << "batch: warning: " << result.summaryError
+            << "; summary not written\n";
+        return;
+    }
     cf << "input,name,ok,area_mm2,peak_w,runtime_w,load_ms,"
           "assemble_ms,report_ms,total_ms,error\n";
     for (const auto &item : result.items) {
         cf << csvField(item.input) << ',' << csvField(item.name) << ','
-           << (item.ok ? 1 : 0) << ',' << item.area * 1e6 << ','
-           << item.peakPower << ',' << item.runtimePower << ','
-           << 1e3 * item.loadSeconds << ','
+           << (item.ok ? 1 : 0) << ',';
+        chip::writeCsvNumber(cf, item.area * 1e6);
+        cf << ',';
+        chip::writeCsvNumber(cf, item.peakPower);
+        cf << ',';
+        chip::writeCsvNumber(cf, item.runtimePower);
+        cf << ',' << 1e3 * item.loadSeconds << ','
            << 1e3 * item.assembleSeconds << ','
            << 1e3 * item.reportSeconds << ','
            << 1e3 * item.wallSeconds << ',' << csvField(item.error)
            << '\n';
+    }
+    cf.flush();
+    if (!cf) {
+        result.summaryError = "error writing '" + path + "'";
+        log << "batch: warning: " << result.summaryError
+            << "; summary may be truncated\n";
+        return;
     }
     result.summaryCsvPath = path;
 }
@@ -128,11 +192,14 @@ writeSummaryCsv(BatchResult &result, const BatchOptions &opts)
  */
 void
 writeBatchManifest(BatchResult &result, const BatchOptions &opts,
-                   const std::string &listFile)
+                   const std::string &listFile, std::ostream &log)
 {
     std::ofstream mf(opts.metricsOut);
-    if (!mf)
+    if (!mf) {
+        log << "batch: warning: cannot write manifest '"
+            << opts.metricsOut << "'\n";
         return;
+    }
     instr::RunInfo info;
     info.configPath = listFile;
     info.configChecksum = instr::fileChecksumHex(listFile);
@@ -146,10 +213,11 @@ writeBatchManifest(BatchResult &result, const BatchOptions &opts,
         mf << (i ? ",\n" : "\n") << "    {\"name\": \""
            << jsonEscapeString(item.name) << "\", \"input\": \""
            << jsonEscapeString(item.input) << "\", \"ok\": "
-           << (item.ok ? "true" : "false")
-           << ", \"area_mm2\": " << item.area * 1e6
-           << ", \"peak_w\": " << item.peakPower
-           << ", \"load_ms\": " << 1e3 * item.loadSeconds
+           << (item.ok ? "true" : "false") << ", \"area_mm2\": ";
+        jsonNumber(mf, item.area * 1e6);
+        mf << ", \"peak_w\": ";
+        jsonNumber(mf, item.peakPower);
+        mf << ", \"load_ms\": " << 1e3 * item.loadSeconds
            << ", \"assemble_ms\": " << 1e3 * item.assembleSeconds
            << ", \"report_ms\": " << 1e3 * item.reportSeconds
            << ", \"wall_ms\": " << 1e3 * item.wallSeconds << "}";
@@ -172,6 +240,17 @@ uniqueStem(const std::string &input, std::vector<std::string> &used)
         name = stem + "_" + std::to_string(suffix++);
     used.push_back(name);
     return name;
+}
+
+/** Write @p text to @p path, throwing on open or write failure. */
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream f(path);
+    fatalIf(!f, "cannot write " + path);
+    f << text;
+    f.flush();
+    fatalIf(!f, "error writing " + path);
 }
 
 } // namespace
@@ -225,71 +304,52 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
         const fs::path out_base = fs::path(opts.outputDir) / item.name;
         const auto item_t0 = std::chrono::steady_clock::now();
         MCPAT_SPAN("batch.item", item.name);
-        try {
-            const config::XmlNode root = config::parseXmlFile(input);
-            config::LoadResult loaded = config::loadSystemParams(root);
-            item.diagnostics = loaded.diagnostics;
-            item.diagnostics.merge(loaded.system.check());
-            item.diagnostics.throwIfErrors("configuration '" + input +
-                                           "'");
+
+        EvalRequest req;
+        req.configPath = input;
+        req.strict = opts.strict;
+        req.wantReportJson = opts.writeJson;
+        req.wantReportCsv = opts.writeCsv;
+        EvalResult ev = evaluate(req);
+
+        item.diagnostics = std::move(ev.diagnostics);
+        item.loadSeconds = ev.loadSeconds;
+        item.assembleSeconds = ev.assembleSeconds;
+        item.reportSeconds = ev.reportSeconds;
+        if (ev.ok) {
+            item.area = ev.area;
+            item.peakPower = ev.peakPower;
+            item.runtimePower = ev.runtimePower;
             for (const auto &d : item.diagnostics)
                 log << input << ": " << d.format() << "\n";
-            if (opts.strict && item.diagnostics.hasWarnings()) {
-                throw ConfigError(
-                    "strict mode: " +
-                    std::to_string(item.diagnostics.size()) +
-                    " validation warning(s) for '" + input + "'");
+            try {
+                if (opts.writeJson) {
+                    const std::string path = out_base.string() + ".json";
+                    writeTextFile(path, ev.reportJson);
+                    item.jsonPath = path;
+                }
+                if (opts.writeCsv) {
+                    const std::string path = out_base.string() + ".csv";
+                    writeTextFile(path, ev.reportCsv);
+                    item.csvPath = path;
+                }
+                item.ok = true;
+                log << "batch: " << input << ": ok, area "
+                    << item.area * 1e6 << " mm^2, peak "
+                    << item.peakPower << " W\n";
+            } catch (const std::exception &e) {
+                item.ok = false;
+                item.error = e.what();
+                ++result.failures;
+                log << "batch: " << input << ": FAILED: " << e.what()
+                    << "\n";
             }
-            item.loadSeconds = secondsSince(item_t0);
-
-            const auto assemble_t0 = std::chrono::steady_clock::now();
-            chip::Processor proc(loaded.system);
-            const stats::ChipStats rt =
-                config::loadChipStats(root, loaded.system);
-            item.assembleSeconds = secondsSince(assemble_t0);
-
-            const auto report_t0 = std::chrono::steady_clock::now();
-            const Report report = proc.makeReport(rt);
-
-            item.area = report.area;
-            item.peakPower = report.peakPower();
-            item.runtimePower = report.runtimePower();
-
-            if (opts.writeJson) {
-                const std::string path = out_base.string() + ".json";
-                std::ofstream jf(path);
-                fatalIf(!jf, "cannot write " + path);
-                chip::writeReportJson(jf, report);
-                item.jsonPath = path;
-            }
-            if (opts.writeCsv) {
-                const std::string path = out_base.string() + ".csv";
-                std::ofstream cf(path);
-                fatalIf(!cf, "cannot write " + path);
-                chip::writeReportCsv(cf, report);
-                item.csvPath = path;
-            }
-            item.reportSeconds = secondsSince(report_t0);
-            item.ok = true;
-            log << "batch: " << input << ": ok, area "
-                << item.area * 1e6 << " mm^2, peak " << item.peakPower
-                << " W\n";
-        } catch (const ValidationError &e) {
-            // Keep the per-key context: a structured failure is worth
-            // more than its flattened what() in a long batch.  When the
-            // throw came from the item's own merged list (cross-field
-            // errors) the diagnostics are already present.
-            if (item.diagnostics.empty())
-                item.diagnostics.merge(e.diagnostics());
+        } else {
             item.ok = false;
-            item.error = e.what();
+            item.error = ev.error;
             ++result.failures;
-            log << "batch: " << input << ": FAILED: " << e.what() << "\n";
-        } catch (const std::exception &e) {
-            item.ok = false;
-            item.error = e.what();
-            ++result.failures;
-            log << "batch: " << input << ": FAILED: " << e.what() << "\n";
+            log << "batch: " << input << ": FAILED: " << ev.error
+                << "\n";
         }
         item.wallSeconds = secondsSince(item_t0);
         writeDiagnosticSidecars(item, opts, out_base);
@@ -308,9 +368,9 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
     array::reportCacheStats(log);
 
     if (opts.writeSummaryCsv)
-        writeSummaryCsv(result, opts);
+        writeSummaryCsv(result, opts, log);
     if (!opts.metricsOut.empty())
-        writeBatchManifest(result, opts, listFile);
+        writeBatchManifest(result, opts, listFile, log);
     return result;
 }
 

@@ -66,7 +66,12 @@ struct BatchItemResult
     std::string input;       ///< config path as given in the list file
     std::string name;        ///< unique output stem derived from input
     bool ok = false;
-    std::string error;       ///< failure reason when !ok
+    /**
+     * Failure reason when !ok.  Output-file problems (an unwritable
+     * diagnostics sidecar) are also recorded here even when the model
+     * evaluation itself succeeded, so no write failure is silent.
+     */
+    std::string error;
     std::string jsonPath;    ///< written report, empty if not written
     std::string csvPath;     ///< written report, empty if not written
 
@@ -104,6 +109,15 @@ struct BatchResult
 
     /** Written summary CSV path, empty when not written. */
     std::string summaryCsvPath;
+
+    /**
+     * Why the summary CSV is missing or suspect: set when the file
+     * could not be opened or a write error was detected afterwards.
+     * Empty + empty summaryCsvPath simply means "not requested";
+     * callers (and the server's batch endpoint) use this to tell
+     * "no summary" from "summary lost".
+     */
+    std::string summaryError;
 
     /** Written aggregated manifest path, empty when not written. */
     std::string metricsPath;

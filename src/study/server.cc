@@ -1,0 +1,650 @@
+/**
+ * @file
+ * Evaluation-server implementation: accept thread, bounded connection
+ * queue, worker pool, and the newline-delimited JSON protocol.
+ */
+
+#include "study/server.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <csignal>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "array/array_cache.hh"
+#include "common/diagnostics.hh"
+#include "common/json_value.hh"
+#include "common/net.hh"
+#include "common/parallel.hh"
+#include "study/eval_core.hh"
+
+namespace mcpat {
+namespace study {
+
+namespace {
+
+/** Emit a JSON number, degrading non-finite values to null. */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+/** Compact (single-line) diagnostics array for response embedding. */
+std::string
+diagnosticsOneLine(const DiagnosticList &diags)
+{
+    std::ostringstream os;
+    os << "[";
+    const auto &items = diags.items();
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        const Diagnostic &d = items[i];
+        os << (i ? ", " : "") << "{\"severity\": \""
+           << severityName(d.severity) << "\", \"component\": \""
+           << jsonEscapeString(d.component) << "\", \"key\": \""
+           << jsonEscapeString(d.key) << "\", \"line\": " << d.line
+           << ", \"message\": \"" << jsonEscapeString(d.message)
+           << "\"}";
+    }
+    os << "]";
+    return os.str();
+}
+
+/** One located diagnostic as a compact array (malformed requests). */
+std::string
+requestDiagnostic(const std::string &message)
+{
+    DiagnosticList diags;
+    diags.add(Severity::Error, "server", "request", message);
+    return diagnosticsOneLine(diags);
+}
+
+/** FNV-1a over a byte string (result-cache key material). */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/**
+ * Result-cache key for an evaluation request: the config *bytes*
+ * (re-read per request so edits to a config file invalidate its
+ * entries), the source name (diagnostics and manifests embed it), and
+ * the flags that change what gets rendered.  Empty when the config
+ * cannot be read — such requests bypass the cache so their error
+ * diagnostics reflect the current filesystem state.
+ */
+std::string
+resultCacheKey(const EvalRequest &er)
+{
+    std::string content;
+    if (!er.configXml.empty()) {
+        content = er.configXml;
+    } else {
+        std::ifstream in(er.configPath, std::ios::binary);
+        if (!in)
+            return "";
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (!in.good() && !in.eof())
+            return "";
+        content = buf.str();
+    }
+    std::ostringstream key;
+    key << std::hex << fnv1a(content) << '|' << er.configPath << '|'
+        << er.strict << er.wantReportJson << er.wantReportCsv
+        << er.wantManifest;
+    return key.str();
+}
+
+} // namespace
+
+struct EvalServer::Impl
+{
+    ServerOptions opts;
+    std::ostream *log = nullptr;
+    net::ServerSocket listener;
+
+    std::thread acceptThread;
+    std::vector<std::thread> workers;
+
+    std::mutex mutex;
+    std::condition_variable queueCv;
+    std::condition_variable stoppedCv;
+    std::deque<int> pending;  ///< accepted fds awaiting a worker
+    bool stopping = false;
+    bool stopped = false;
+    bool joined = false;
+
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> malformed{0};
+    std::atomic<std::uint64_t> resultHits{0};
+
+    // Warmest tier: identical request -> previously rendered result.
+    // Shared across all connections; FIFO eviction keeps it bounded.
+    std::mutex cacheMutex;
+    std::unordered_map<std::string, std::shared_ptr<const EvalResult>>
+        resultCache;
+    std::deque<std::string> cacheOrder;
+
+    std::shared_ptr<const EvalResult>
+    cacheLookup(const std::string &key)
+    {
+        if (key.empty() || !opts.maxCachedResults)
+            return nullptr;
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        const auto it = resultCache.find(key);
+        return it == resultCache.end() ? nullptr : it->second;
+    }
+
+    std::size_t
+    cacheSize()
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        return resultCache.size();
+    }
+
+    void
+    cacheStore(const std::string &key,
+               std::shared_ptr<const EvalResult> result)
+    {
+        if (key.empty() || !opts.maxCachedResults)
+            return;
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        if (!resultCache.emplace(key, std::move(result)).second)
+            return;  // another worker raced us to it
+        cacheOrder.push_back(key);
+        while (resultCache.size() > opts.maxCachedResults) {
+            resultCache.erase(cacheOrder.front());
+            cacheOrder.pop_front();
+        }
+    }
+
+    void
+    logLine(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(logMutex);
+        if (log)
+            *log << "serve: " << line << "\n";
+    }
+    std::mutex logMutex;
+
+    // -----------------------------------------------------------------
+    // Accept loop: admission control happens here, before any worker
+    // is involved, so an overloaded server's memory stays bounded by
+    // maxQueue idle fds rather than growing with demand.
+    // -----------------------------------------------------------------
+    void
+    acceptLoop()
+    {
+        for (;;) {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (stopping)
+                    break;
+            }
+            const int fd = listener.acceptClient(100);
+            if (fd < 0)
+                continue;
+            bool overloaded = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (!stopping && pending.size() < opts.maxQueue) {
+                    pending.push_back(fd);
+                } else {
+                    overloaded = true;
+                }
+            }
+            if (overloaded) {
+                rejected.fetch_add(1, std::memory_order_relaxed);
+                net::Connection conn(fd);
+                std::ostringstream os;
+                os << "{\"status\": 503, \"ok\": false, \"error\": "
+                      "\"server overloaded: "
+                   << opts.maxQueue
+                   << " connections already queued; retry later\", "
+                      "\"retry\": true}\n";
+                conn.writeAll(os.str());
+                logLine("rejected connection (queue full)");
+            } else {
+                accepted.fetch_add(1, std::memory_order_relaxed);
+                queueCv.notify_one();
+            }
+        }
+        // Drain: refuse connections queued after stop with a 503 so
+        // no accepted client hangs on a never-coming reply.
+        std::deque<int> leftovers;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            leftovers.swap(pending);
+        }
+        for (int fd : leftovers) {
+            net::Connection conn(fd);
+            conn.writeAll("{\"status\": 503, \"ok\": false, \"error\": "
+                          "\"server shutting down\"}\n");
+        }
+        queueCv.notify_all();
+    }
+
+    // -----------------------------------------------------------------
+    // Worker: serve one connection at a time, one request per line.
+    // -----------------------------------------------------------------
+    void
+    workerLoop()
+    {
+        for (;;) {
+            int fd = -1;
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                queueCv.wait(lock, [&] {
+                    return stopping || !pending.empty();
+                });
+                if (pending.empty())
+                    return;  // stopping and drained
+                fd = pending.front();
+                pending.pop_front();
+            }
+            serveConnection(fd);
+        }
+    }
+
+    void
+    serveConnection(int fd)
+    {
+        net::Connection conn(fd);
+        std::string line;
+        for (;;) {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (stopping)
+                    return;
+            }
+            const net::ReadStatus st = conn.readLineWait(line, 200);
+            if (st == net::ReadStatus::Eof)
+                return;
+            if (st == net::ReadStatus::Timeout)
+                continue;
+            if (line.find_first_not_of(" \t\r") == std::string::npos)
+                continue;  // blank keep-alive line
+            if (!conn.writeAll(handleRequest(line)))
+                return;  // peer went away mid-reply
+        }
+    }
+
+    /** Parse and dispatch one request line; returns the reply line. */
+    std::string
+    handleRequest(const std::string &line)
+    {
+        common::JsonValue req;
+        std::string parse_error;
+        if (!common::jsonParse(line, req, &parse_error)) {
+            malformed.fetch_add(1, std::memory_order_relaxed);
+            return "{\"status\": 400, \"ok\": false, \"error\": "
+                   "\"malformed request: " +
+                   jsonEscapeString(parse_error) +
+                   "\", \"diagnostics\": " +
+                   requestDiagnostic("request is not valid JSON: " +
+                                     parse_error) +
+                   "}\n";
+        }
+        if (!req.isObject()) {
+            malformed.fetch_add(1, std::memory_order_relaxed);
+            return "{\"status\": 400, \"ok\": false, \"error\": "
+                   "\"request must be a JSON object\", "
+                   "\"diagnostics\": " +
+                   requestDiagnostic("request must be a JSON object") +
+                   "}\n";
+        }
+
+        const std::string cmd = req.getString("cmd");
+        if (!cmd.empty())
+            return handleCommand(cmd, req);
+        return handleEval(req);
+    }
+
+    std::string
+    handleCommand(const std::string &cmd, const common::JsonValue &req)
+    {
+        if (cmd == "ping") {
+            served.fetch_add(1, std::memory_order_relaxed);
+            return "{\"status\": 200, \"ok\": true, \"pong\": true}\n";
+        }
+        if (cmd == "stats") {
+            served.fetch_add(1, std::memory_order_relaxed);
+            const array::ArrayCacheStats cache =
+                array::ArrayResultCache::instance().stats();
+            std::size_t depth;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                depth = pending.size();
+            }
+            std::ostringstream os;
+            os << "{\"status\": 200, \"ok\": true, \"stats\": {"
+               << "\"accepted\": " << accepted.load()
+               << ", \"rejected\": " << rejected.load()
+               << ", \"served\": " << served.load()
+               << ", \"failed\": " << failed.load()
+               << ", \"malformed\": " << malformed.load()
+               << ", \"queue_depth\": " << depth
+               << ", \"workers\": " << workers.size()
+               << ", \"result_cache_hits\": " << resultHits.load()
+               << ", \"result_cache_size\": " << cacheSize()
+               << ", \"cache_memory_hits\": " << cache.hits
+               << ", \"cache_memory_misses\": " << cache.misses
+               << ", \"cache_disk_hits\": " << cache.diskHits
+               << ", \"cache_disk_misses\": " << cache.diskMisses
+               << "}}\n";
+            return os.str();
+        }
+        if (cmd == "sleep") {
+            // Testing aid: hold this worker for N ms (bounded), so
+            // overload behavior can be exercised deterministically.
+            const int ms = std::min(10000, std::max(0,
+                static_cast<int>(req.getNumber("ms", 100.0))));
+            const auto deadline = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(ms);
+            while (std::chrono::steady_clock::now() < deadline) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (stopping)
+                        break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            }
+            served.fetch_add(1, std::memory_order_relaxed);
+            return "{\"status\": 200, \"ok\": true, \"slept_ms\": " +
+                   std::to_string(ms) + "}\n";
+        }
+        if (cmd == "shutdown") {
+            served.fetch_add(1, std::memory_order_relaxed);
+            logLine("shutdown requested");
+            requestStopLocked();
+            return "{\"status\": 200, \"ok\": true, "
+                   "\"shutting_down\": true}\n";
+        }
+        malformed.fetch_add(1, std::memory_order_relaxed);
+        return "{\"status\": 400, \"ok\": false, \"error\": "
+               "\"unknown cmd '" +
+               jsonEscapeString(cmd) + "'\", \"diagnostics\": " +
+               requestDiagnostic("unknown cmd '" + cmd + "'") + "}\n";
+    }
+
+    std::string
+    handleEval(const common::JsonValue &req)
+    {
+        EvalRequest er;
+        er.configPath = req.getString("config");
+        er.configXml = req.getString("config_xml");
+        er.strict = req.getBool("strict", opts.strictDefault);
+        er.wantReportJson = req.getBool("report", true);
+        er.wantReportCsv = req.getBool("csv", false);
+        er.wantManifest = req.getBool("manifest", false);
+        const std::string id = req.getString("id");
+
+        if (er.configPath.empty() && er.configXml.empty()) {
+            malformed.fetch_add(1, std::memory_order_relaxed);
+            return "{\"status\": 400, \"ok\": false, \"error\": "
+                   "\"request needs a 'config' path or 'config_xml' "
+                   "text\", \"diagnostics\": " +
+                   requestDiagnostic(
+                       "request needs a 'config' path or "
+                       "'config_xml' text") +
+                   "}\n";
+        }
+
+        const std::string key = resultCacheKey(er);
+        std::shared_ptr<const EvalResult> entry = cacheLookup(key);
+        const bool hit = entry != nullptr;
+        if (hit) {
+            resultHits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            entry = std::make_shared<EvalResult>(evaluate(er));
+            // Only successes are worth keeping: failures are cheap to
+            // reproduce and their diagnostics may reflect transient
+            // filesystem state.
+            if (entry->ok)
+                cacheStore(key, entry);
+        }
+        const EvalResult &result = *entry;
+
+        std::ostringstream os;
+        os << "{";
+        if (!id.empty())
+            os << "\"id\": \"" << jsonEscapeString(id) << "\", ";
+        os << "\"status\": " << (result.ok ? 200 : 422)
+           << ", \"ok\": " << (result.ok ? "true" : "false")
+           << ", \"cached\": " << (hit ? "true" : "false");
+        if (!result.ok) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+            os << ", \"error\": \"" << jsonEscapeString(result.error)
+               << "\"";
+        } else {
+            served.fetch_add(1, std::memory_order_relaxed);
+            os << ", \"area_mm2\": ";
+            jsonNumber(os, result.area * 1e6);
+            os << ", \"peak_w\": ";
+            jsonNumber(os, result.peakPower);
+            os << ", \"runtime_w\": ";
+            jsonNumber(os, result.runtimePower);
+        }
+        if (!result.diagnostics.empty()) {
+            os << ", \"diagnostics\": "
+               << diagnosticsOneLine(result.diagnostics);
+        }
+        os << ", \"timing_ms\": {\"load\": "
+           << 1e3 * result.loadSeconds
+           << ", \"assemble\": " << 1e3 * result.assembleSeconds
+           << ", \"report\": " << 1e3 * result.reportSeconds
+           << ", \"wall\": " << 1e3 * result.wallSeconds << "}";
+        if (result.ok && !result.reportJson.empty()) {
+            os << ", \"report\": \""
+               << jsonEscapeString(result.reportJson) << "\"";
+        }
+        if (result.ok && !result.reportCsv.empty()) {
+            os << ", \"csv\": \"" << jsonEscapeString(result.reportCsv)
+               << "\"";
+        }
+        if (!result.manifestJson.empty()) {
+            os << ", \"manifest\": \""
+               << jsonEscapeString(result.manifestJson) << "\"";
+        }
+        os << "}\n";
+        return os.str();
+    }
+
+    void
+    requestStopLocked()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (stopping)
+                return;
+            stopping = true;
+        }
+        queueCv.notify_all();
+        stoppedCv.notify_all();
+    }
+};
+
+EvalServer::EvalServer() : _impl(std::make_unique<Impl>()) {}
+
+EvalServer::~EvalServer()
+{
+    stop();
+}
+
+bool
+EvalServer::start(const ServerOptions &opts, std::ostream &log,
+                  std::string *error)
+{
+    Impl &im = *_impl;
+    im.opts = opts;
+    im.log = &log;
+    const net::Endpoint ep = net::parseEndpoint(opts.endpoint);
+    if (!im.listener.listen(ep, error))
+        return false;
+
+    int workers = opts.workers > 0 ? opts.workers
+                                   : parallel::threadCount();
+    if (workers < 1)
+        workers = 1;
+    im.logLine("listening on " + im.listener.endpointName() + " (" +
+               std::to_string(workers) + " workers, queue " +
+               std::to_string(opts.maxQueue) + ")");
+    im.acceptThread = std::thread([&im] { im.acceptLoop(); });
+    im.workers.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        im.workers.emplace_back([&im] { im.workerLoop(); });
+    return true;
+}
+
+void
+EvalServer::requestStop()
+{
+    _impl->requestStopLocked();
+}
+
+void
+EvalServer::wait()
+{
+    Impl &im = *_impl;
+    std::unique_lock<std::mutex> lock(im.mutex);
+    im.stoppedCv.wait(lock, [&] { return im.stopping; });
+}
+
+bool
+EvalServer::waitFor(int timeout_ms)
+{
+    Impl &im = *_impl;
+    std::unique_lock<std::mutex> lock(im.mutex);
+    return im.stoppedCv.wait_for(lock,
+                                 std::chrono::milliseconds(timeout_ms),
+                                 [&] { return im.stopping; });
+}
+
+void
+EvalServer::stop()
+{
+    Impl &im = *_impl;
+    im.requestStopLocked();
+    bool join_here = false;
+    {
+        std::lock_guard<std::mutex> lock(im.mutex);
+        if (!im.joined) {
+            im.joined = true;
+            join_here = true;
+        }
+    }
+    if (!join_here)
+        return;
+    if (im.acceptThread.joinable())
+        im.acceptThread.join();
+    for (auto &w : im.workers)
+        if (w.joinable())
+            w.join();
+    im.workers.clear();
+    im.listener.close();
+    {
+        std::lock_guard<std::mutex> lock(im.mutex);
+        im.stopped = true;
+    }
+    im.logLine("stopped");
+}
+
+bool
+EvalServer::running() const
+{
+    std::lock_guard<std::mutex> lock(_impl->mutex);
+    return _impl->listener.listening() && !_impl->stopping;
+}
+
+std::string
+EvalServer::endpointName() const
+{
+    return _impl->listener.endpointName();
+}
+
+std::uint16_t
+EvalServer::boundPort() const
+{
+    return _impl->listener.boundPort();
+}
+
+ServerStats
+EvalServer::stats() const
+{
+    ServerStats s;
+    s.accepted = _impl->accepted.load(std::memory_order_relaxed);
+    s.rejected = _impl->rejected.load(std::memory_order_relaxed);
+    s.served = _impl->served.load(std::memory_order_relaxed);
+    s.failed = _impl->failed.load(std::memory_order_relaxed);
+    s.malformed = _impl->malformed.load(std::memory_order_relaxed);
+    s.resultHits = _impl->resultHits.load(std::memory_order_relaxed);
+    return s;
+}
+
+namespace {
+
+/** Set by the signal handler; polled by runServer's wait loop.  A
+ *  handler must not take locks or notify condition variables, so the
+ *  flag is the only thing it touches. */
+std::atomic<bool> g_signalStop{false};
+
+extern "C" void
+serveSignalHandler(int)
+{
+    g_signalStop.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+int
+runServer(const ServerOptions &opts, std::ostream &log)
+{
+    EvalServer server;
+    std::string error;
+    if (!server.start(opts, log, &error)) {
+        log << "serve: cannot start: " << error << "\n";
+        return 1;
+    }
+    g_signalStop.store(false, std::memory_order_relaxed);
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+    while (!server.waitFor(100)) {
+        if (g_signalStop.load(std::memory_order_relaxed))
+            server.requestStop();
+    }
+    server.stop();
+    const ServerStats s = server.stats();
+    log << "serve: " << s.served << " served (" << s.resultHits
+        << " from result cache), " << s.failed << " failed, "
+        << s.malformed << " malformed, " << s.rejected
+        << " rejected\n";
+    return 0;
+}
+
+} // namespace study
+} // namespace mcpat

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Evaluation server (`mcpat -serve`): McPAT as a long-running service.
+ *
+ * The batch CLI pays full process startup, tech-table setup, and cold
+ * array caches on every invocation.  The server keeps one process —
+ * and therefore the in-memory memo cache and the on-disk cache tier —
+ * warm across requests, which is what turns a multi-second cold
+ * evaluation into a millisecond warm one (see bench_server_load).
+ *
+ * ## Protocol
+ *
+ * Newline-delimited JSON over a Unix-domain or loopback TCP stream
+ * socket (see net::parseEndpoint for the endpoint syntax).  Each
+ * request is one JSON object on one line; each response is exactly one
+ * JSON line.  A connection may carry any number of requests, served in
+ * order.
+ *
+ * Evaluation request fields:
+ *  - "config":     path to an XML configuration file (server-side)
+ *  - "config_xml": inline XML configuration text (exclusive with
+ *                  "config")
+ *  - "id":         optional string echoed verbatim in the response
+ *  - "strict":     treat validation warnings as failures (defaults to
+ *                  the server's -strict flag)
+ *  - "report":     include the canonical JSON report document
+ *                  (default true)
+ *  - "csv":        include the CSV report (default false)
+ *  - "manifest":   include the per-request instrumentation manifest
+ *                  (default false)
+ *
+ * Response fields: "status" (HTTP-flavored: 200 ok, 400 malformed
+ * request, 422 invalid configuration, 503 overloaded), "ok", "error",
+ * "diagnostics" (located, when any), headline figures ("area_mm2",
+ * "peak_w", "runtime_w"), "timing_ms", and — because the canonical
+ * report document is multi-line while responses must stay
+ * newline-framed — the rendered artifacts are embedded as JSON
+ * *strings*: "report", "csv", "manifest".  Unescaping "report" yields
+ * a document byte-identical to the single-shot CLI's -json output.
+ * "cached" is true when the evaluation was served verbatim from the
+ * result cache (its "timing_ms" then describes the original
+ * computation, not this request).
+ *
+ * Control commands: {"cmd": "ping"}, {"cmd": "stats"},
+ * {"cmd": "sleep", "ms": N} (testing aid), {"cmd": "shutdown"}.
+ *
+ * ## Admission control and isolation
+ *
+ * Accepted connections wait in a bounded queue for a worker; when the
+ * queue is full the server replies with a structured 503 line and
+ * closes the connection instead of queueing without bound.  A request
+ * that fails — malformed JSON, unreadable config, validation errors —
+ * fails only its own reply (collect-all-then-throw validation makes
+ * bad configs non-fatal); the server keeps serving.
+ */
+
+#ifndef MCPAT_STUDY_SERVER_HH
+#define MCPAT_STUDY_SERVER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+namespace mcpat {
+namespace study {
+
+/** Controls for one server instance. */
+struct ServerOptions
+{
+    /** Endpoint spec: all-digits = loopback TCP port, else Unix path. */
+    std::string endpoint;
+
+    /**
+     * Worker threads serving connections.  0 means the PR 1 thread
+     * count resolution (-threads / MCPAT_THREADS / hardware).  Each
+     * worker serves one connection at a time; model evaluation inside
+     * a request additionally uses the shared evaluation pool.
+     */
+    int workers = 0;
+
+    /**
+     * Admission control: connections allowed to wait for a worker.
+     * An accept beyond this is answered with a one-line 503 JSON
+     * rejection and closed immediately.
+     */
+    std::size_t maxQueue = 32;
+
+    /** Default for requests that do not carry a "strict" field. */
+    bool strictDefault = false;
+
+    /**
+     * Warmest cache tier: completed evaluations kept verbatim, keyed
+     * by config *content* checksum (plus the request's strict/artifact
+     * flags), so a repeated identical request is answered without
+     * re-evaluating at all.  Entries are evicted FIFO beyond this
+     * count; 0 disables the tier.  Sits above the shared array memo
+     * and disk caches, which still serve requests whose configs
+     * differ only partially.
+     */
+    std::size_t maxCachedResults = 256;
+};
+
+/** Monotonic service counters (snapshot via EvalServer::stats). */
+struct ServerStats
+{
+    std::uint64_t accepted = 0;   ///< connections handed to a worker
+    std::uint64_t rejected = 0;   ///< connections refused with 503
+    std::uint64_t served = 0;     ///< requests answered with status 200
+    std::uint64_t failed = 0;     ///< eval requests answered with 422
+    std::uint64_t malformed = 0;  ///< requests answered with 400
+    std::uint64_t resultHits = 0; ///< evals served from the result cache
+};
+
+/**
+ * A running evaluation server: an accept thread plus a worker pool.
+ * start()/stop() make it embeddable in tests and the load bench; the
+ * CLI wraps it in runServer().
+ */
+class EvalServer
+{
+  public:
+    EvalServer();
+    ~EvalServer();
+    EvalServer(const EvalServer &) = delete;
+    EvalServer &operator=(const EvalServer &) = delete;
+
+    /**
+     * Bind the endpoint and launch the accept/worker threads.
+     * Returns false (with a description in @p error) when the
+     * endpoint cannot be bound.  @p log receives one line per
+     * lifecycle event (start, reject, shutdown).
+     */
+    bool start(const ServerOptions &opts, std::ostream &log,
+               std::string *error = nullptr);
+
+    /** Ask the server to stop; returns immediately. */
+    void requestStop();
+
+    /** Block until the server has stopped (shutdown cmd or stop()). */
+    void wait();
+
+    /**
+     * Bounded wait: true once the server is stopping, false after
+     * @p timeout_ms elapsed first (lets a caller poll for signals).
+     */
+    bool waitFor(int timeout_ms);
+
+    /** requestStop() + wait(): idempotent, callable from any thread. */
+    void stop();
+
+    bool running() const;
+
+    /** Bound endpoint ("127.0.0.1:7421" or the socket path). */
+    std::string endpointName() const;
+
+    /** Bound TCP port (after port-0 auto-assignment); 0 for Unix. */
+    std::uint16_t boundPort() const;
+
+    ServerStats stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
+};
+
+/**
+ * CLI entry: run a server on opts.endpoint until a shutdown request
+ * (or SIGINT/SIGTERM) arrives.  Returns the process exit code.
+ */
+int runServer(const ServerOptions &opts, std::ostream &log);
+
+} // namespace study
+} // namespace mcpat
+
+#endif // MCPAT_STUDY_SERVER_HH

@@ -227,3 +227,131 @@ TEST(Batch, SecondPassHitsDiskAndReproducesBytes)
     cache.clear();
     fs::remove_all(dir);
 }
+
+namespace {
+
+/**
+ * A copy of niagara.xml with an unknown param injected, so the load
+ * produces a Warning diagnostic (and therefore sidecar files) while
+ * the model still evaluates.
+ */
+std::string
+writeWarningConfig(const fs::path &dir)
+{
+    const std::string src = findConfig("niagara.xml");
+    std::string text = slurp(src);
+    const std::string anchor = "<param name=\"technology_node\"";
+    const auto pos = text.find(anchor);
+    EXPECT_NE(pos, std::string::npos);
+    text.insert(pos,
+                "<param name=\"definitely_unknown_param\" "
+                "value=\"1\"/>\n  ");
+    const std::string path = (dir / "warned.xml").string();
+    std::ofstream(path) << text;
+    return path;
+}
+
+} // namespace
+
+TEST(Batch, SidecarWriteFailureIsRecordedNotSilent)
+{
+    const fs::path dir = scratchDir("sidecar_fail");
+    const std::string list = writeList(dir, {writeWarningConfig(dir)});
+
+    study::BatchOptions opts;
+    opts.outputDir = (dir / "out").string();
+    // Block both sidecar paths: an ofstream cannot open a path that
+    // is already a directory, which is how we force the failure even
+    // when running as root (chmod is a no-op for root).
+    fs::create_directories(fs::path(opts.outputDir) /
+                           "warned.diagnostics.json");
+    fs::create_directories(fs::path(opts.outputDir) /
+                           "warned.diagnostics.csv");
+
+    std::ostringstream log;
+    const auto res = study::runBatch(list, opts, log);
+    ASSERT_EQ(res.items.size(), 1u);
+    const auto &item = res.items[0];
+
+    // The evaluation itself succeeded; the lost sidecars are recorded
+    // in the error field and as located warning diagnostics instead
+    // of disappearing.
+    EXPECT_TRUE(item.ok) << item.error;
+    EXPECT_NE(item.error.find("cannot write"), std::string::npos)
+        << item.error;
+    EXPECT_TRUE(item.diagnosticsJsonPath.empty());
+    EXPECT_TRUE(item.diagnosticsCsvPath.empty());
+    bool json_warned = false, csv_warned = false;
+    for (const auto &d : item.diagnostics) {
+        if (d.component == "batch" && d.key == "diagnostics_json")
+            json_warned = true;
+        if (d.component == "batch" && d.key == "diagnostics_csv")
+            csv_warned = true;
+    }
+    EXPECT_TRUE(json_warned);
+    EXPECT_TRUE(csv_warned);
+
+    // The summary CSV row carries the failure too.
+    const std::string summary = slurp(res.summaryCsvPath);
+    EXPECT_NE(summary.find("cannot write"), std::string::npos)
+        << summary;
+    fs::remove_all(dir);
+}
+
+TEST(Batch, SidecarsWrittenOnSuccessStillWork)
+{
+    const fs::path dir = scratchDir("sidecar_ok");
+    const std::string list = writeList(dir, {writeWarningConfig(dir)});
+
+    study::BatchOptions opts;
+    opts.outputDir = (dir / "out").string();
+    std::ostringstream log;
+    const auto res = study::runBatch(list, opts, log);
+    ASSERT_EQ(res.items.size(), 1u);
+    EXPECT_TRUE(res.items[0].ok);
+    EXPECT_TRUE(res.items[0].error.empty()) << res.items[0].error;
+    EXPECT_FALSE(res.items[0].diagnosticsJsonPath.empty());
+    EXPECT_FALSE(res.items[0].diagnosticsCsvPath.empty());
+    fs::remove_all(dir);
+}
+
+TEST(Batch, SummaryCsvFailureIsFlaggedAndWarned)
+{
+    const fs::path dir = scratchDir("summary_fail");
+    const std::string list = writeList(dir, {findConfig("niagara.xml")});
+
+    study::BatchOptions opts;
+    opts.outputDir = (dir / "out").string();
+    // A directory squatting on the summary path forces the open to
+    // fail.
+    fs::create_directories(fs::path(opts.outputDir) /
+                           "batch_summary.csv");
+
+    std::ostringstream log;
+    const auto res = study::runBatch(list, opts, log);
+    EXPECT_TRUE(res.summaryCsvPath.empty());
+    EXPECT_FALSE(res.summaryError.empty());
+    EXPECT_NE(res.summaryError.find("batch_summary.csv"),
+              std::string::npos) << res.summaryError;
+    EXPECT_NE(log.str().find("warning"), std::string::npos)
+        << log.str();
+    // The failure is about the summary only; the batch itself is fine.
+    EXPECT_TRUE(res.ok());
+    fs::remove_all(dir);
+}
+
+TEST(Batch, SummaryCsvSuccessSetsPathAndNoError)
+{
+    const fs::path dir = scratchDir("summary_ok");
+    const std::string list = writeList(dir, {findConfig("niagara.xml")});
+
+    study::BatchOptions opts;
+    opts.outputDir = (dir / "out").string();
+    std::ostringstream log;
+    const auto res = study::runBatch(list, opts, log);
+    EXPECT_FALSE(res.summaryCsvPath.empty());
+    EXPECT_TRUE(res.summaryError.empty()) << res.summaryError;
+    EXPECT_NE(slurp(res.summaryCsvPath).find("input,name,ok"),
+              std::string::npos);
+    fs::remove_all(dir);
+}

@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "chip/processor.hh"
 #include "chip/report_printer.hh"
+#include "chip/report_writer.hh"
 #include "study/sweep.hh"
 #include "uncore/noc.hh"
 
@@ -130,4 +133,78 @@ TEST(CaseStudy, WorkParameterScalesDelayNotPower)
                 r1.workloads[0].figures.delay * 1e-9);
     EXPECT_NEAR(r2.meanMetrics.ed / r1.meanMetrics.ed, 4.0, 1e-6);
     EXPECT_NEAR(r2.meanPower, r1.meanPower, r1.meanPower * 1e-9);
+}
+
+// ---------------------------------------------------------------------
+// Non-finite metric serialization: the JSON writer and the CSV writer
+// must agree on the same degenerate model — JSON emits null (and flips
+// the root "valid" flag), CSV emits an empty field.  Raw "nan"/"inf"
+// text (what operator<< produces) must appear in neither.
+// ---------------------------------------------------------------------
+
+namespace {
+
+Report
+degenerateReport()
+{
+    Report chip;
+    chip.name = "degenerate";
+    chip.area = 1e-6;
+    chip.peakDynamic = std::numeric_limits<double>::quiet_NaN();
+    chip.runtimeDynamic = std::numeric_limits<double>::infinity();
+    chip.subthresholdLeakage = 0.5;
+    chip.gateLeakage = 0.1;
+    chip.criticalPath = 1e-9;
+    Report child;
+    child.name = "unit";
+    child.area = -std::numeric_limits<double>::infinity();
+    child.peakDynamic = 2.0;
+    chip.children.push_back(child);
+    return chip;
+}
+
+} // namespace
+
+TEST(NonFiniteSerialization, JsonWritesNullAndInvalidFlag)
+{
+    const Report r = degenerateReport();
+    std::ostringstream os;
+    chip::writeReportJson(os, r);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"peak_dynamic_w\": null"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"valid\": false"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(NonFiniteSerialization, CsvWritesEmptyFieldsOnSameModel)
+{
+    const Report r = degenerateReport();
+    std::ostringstream os;
+    chip::writeReportCsv(os, r);
+    const std::string csv = os.str();
+    // No raw non-finite text anywhere in the document.
+    EXPECT_EQ(csv.find("nan"), std::string::npos) << csv;
+    EXPECT_EQ(csv.find("inf"), std::string::npos) << csv;
+    // The degenerate chip row: peak (NaN) and runtime (inf) fields are
+    // empty but the row keeps its shape (same column count).
+    std::istringstream lines(csv);
+    std::string header, chip_row;
+    std::getline(lines, header);
+    std::getline(lines, chip_row);
+    EXPECT_EQ(std::count(chip_row.begin(), chip_row.end(), ','),
+              std::count(header.begin(), header.end(), ','));
+    EXPECT_NE(chip_row.find(",,"), std::string::npos) << chip_row;
+}
+
+TEST(NonFiniteSerialization, CsvNumberHelper)
+{
+    std::ostringstream os;
+    chip::writeCsvNumber(os, 1.5);
+    os << '|';
+    chip::writeCsvNumber(os, std::numeric_limits<double>::quiet_NaN());
+    os << '|';
+    chip::writeCsvNumber(os, std::numeric_limits<double>::infinity());
+    EXPECT_EQ(os.str(), "1.5||");
 }
