@@ -19,6 +19,7 @@
 #include "array/cam.hh"
 #include "array/mat.hh"
 #include "circuit/wire.hh"
+#include "common/cancel.hh"
 #include "common/instrument.hh"
 #include "common/parallel.hh"
 
@@ -437,6 +438,7 @@ ArrayModel::searchExhaustive(std::vector<Candidate> &cands) const
                                std::size(kFoldings);
     std::vector<std::optional<Candidate>> slots(n_orgs);
     parallel::parallelFor(n_orgs, [&](std::size_t idx) {
+        cancel::checkpoint();
         slots[idx] = evaluate(orgFromIndex(idx));
     });
     for (auto &slot : slots)
@@ -538,6 +540,9 @@ ArrayModel::searchPruned(const OptimizationWeights &weights,
     std::uint64_t pruned = 0;
     std::size_t cursor = 0;
     while (cursor < entries.size()) {
+        // One poll per batch bounds cancellation latency to a handful
+        // of candidate evaluations without taxing the inner loop.
+        cancel::checkpoint();
         batch.clear();
         while (cursor < entries.size() && batch.size() < block) {
             const Entry &e = entries[cursor++];
@@ -663,6 +668,7 @@ void
 ArrayModel::optimize(const OptimizationWeights &weights)
 {
     MCPAT_SPAN("array.optimize", _params.name);
+    cancel::checkpoint();
     std::vector<Candidate> cands;
     if (optimizerPruning())
         searchPruned(weights, cands);

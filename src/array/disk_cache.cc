@@ -5,6 +5,7 @@
 
 #include "array/disk_cache.hh"
 
+#include <chrono>
 #include <filesystem>
 #include <iostream>
 
@@ -16,9 +17,52 @@ namespace array {
 using common::ByteReader;
 using common::ByteWriter;
 
+namespace {
+
+/**
+ * Remove stale `.tmp.*` droppings left by writers that crashed between
+ * creating their temp file and renaming it into place.  Only files
+ * older than a grace period are removed, so a concurrent writer's
+ * in-flight temp file is never yanked out from under it.  All errors
+ * are ignored: this is opportunistic hygiene, not correctness.
+ */
+void
+sweepStaleTempFiles(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    constexpr auto kGrace = std::chrono::minutes(15);
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec), end;
+    if (ec)
+        return;
+    const auto now = fs::file_time_type::clock::now();
+    for (; it != end; it.increment(ec)) {
+        if (ec)
+            return;
+        const fs::path &p = it->path();
+        if (p.filename().string().rfind(".tmp.", 0) != 0)
+            continue;
+        const auto mtime = fs::last_write_time(p, ec);
+        if (ec) {
+            ec.clear();
+            continue;
+        }
+        if (now - mtime > kGrace)
+            fs::remove(p, ec);
+    }
+}
+
+} // namespace
+
 ArrayDiskCache::ArrayDiskCache(std::string directory)
     : _dir(std::move(directory))
 {
+    // Opening an existing cache is the natural moment to clear debris
+    // from crashed writers; a directory that does not exist yet has
+    // nothing to sweep.
+    std::error_code ec;
+    if (std::filesystem::is_directory(_dir, ec))
+        sweepStaleTempFiles(_dir);
 }
 
 std::vector<std::uint8_t>

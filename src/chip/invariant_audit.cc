@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Physical-invariant audit implementation.
+ */
+
+#include "chip/invariant_audit.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace mcpat {
+namespace chip {
+
+namespace {
+
+/** Render a figure for a diagnostic message (full double precision is
+ *  noise here; six significant digits locate the problem). */
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << v;
+    return os.str();
+}
+
+/** a <= b within the audit tolerance. */
+bool
+leqTol(double a, double b, const AuditOptions &opts)
+{
+    const double scale = std::max(std::abs(a), std::abs(b));
+    return a <= b + opts.relTolerance * scale + opts.absTolerance;
+}
+
+struct Auditor
+{
+    const AuditOptions &opts;
+    DiagnosticList diags;
+
+    void
+    violation(const std::string &path, const std::string &invariant,
+              const std::string &message)
+    {
+        diags.add(Severity::Warning, path, invariant, message);
+    }
+
+    void
+    checkFinite(const std::string &path, const char *what, double v)
+    {
+        if (!std::isfinite(v)) {
+            violation(path, "invariant.finite",
+                      std::string(what) + " is not finite");
+        }
+    }
+
+    void
+    checkNonNegative(const std::string &path, const char *what, double v)
+    {
+        // NaN is reported by the finiteness check; don't double-report.
+        if (std::isfinite(v) && v < 0.0) {
+            violation(path, "invariant.nonnegative",
+                      std::string(what) + " is negative (" + num(v) +
+                          ")");
+        }
+    }
+
+    void
+    audit(const Report &node, const std::string &parent_path)
+    {
+        const std::string path = parent_path.empty()
+            ? (node.name.empty() ? std::string("<unnamed>") : node.name)
+            : parent_path + "/" +
+                  (node.name.empty() ? std::string("<unnamed>")
+                                     : node.name);
+
+        checkFinite(path, "area", node.area);
+        checkFinite(path, "peak dynamic power", node.peakDynamic);
+        checkFinite(path, "runtime dynamic power", node.runtimeDynamic);
+        checkFinite(path, "subthreshold leakage",
+                    node.subthresholdLeakage);
+        checkFinite(path, "gate leakage", node.gateLeakage);
+        checkFinite(path, "runtime subthreshold leakage",
+                    node.runtimeSubLeak());
+        checkFinite(path, "critical path", node.criticalPath);
+
+        checkNonNegative(path, "area", node.area);
+        checkNonNegative(path, "peak dynamic power", node.peakDynamic);
+        checkNonNegative(path, "runtime dynamic power",
+                         node.runtimeDynamic);
+        checkNonNegative(path, "subthreshold leakage",
+                         node.subthresholdLeakage);
+        checkNonNegative(path, "gate leakage", node.gateLeakage);
+        checkNonNegative(path, "runtime subthreshold leakage",
+                         node.runtimeSubLeak());
+        checkNonNegative(path, "critical path", node.criticalPath);
+
+        // Leakage <= total power reduces to dynamic >= 0 given total =
+        // dynamic + leakage, but check the stated form so a future
+        // writer that decouples the fields stays covered.
+        if (std::isfinite(node.leakage()) &&
+            std::isfinite(node.peakPower()) &&
+            !leqTol(node.leakage(), node.peakPower(), opts)) {
+            violation(path, "invariant.leakage_le_power",
+                      "leakage (" + num(node.leakage()) +
+                          " W) exceeds peak total power (" +
+                          num(node.peakPower()) + " W)");
+        }
+        const double rt_leak = node.runtimeSubLeak() + node.gateLeakage;
+        if (std::isfinite(rt_leak) &&
+            std::isfinite(node.runtimePower()) &&
+            !leqTol(rt_leak, node.runtimePower(), opts)) {
+            violation(path, "invariant.leakage_le_power",
+                      "runtime leakage (" + num(rt_leak) +
+                          " W) exceeds runtime total power (" +
+                          num(node.runtimePower()) + " W)");
+        }
+
+        if (!node.children.empty()) {
+            double sum_area = 0.0, sum_peak_dyn = 0.0, sum_rt_dyn = 0.0;
+            double sum_sub = 0.0, sum_gate = 0.0;
+            bool child_finite = true;
+            for (const auto &c : node.children) {
+                sum_area += c.area;
+                sum_peak_dyn += c.peakDynamic;
+                sum_rt_dyn += c.runtimeDynamic;
+                sum_sub += c.subthresholdLeakage;
+                sum_gate += c.gateLeakage;
+                child_finite = child_finite &&
+                    std::isfinite(c.area) &&
+                    std::isfinite(c.peakDynamic) &&
+                    std::isfinite(c.runtimeDynamic) &&
+                    std::isfinite(c.subthresholdLeakage) &&
+                    std::isfinite(c.gateLeakage) &&
+                    std::isfinite(c.criticalPath);
+            }
+            // Children are a lower bound on the parent (the parent may
+            // add direct terms and replicated instances); a child sum
+            // *above* the parent means some contribution was counted
+            // in a child but lost on the way up.  Skip when any child
+            // figure is non-finite: the finiteness check on that child
+            // already locates the real problem.
+            if (child_finite) {
+                struct SumCheck
+                {
+                    const char *what;
+                    double children;
+                    double parent;
+                };
+                const SumCheck checks[] = {
+                    {"area", sum_area, node.area},
+                    {"peak dynamic power", sum_peak_dyn,
+                     node.peakDynamic},
+                    {"runtime dynamic power", sum_rt_dyn,
+                     node.runtimeDynamic},
+                    {"subthreshold leakage", sum_sub,
+                     node.subthresholdLeakage},
+                    {"gate leakage", sum_gate, node.gateLeakage},
+                };
+                for (const auto &c : checks) {
+                    if (std::isfinite(c.parent) &&
+                        !leqTol(c.children, c.parent, opts)) {
+                        violation(path, "invariant.child_sum",
+                                  std::string(c.what) +
+                                      ": children sum to " +
+                                      num(c.children) +
+                                      " but parent records " +
+                                      num(c.parent));
+                    }
+                }
+            }
+            for (const auto &c : node.children)
+                audit(c, path);
+        }
+    }
+};
+
+} // namespace
+
+DiagnosticList
+auditReport(const Report &root, const AuditOptions &opts)
+{
+    Auditor a{opts, {}};
+    a.audit(root, "");
+    return std::move(a.diags);
+}
+
+} // namespace chip
+} // namespace mcpat

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Chip-wide physical-invariant audit over an assembled report tree.
+ *
+ * Analytic power models drift into nonsense silently: one mis-scaled
+ * term and a "successful" evaluation reports negative leakage or a
+ * child consuming more power than its parent.  This audit walks the
+ * fully-assembled Report hierarchy after every evaluation and checks,
+ * for every component:
+ *
+ *  - **finiteness**: no NaN/Inf in any power/area/timing figure;
+ *  - **non-negativity**: area, dynamic power (peak and runtime),
+ *    leakage (subthreshold and gate, TDP and runtime), and critical
+ *    path are all >= 0;
+ *  - **leakage <= total power**: static power cannot exceed total
+ *    power (peak and runtime scenarios);
+ *  - **hierarchy consistency**: the children of a node can never sum
+ *    to *more* than the parent records (parents aggregate children
+ *    plus their own direct and replicated contributions, so the child
+ *    sum is a lower bound), within a relative tolerance.
+ *
+ * Critical path is deliberately *not* compared across the hierarchy:
+ * a parent's critical path is its cycle-time-limiting logic path, and
+ * children whose accesses are pipelined over multiple cycles (a cache
+ * inside a core) legitimately report a longer delay than the parent.
+ *
+ * Violations are reported as located warning diagnostics naming the
+ * component path and the broken invariant, so they land in batch
+ * sidecars and server responses; `-strict` escalates them to failures
+ * like every other warning.
+ */
+
+#ifndef MCPAT_CHIP_INVARIANT_AUDIT_HH
+#define MCPAT_CHIP_INVARIANT_AUDIT_HH
+
+#include "common/diagnostics.hh"
+#include "common/report.hh"
+
+namespace mcpat {
+namespace chip {
+
+/** Controls for one auditReport() pass. */
+struct AuditOptions
+{
+    /**
+     * Relative tolerance for hierarchy-consistency comparisons.
+     * Parent totals are accumulated in a different order than a
+     * reader's child sum, so allow a few ulps' worth of drift
+     * (relative to the larger magnitude) plus a tiny absolute floor
+     * for values near zero.
+     */
+    double relTolerance = 1e-9;
+
+    /** Absolute comparison floor (W, m^2, s as appropriate). */
+    double absTolerance = 1e-15;
+};
+
+/**
+ * Audit @p root and its whole subtree.  Returns one Warning diagnostic
+ * per violated (component, invariant) pair: component is the
+ * slash-joined path from the root ("chip/Core/IFU"), key is the
+ * invariant name ("invariant.nonnegative", "invariant.finite",
+ * "invariant.leakage_le_power", "invariant.child_sum").  An empty
+ * list means the tree is physically plausible.
+ */
+DiagnosticList auditReport(const Report &root,
+                           const AuditOptions &opts = AuditOptions());
+
+} // namespace chip
+} // namespace mcpat
+
+#endif // MCPAT_CHIP_INVARIANT_AUDIT_HH

@@ -17,7 +17,9 @@
 #include <fstream>
 
 #include "array/array_cache.hh"
+#include "chip/invariant_audit.hh"
 #include "chip/report_printer.hh"
+#include "common/cancel.hh"
 #include "common/instrument.hh"
 #include "common/parallel.hh"
 #include "chip/report_writer.hh"
@@ -47,6 +49,20 @@ usage(const char *prog)
               << "  -batch_out   directory for per-config batch reports "
                  "(default\n"
               << "               mcpat_batch)\n"
+              << "  -resume      batch mode: replay the progress journal "
+                 "of an\n"
+              << "               interrupted run "
+                 "(<batch_out>/batch_journal.jsonl),\n"
+              << "               skipping completed items; outputs match "
+                 "an\n"
+              << "               uninterrupted run\n"
+              << "  -eval_timeout_ms N  wall-clock budget per "
+                 "evaluation; a\n"
+              << "               blown budget fails that item/request "
+                 "with a\n"
+              << "               structured timeout (single-shot exits "
+                 "124;\n"
+              << "               batch continues; server replies 504)\n"
               << "  -serve       run as a long-running evaluation "
                  "server on a\n"
               << "               loopback TCP port (all digits) or "
@@ -205,6 +221,8 @@ main(int argc, char **argv)
     int print_level = 3;
     bool cache_stats = false;
     bool strict = false;
+    bool resume = false;
+    double eval_timeout_ms = 0.0;
     InstrumentationOutputs instrumentation;
 
     for (int i = 1; i < argc; ++i) {
@@ -246,6 +264,11 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             mcpat::parallel::setThreadCount(static_cast<int>(
                 numericArg("-threads", argv[++i])));
+        } else if (std::strcmp(argv[i], "-resume") == 0) {
+            resume = true;
+        } else if (std::strcmp(argv[i], "-eval_timeout_ms") == 0 &&
+                   i + 1 < argc) {
+            eval_timeout_ms = numericArg("-eval_timeout_ms", argv[++i]);
         } else if (std::strcmp(argv[i], "-strict") == 0) {
             strict = true;
         } else if (std::strcmp(argv[i], "-permissive") == 0) {
@@ -289,6 +312,7 @@ main(int argc, char **argv)
         if (serve_queue > 0)
             opts.maxQueue = static_cast<std::size_t>(serve_queue);
         opts.strictDefault = strict;
+        opts.evalTimeoutMs = eval_timeout_ms;
         const int rc = mcpat::study::runServer(opts, std::cerr);
         if (cache_stats)
             mcpat::array::reportCacheStats(std::cerr);
@@ -297,9 +321,16 @@ main(int argc, char **argv)
 
     if (!batch_list.empty()) {
         try {
+            // Orderly interruption: SIGINT/SIGTERM set the cooperative
+            // stop flag (async-signal-safe), the loop flushes completed
+            // results and finalizes the journal, and the exit status is
+            // the conventional 128+signal so wrappers see the cause.
+            mcpat::cancel::installStopHandlers();
             mcpat::study::BatchOptions opts;
             opts.outputDir = batch_out;
             opts.strict = strict;
+            opts.resume = resume;
+            opts.evalTimeoutMs = eval_timeout_ms;
             // Batch writes its own aggregated manifest (per-input
             // timing rows plus the registry), so hand the path down.
             opts.metricsOut = instrumentation.metricsOut;
@@ -311,13 +342,21 @@ main(int argc, char **argv)
                 std::cerr << "wrote " << res.metricsPath << "\n";
             instrumentation.write(batch_list, res.ok(),
                                   /*write_metrics=*/false);
-            return res.ok() ? 0 : 1;
+            if (res.interruptedSignal)
+                return 128 + res.interruptedSignal;
+            return res.failures == 0 && !res.items.empty() ? 0 : 1;
         } catch (const std::exception &e) {
             std::cerr << e.what() << "\n";
             return 1;
         }
     }
 
+    // Single-shot deadline: checkpoints throughout the model layers
+    // unwind to the Cancelled handler below, which exits 124 (the
+    // coreutils timeout convention) instead of leaving a zombie solve.
+    mcpat::cancel::CancelToken deadline;
+    deadline.setDeadlineIn(eval_timeout_ms);
+    mcpat::cancel::ScopedCurrent deadline_scope(&deadline);
     try {
         mcpat::config::XmlNode root;
         mcpat::config::LoadResult loaded;
@@ -357,6 +396,19 @@ main(int argc, char **argv)
         {
             MCPAT_SPAN("report");
             const mcpat::Report report = proc.makeReport(rt);
+
+            // Chip-wide physical-invariant audit: surface impossible
+            // figures (negative power, child sums above the parent)
+            // as located diagnostics before anything is printed.
+            const mcpat::DiagnosticList audit =
+                mcpat::chip::auditReport(report);
+            audit.print(std::cerr);
+            if (strict && !audit.empty()) {
+                std::cerr << "mcpat: strict mode: " << audit.size()
+                          << " physical-invariant violation(s) for "
+                          << infile << "\n";
+                return 1;
+            }
 
             std::cout << "McPAT (reproduction) results\n"
                       << "-----------------------------------------------"
@@ -415,6 +467,11 @@ main(int argc, char **argv)
         instrumentation.write(infile, /*valid=*/true,
                               /*write_metrics=*/true);
         return 0;
+    } catch (const mcpat::cancel::Cancelled &e) {
+        std::cerr << "mcpat: " << e.what() << "\n";
+        instrumentation.write(infile, /*valid=*/false,
+                              /*write_metrics=*/true);
+        return e.kind() == mcpat::cancel::Kind::Timeout ? 124 : 130;
     } catch (const mcpat::ValidationError &e) {
         // Per-diagnostic lines (component, key, source line), then a
         // one-line verdict for scripts grepping the tail.

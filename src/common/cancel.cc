@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Cooperative cancellation implementation.
+ */
+
+#include "common/cancel.hh"
+
+#include <csignal>
+
+namespace mcpat {
+namespace cancel {
+
+namespace {
+
+/** First stop signal received; 0 = no stop requested.  The signal
+ *  handlers perform exactly one lock-free store here. */
+std::atomic<int> g_stopSignal{0};
+
+thread_local const CancelToken *t_current = nullptr;
+
+extern "C" void
+stopSignalHandler(int sig)
+{
+    requestStop(sig);
+}
+
+} // namespace
+
+const char *
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Timeout:
+        return "timeout";
+      case Kind::Interrupt:
+        return "interrupt";
+      case Kind::None:
+        break;
+    }
+    return "none";
+}
+
+void
+CancelToken::setDeadlineIn(double ms)
+{
+    if (ms <= 0.0) {
+        _hasDeadline = false;
+        _timeoutMs = 0.0;
+        return;
+    }
+    _timeoutMs = ms;
+    _deadline = std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(ms));
+    _hasDeadline = true;
+}
+
+Kind
+CancelToken::state() const
+{
+    if (_cancelled.load(std::memory_order_relaxed))
+        return Kind::Interrupt;
+    if (_honorGlobalStop && stopRequested())
+        return Kind::Interrupt;
+    if (_hasDeadline && std::chrono::steady_clock::now() >= _deadline)
+        return Kind::Timeout;
+    if (_parent)
+        return _parent->state();
+    return Kind::None;
+}
+
+void
+CancelToken::checkpoint() const
+{
+    const Kind k = state();
+    if (k == Kind::None)
+        return;
+    if (k == Kind::Timeout) {
+        // Report the deadline that actually fired: ours, or an
+        // ancestor's when the trip came from the parent chain.
+        const CancelToken *t = this;
+        while (t && !(t->_hasDeadline &&
+                      std::chrono::steady_clock::now() >= t->_deadline))
+            t = t->_parent;
+        const double ms = t ? t->_timeoutMs : _timeoutMs;
+        throw Cancelled(Kind::Timeout,
+                        "evaluation exceeded its deadline (" +
+                            std::to_string(ms) + " ms)");
+    }
+    throw Cancelled(Kind::Interrupt, "evaluation interrupted (stop "
+                                     "requested)");
+}
+
+const CancelToken *
+current()
+{
+    return t_current;
+}
+
+ScopedCurrent::ScopedCurrent(const CancelToken *token)
+    : _previous(t_current)
+{
+    t_current = token;
+}
+
+ScopedCurrent::~ScopedCurrent()
+{
+    t_current = _previous;
+}
+
+void
+checkpoint()
+{
+    if (t_current) {
+        t_current->checkpoint();
+    } else if (stopRequested()) {
+        throw Cancelled(Kind::Interrupt, "evaluation interrupted (stop "
+                                         "requested)");
+    }
+}
+
+void
+requestStop(int signal)
+{
+    int expected = 0;
+    g_stopSignal.compare_exchange_strong(expected,
+                                         signal > 0 ? signal : -1,
+                                         std::memory_order_relaxed);
+}
+
+bool
+stopRequested()
+{
+    return g_stopSignal.load(std::memory_order_relaxed) != 0;
+}
+
+int
+stopSignal()
+{
+    const int sig = g_stopSignal.load(std::memory_order_relaxed);
+    return sig > 0 ? sig : 0;
+}
+
+void
+clearStop()
+{
+    g_stopSignal.store(0, std::memory_order_relaxed);
+}
+
+void
+installStopHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = stopSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking I/O too
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+} // namespace cancel
+} // namespace mcpat

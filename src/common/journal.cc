@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Append-only checksummed journal implementation.
+ */
+
+#include "common/journal.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/serialize.hh"
+
+namespace mcpat {
+namespace common {
+
+namespace {
+
+constexpr char kRecordPrefix[] = "MCPATJ1 ";
+constexpr std::size_t kPrefixLen = sizeof(kRecordPrefix) - 1;
+constexpr std::size_t kChecksumLen = 16;  // toHex64 output
+
+/** write(2) the whole buffer, retrying on EINTR / partial writes. */
+bool
+writeFully(int fd, const char *data, std::size_t size)
+{
+    std::size_t off = 0;
+    while (off < size) {
+        const ssize_t n = ::write(fd, data + off, size - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+JournalWriter::~JournalWriter()
+{
+    close();
+}
+
+bool
+JournalWriter::open(const std::string &path, bool truncate,
+                    std::string *error)
+{
+    close();
+    int flags = O_WRONLY | O_CREAT | O_APPEND;
+    if (truncate)
+        flags |= O_TRUNC;
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+        if (error)
+            *error = "cannot open journal '" + path +
+                     "': " + std::strerror(errno);
+        return false;
+    }
+    _fd = fd;
+    _path = path;
+    return true;
+}
+
+bool
+JournalWriter::append(const std::string &payload)
+{
+    if (_fd < 0)
+        return false;
+    if (payload.find('\n') != std::string::npos ||
+        payload.find('\r') != std::string::npos)
+        return false;  // records are line-framed; refuse to corrupt
+
+    std::string line;
+    line.reserve(kPrefixLen + kChecksumLen + 2 + payload.size());
+    line += kRecordPrefix;
+    line += toHex64(fnv1a64(
+        reinterpret_cast<const std::uint8_t *>(payload.data()),
+        payload.size()));
+    line += ' ';
+    line += payload;
+    line += '\n';
+
+    if (!writeFully(_fd, line.data(), line.size()))
+        return false;
+    // One fsync per record: journal appends happen once per completed
+    // work item (each worth seconds of evaluation), so durability is
+    // cheap relative to what it protects.
+    return ::fsync(_fd) == 0;
+}
+
+void
+JournalWriter::close()
+{
+    if (_fd >= 0) {
+        ::fsync(_fd);
+        ::close(_fd);
+        _fd = -1;
+    }
+}
+
+JournalContents
+readJournal(const std::string &path)
+{
+    JournalContents out;
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return out;
+
+    std::string line;
+    bool corrupt = false;
+    while (std::getline(in, line)) {
+        if (corrupt) {
+            ++out.droppedLines;
+            continue;
+        }
+        // Tolerate a \r\n journal copied through a CRLF filesystem.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        bool valid = line.size() >= kPrefixLen + kChecksumLen + 1 &&
+                     line.compare(0, kPrefixLen, kRecordPrefix) == 0 &&
+                     line[kPrefixLen + kChecksumLen] == ' ';
+        if (valid) {
+            const std::string stored =
+                line.substr(kPrefixLen, kChecksumLen);
+            const std::string payload =
+                line.substr(kPrefixLen + kChecksumLen + 1);
+            valid = stored ==
+                toHex64(fnv1a64(reinterpret_cast<const std::uint8_t *>(
+                                    payload.data()),
+                                payload.size()));
+            if (valid)
+                out.records.push_back(payload);
+        }
+        if (!valid) {
+            // Appends are ordered and fsync'd, so an invalid line
+            // means the crash point (or foreign damage): nothing after
+            // it can be trusted to be complete either.
+            corrupt = true;
+            out.tailCorrupt = true;
+            ++out.droppedLines;
+        }
+    }
+    // A file ending without a final newline is a truncated last
+    // record; getline still yields the fragment, handled above.
+    return out;
+}
+
+} // namespace common
+} // namespace mcpat

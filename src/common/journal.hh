@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Append-only, checksummed progress journal.
+ *
+ * Long-running drivers (the batch runner, the case-study sweep) record
+ * one journal record per completed work item so a crash, OOM-kill, or
+ * SIGKILL loses at most the item that was in flight.  A later run with
+ * `-resume` replays the journal, skips completed items, and re-emits
+ * their recorded results — producing the same outputs as an
+ * uninterrupted run without re-evaluating anything already done.
+ *
+ * ## Format
+ *
+ * A text file of independent single-line records:
+ *
+ *     MCPATJ1 <fnv1a64-hex16-of-payload> <payload>\n
+ *
+ * The payload is a single-line JSON object (the writer rejects
+ * embedded newlines).  Each record is self-checking: the reader
+ * verifies the prefix and the checksum before trusting the payload.
+ * Records are written with a single write(2) call and fsync'd, so a
+ * crash can only ever truncate the *tail* of the file.  The reader
+ * therefore stops at the first invalid line (truncated tail, bad
+ * checksum, garbage) and returns everything before it — corruption
+ * degrades to re-evaluating the affected items, never to using a
+ * half-written record.
+ *
+ * The first record is by convention a header describing what produced
+ * the journal (schema, inputs, options); readers validate it before
+ * honoring any item records, so a journal from a different input list
+ * or option set is ignored rather than misapplied.
+ */
+
+#ifndef MCPAT_COMMON_JOURNAL_HH
+#define MCPAT_COMMON_JOURNAL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcpat {
+namespace common {
+
+/**
+ * Append-only journal writer over a POSIX fd (O_APPEND), one fsync'd
+ * record per append.  All methods are noexcept-by-contract: failures
+ * return false and latch, so a full disk degrades the run to
+ * journal-less (the caller warns once) instead of aborting it.
+ *
+ * Not internally synchronized: callers appending from multiple
+ * threads serialize externally.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter();
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /**
+     * Open @p path for appending, creating it if needed; @p truncate
+     * discards any existing contents (a fresh, non-resumed run).
+     * Returns false with a description in @p error on failure.
+     */
+    bool open(const std::string &path, bool truncate,
+              std::string *error = nullptr);
+
+    /**
+     * Append one record for @p payload (a single-line string; embedded
+     * newlines are rejected).  The record — prefix, checksum, payload,
+     * trailing newline — is written with one write(2) and fsync'd
+     * before returning, so a record that this method acknowledged
+     * survives any subsequent crash.
+     */
+    bool append(const std::string &payload);
+
+    void close();
+
+    bool isOpen() const { return _fd >= 0; }
+
+    /** Journal path as opened; empty before open(). */
+    const std::string &path() const { return _path; }
+
+  private:
+    int _fd = -1;
+    std::string _path;
+};
+
+/** Everything readJournal() recovered from a journal file. */
+struct JournalContents
+{
+    /** Validated record payloads, in append order. */
+    std::vector<std::string> records;
+
+    /**
+     * True when the file ended with an invalid line (truncated tail,
+     * checksum mismatch, foreign garbage).  Everything in records is
+     * still trustworthy; the caller simply re-evaluates whatever the
+     * dropped tail covered.
+     */
+    bool tailCorrupt = false;
+
+    /** Lines discarded at and after the first invalid one. */
+    std::size_t droppedLines = 0;
+};
+
+/**
+ * Read and validate a journal.  A missing or unreadable file returns
+ * empty contents (resume from nothing); a corrupt tail returns every
+ * record before the corruption.  Never throws.
+ */
+JournalContents readJournal(const std::string &path);
+
+} // namespace common
+} // namespace mcpat
+
+#endif // MCPAT_COMMON_JOURNAL_HH

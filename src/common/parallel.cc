@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hh"
 #include "common/instrument.hh"
 #include "common/strict_parse.hh"
 
@@ -62,6 +63,9 @@ struct Job
     const std::function<void(std::size_t)> *fn = nullptr;
     /** Workers beyond this many skip the job (honors thread count). */
     int maxHelpers = 0;
+    /** Submitter's ambient cancel token, re-installed in every worker
+     *  so deadlines and interrupts reach distributed work. */
+    const cancel::CancelToken *cancelToken = nullptr;
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::atomic<int> helpers{0};
@@ -104,6 +108,7 @@ class Pool
         job->n = n;
         job->fn = &fn;
         job->maxHelpers = threads - 1;
+        job->cancelToken = cancel::current();
 
         ensureWorkers(std::min<std::size_t>(n, threads) - 1);
         {
@@ -185,6 +190,11 @@ class Pool
     {
         const bool instrumented = instr::enabled();
         const std::uint64_t t0 = instrumented ? instr::nowNanos() : 0;
+        // Adopt the submitter's cancel token so checkpoint() calls in
+        // the loop body observe the same deadline on every thread.  On
+        // the submitting thread this re-installs its own token (a
+        // harmless no-op); on pool workers it replaces nullptr.
+        cancel::ScopedCurrent adopt(job.cancelToken);
         t_inParallelRegion = true;
         std::size_t finished = 0;
         for (;;) {

@@ -6,11 +6,13 @@
 #include "common/serialize.hh"
 
 #include <bit>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 namespace mcpat {
@@ -123,23 +125,54 @@ writeFileAtomic(const std::string &path,
                  static_cast<std::uint64_t>(
                      reinterpret_cast<std::uintptr_t>(&bytes))));
 
-    {
-        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-        if (!f)
-            return false;
-        f.write(reinterpret_cast<const char *>(bytes.data()),
-                static_cast<std::streamsize>(bytes.size()));
-        if (!f) {
-            f.close();
-            fs::remove(tmp, ec);
-            return false;
+    // POSIX I/O instead of ofstream: the write, the short-write check,
+    // and the fsync must all be verified *before* the rename publishes
+    // the record — an ENOSPC surfacing at close(), or data still
+    // sitting in the page cache at crash time, must never let a
+    // truncated record become visible under the final name.
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        return false;
+    bool ok = true;
+    std::size_t off = 0;
+    while (ok && off < bytes.size()) {
+        const ssize_t n =
+            ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ok = false;
+        } else {
+            off += static_cast<std::size_t>(n);
         }
+    }
+    ok = ok && ::fsync(fd) == 0;
+    ok = ::close(fd) == 0 && ok;
+    if (!ok) {
+        fs::remove(tmp, ec);
+        return false;
     }
 
     fs::rename(tmp, target, ec);
     if (ec) {
         fs::remove(tmp, ec);
         return false;
+    }
+
+    // Durably record the rename itself: fsync the containing directory
+    // so a crash right after publish cannot resurrect the old name (or
+    // drop the new one).  Failure here is not fatal — the record is
+    // already complete and visible; the directory entry merely isn't
+    // guaranteed durable yet.
+    const std::string dir = target.parent_path().empty()
+        ? std::string(".")
+        : target.parent_path().string();
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
     }
     return true;
 }

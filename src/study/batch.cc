@@ -11,13 +11,19 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <map>
 #include <ostream>
 #include <sstream>
 
 #include "chip/report_writer.hh"
+#include "common/cancel.hh"
 #include "common/instrument.hh"
+#include "common/journal.hh"
+#include "common/json_value.hh"
 #include "common/logging.hh"
 #include "study/eval_core.hh"
 
@@ -253,6 +259,179 @@ writeTextFile(const std::string &path, const std::string &text)
     fatalIf(!f, "error writing " + path);
 }
 
+// ---------------------------------------------------------------------
+// Progress journal (schema "mcpat-batch-journal-v1")
+// ---------------------------------------------------------------------
+
+/**
+ * Emit a double with max_digits10 significant digits so the value a
+ * resumed run parses back is bit-identical to the one recorded — the
+ * summary CSV's figures must not drift through the journal round trip.
+ */
+void
+jsonFullDouble(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    std::ostringstream tmp;
+    tmp.precision(std::numeric_limits<double>::max_digits10);
+    tmp << v;
+    os << tmp.str();
+}
+
+/** The journal's header record: what produced it, under what options. */
+std::string
+journalHeaderPayload(const std::string &listFile, const BatchOptions &opts)
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"mcpat-batch-journal-v1\", \"list\": \""
+       << jsonEscapeString(listFile) << "\", \"list_checksum\": \""
+       << instr::fileChecksumHex(listFile) << "\", \"strict\": "
+       << (opts.strict ? "true" : "false") << ", \"json\": "
+       << (opts.writeJson ? "true" : "false") << ", \"csv\": "
+       << (opts.writeCsv ? "true" : "false") << "}";
+    return os.str();
+}
+
+/** One completed item as a single-line journal payload. */
+std::string
+journalItemPayload(const BatchItemResult &item)
+{
+    std::ostringstream os;
+    os << "{\"type\": \"item\", \"name\": \""
+       << jsonEscapeString(item.name) << "\", \"input\": \""
+       << jsonEscapeString(item.input) << "\", \"ok\": "
+       << (item.ok ? "true" : "false") << ", \"error\": \""
+       << jsonEscapeString(item.error) << "\", \"area\": ";
+    jsonFullDouble(os, item.area);
+    os << ", \"peak_w\": ";
+    jsonFullDouble(os, item.peakPower);
+    os << ", \"runtime_w\": ";
+    jsonFullDouble(os, item.runtimePower);
+    os << ", \"load_s\": ";
+    jsonFullDouble(os, item.loadSeconds);
+    os << ", \"assemble_s\": ";
+    jsonFullDouble(os, item.assembleSeconds);
+    os << ", \"report_s\": ";
+    jsonFullDouble(os, item.reportSeconds);
+    os << ", \"wall_s\": ";
+    jsonFullDouble(os, item.wallSeconds);
+    os << ", \"diagnostics\": [";
+    bool first = true;
+    for (const auto &d : item.diagnostics) {
+        os << (first ? "" : ", ") << "{\"severity\": \""
+           << severityName(d.severity) << "\", \"component\": \""
+           << jsonEscapeString(d.component) << "\", \"key\": \""
+           << jsonEscapeString(d.key) << "\", \"line\": " << d.line
+           << ", \"message\": \"" << jsonEscapeString(d.message)
+           << "\"}";
+        first = false;
+    }
+    os << "]}";
+    return os.str();
+}
+
+/** Reconstruct an item from a journal payload; false on mismatch. */
+bool
+parseJournalItem(const std::string &payload, BatchItemResult &item)
+{
+    common::JsonValue v;
+    if (!common::jsonParse(payload, v) || !v.isObject() ||
+        v.getString("type") != "item")
+        return false;
+    item.name = v.getString("name");
+    item.input = v.getString("input");
+    if (item.name.empty() || item.input.empty())
+        return false;
+    item.ok = v.getBool("ok");
+    item.error = v.getString("error");
+    item.area = v.getNumber("area");
+    item.peakPower = v.getNumber("peak_w");
+    item.runtimePower = v.getNumber("runtime_w");
+    item.loadSeconds = v.getNumber("load_s");
+    item.assembleSeconds = v.getNumber("assemble_s");
+    item.reportSeconds = v.getNumber("report_s");
+    item.wallSeconds = v.getNumber("wall_s");
+    if (const common::JsonValue *diags = v.find("diagnostics")) {
+        if (!diags->isArray())
+            return false;
+        for (const auto &d : diags->array) {
+            item.diagnostics.add(
+                d.getString("severity") == "error" ? Severity::Error
+                                                   : Severity::Warning,
+                d.getString("component"), d.getString("key"),
+                d.getString("message"),
+                static_cast<int>(d.getNumber("line")));
+        }
+    }
+    return true;
+}
+
+/**
+ * Journal records completed in an earlier run, keyed by output stem
+ * (the stem is a pure function of list order, so it identifies the
+ * same work item across runs; the input path is re-checked at replay).
+ */
+std::map<std::string, BatchItemResult>
+loadReplayableItems(const std::string &journalPath,
+                    const std::string &listFile, const BatchOptions &opts,
+                    std::ostream &log)
+{
+    std::map<std::string, BatchItemResult> replay;
+    const common::JournalContents j = common::readJournal(journalPath);
+    if (j.tailCorrupt) {
+        log << "batch: warning: journal '" << journalPath
+            << "' has a corrupt tail (" << j.droppedLines
+            << " line(s) dropped); affected items will be "
+               "re-evaluated\n";
+    }
+    if (j.records.empty())
+        return replay;
+
+    common::JsonValue hdr;
+    const bool header_ok = common::jsonParse(j.records.front(), hdr) &&
+        hdr.getString("schema") == "mcpat-batch-journal-v1" &&
+        hdr.getString("list_checksum") ==
+            instr::fileChecksumHex(listFile) &&
+        hdr.getBool("strict") == opts.strict &&
+        hdr.getBool("json") == opts.writeJson &&
+        hdr.getBool("csv") == opts.writeCsv;
+    if (!header_ok) {
+        log << "batch: warning: journal '" << journalPath
+            << "' does not match this run (different list or options); "
+               "starting fresh\n";
+        return replay;
+    }
+    for (std::size_t i = 1; i < j.records.size(); ++i) {
+        BatchItemResult item;
+        if (parseJournalItem(j.records[i], item))
+            replay[item.name] = std::move(item);  // last record wins
+    }
+    return replay;
+}
+
+/**
+ * True when every report file the recorded item claims to have written
+ * is still on disk — a replayed "ok" must not point at missing output.
+ */
+bool
+replayOutputsPresent(const BatchItemResult &item, const BatchOptions &opts,
+                     const fs::path &out_base)
+{
+    if (!item.ok)
+        return true;  // a failed item wrote no reports to lose
+    std::error_code ec;
+    if (opts.writeJson &&
+        !fs::is_regular_file(out_base.string() + ".json", ec))
+        return false;
+    if (opts.writeCsv &&
+        !fs::is_regular_file(out_base.string() + ".csv", ec))
+        return false;
+    return true;
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -294,10 +473,49 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
                 "'");
 
     BatchResult result;
+
+    // Progress journal: records from a matching earlier run are
+    // replayed; everything else is evaluated and journaled as it
+    // completes, so the *next* resume skips it.
+    const std::string journal_path = opts.journalPath.empty()
+        ? (fs::path(opts.outputDir) / "batch_journal.jsonl").string()
+        : opts.journalPath;
+    std::map<std::string, BatchItemResult> replay;
+    if (opts.resume)
+        replay = loadReplayableItems(journal_path, listFile, opts, log);
+
+    common::JournalWriter journal;
+    std::string journal_error;
+    bool journal_warned = false;
+    if (journal.open(journal_path, /*truncate=*/replay.empty(),
+                     &journal_error)) {
+        result.journalPath = journal_path;
+        if (replay.empty() &&
+            !journal.append(journalHeaderPayload(listFile, opts))) {
+            journal_warned = true;
+            log << "batch: warning: cannot write journal header to '"
+                << journal_path << "'; resume will not be available\n";
+            journal.close();
+            result.journalPath.clear();
+        }
+    } else {
+        journal_warned = true;
+        log << "batch: warning: " << journal_error
+            << "; resume will not be available\n";
+    }
+
     std::vector<std::string> used_stems;
     const auto batch_t0 = std::chrono::steady_clock::now();
     instr::ProgressMeter progress("batch", configs.size());
     for (const auto &input : configs) {
+        if (cancel::stopRequested()) {
+            result.interruptedSignal =
+                cancel::stopSignal() ? cancel::stopSignal() : SIGINT;
+            log << "batch: interrupted before '" << input
+                << "'; flushing completed results\n";
+            break;
+        }
+
         BatchItemResult item;
         item.input = input;
         item.name = uniqueStem(input, used_stems);
@@ -305,11 +523,38 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
         const auto item_t0 = std::chrono::steady_clock::now();
         MCPAT_SPAN("batch.item", item.name);
 
+        // Replay a journaled result when it names the same input and
+        // its report files survived; otherwise fall through and
+        // re-evaluate (the new record supersedes the old one).
+        const auto rep = replay.find(item.name);
+        if (rep != replay.end() && rep->second.input == input &&
+            replayOutputsPresent(rep->second, opts, out_base)) {
+            item = rep->second;
+            if (item.ok) {
+                if (opts.writeJson)
+                    item.jsonPath = out_base.string() + ".json";
+                if (opts.writeCsv)
+                    item.csvPath = out_base.string() + ".csv";
+            } else {
+                ++result.failures;
+            }
+            writeDiagnosticSidecars(item, opts, out_base);
+            ++result.resumed;
+            log << "batch: " << input << ": resumed ("
+                << (item.ok ? "ok" : "failed") << ")\n";
+            result.items.push_back(std::move(item));
+            progress.tick();
+            if (!result.items.back().ok && opts.stopOnError)
+                break;
+            continue;
+        }
+
         EvalRequest req;
         req.configPath = input;
         req.strict = opts.strict;
         req.wantReportJson = opts.writeJson;
         req.wantReportCsv = opts.writeCsv;
+        req.timeoutMs = opts.evalTimeoutMs;
         EvalResult ev = evaluate(req);
 
         item.diagnostics = std::move(ev.diagnostics);
@@ -353,18 +598,47 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
         }
         item.wallSeconds = secondsSince(item_t0);
         writeDiagnosticSidecars(item, opts, out_base);
+
+        if (ev.interrupted) {
+            // The in-flight item was unwound by a stop request: record
+            // it in this run's summary but NOT in the journal, so a
+            // resume re-evaluates it from scratch.
+            result.interruptedSignal =
+                cancel::stopSignal() ? cancel::stopSignal() : SIGINT;
+            result.items.push_back(std::move(item));
+            progress.tick();
+            break;
+        }
+
+        // Timeouts *are* journaled: the deadline is deterministic
+        // policy, so a resume under the same options keeps the
+        // recorded failure instead of burning the budget again.
+        if (journal.isOpen() &&
+            !journal.append(journalItemPayload(item)) &&
+            !journal_warned) {
+            journal_warned = true;
+            log << "batch: warning: cannot append to journal '"
+                << journal_path
+                << "'; resume may re-evaluate recent items\n";
+        }
+
         result.items.push_back(std::move(item));
         progress.tick();
         if (!result.items.back().ok && opts.stopOnError)
             break;
     }
+    journal.close();
     result.wallSeconds = secondsSince(batch_t0);
 
     result.cacheStats = array::ArrayResultCache::instance().stats();
     log << "batch summary: " << result.items.size() << " configs, "
         << (result.items.size() - result.failures) << " ok, "
-        << result.failures << " failed in "
-        << 1e3 * result.wallSeconds << " ms\n";
+        << result.failures << " failed";
+    if (result.resumed)
+        log << " (" << result.resumed << " resumed)";
+    if (result.interruptedSignal)
+        log << ", interrupted by signal " << result.interruptedSignal;
+    log << " in " << 1e3 * result.wallSeconds << " ms\n";
     array::reportCacheStats(log);
 
     if (opts.writeSummaryCsv)

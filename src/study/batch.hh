@@ -58,6 +58,30 @@ struct BatchOptions
      * The CLI's -metrics_out in batch mode.
      */
     std::string metricsOut;
+
+    /**
+     * Resume from the progress journal of an earlier interrupted run
+     * (the CLI's -resume).  Items the journal records as completed are
+     * replayed — their figures re-emitted, sidecars rewritten, report
+     * files verified on disk — instead of re-evaluated, so the final
+     * outputs match an uninterrupted run.  A journal whose header does
+     * not match this run (different list contents or options) is
+     * ignored with a warning and the batch starts fresh.
+     */
+    bool resume = false;
+
+    /**
+     * Wall-clock budget per input, milliseconds; <= 0 means unbounded
+     * (the CLI's -eval_timeout_ms).  A blown budget fails that item
+     * with a structured timeout error; the batch continues.
+     */
+    double evalTimeoutMs = 0.0;
+
+    /**
+     * Progress journal path; empty uses
+     * <outputDir>/batch_journal.jsonl.
+     */
+    std::string journalPath;
 };
 
 /** Outcome of one configuration in the batch. */
@@ -122,7 +146,23 @@ struct BatchResult
     /** Written aggregated manifest path, empty when not written. */
     std::string metricsPath;
 
-    bool ok() const { return failures == 0 && !items.empty(); }
+    /** Items replayed from the journal instead of re-evaluated. */
+    std::size_t resumed = 0;
+
+    /**
+     * The stop signal (SIGINT/SIGTERM) that cut the batch short; 0
+     * when it ran to completion.  Completed items were flushed and
+     * journaled before returning; the front end exits 128+signal.
+     */
+    int interruptedSignal = 0;
+
+    /** Journal path in use; empty when journaling was unavailable. */
+    std::string journalPath;
+
+    bool ok() const
+    {
+        return failures == 0 && interruptedSignal == 0 && !items.empty();
+    }
 };
 
 /**

@@ -9,8 +9,10 @@
 #include <sstream>
 
 #include "array/array_cache.hh"
+#include "chip/invariant_audit.hh"
 #include "chip/processor.hh"
 #include "chip/report_writer.hh"
+#include "common/cancel.hh"
 #include "common/instrument.hh"
 #include "common/serialize.hh"
 #include "config/xml_loader.hh"
@@ -72,7 +74,17 @@ evaluate(const EvalRequest &req)
     const std::string source =
         !req.configPath.empty() ? req.configPath : "<inline>";
     MCPAT_SPAN("eval.request", source);
+
+    // Scope this request under its own token: the deadline bounds only
+    // this evaluation, while the parent link keeps an enclosing scope's
+    // cancellation (e.g. a sweep being interrupted) visible downstream.
+    cancel::CancelToken token;
+    token.setDeadlineIn(req.timeoutMs);
+    token.setParent(cancel::current());
+    cancel::ScopedCurrent scope(&token);
+
     try {
+        cancel::checkpoint();
         if (req.configPath.empty() == req.configXml.empty()) {
             throw ConfigError(req.configPath.empty()
                 ? "request carries neither a config path nor inline XML"
@@ -94,18 +106,33 @@ evaluate(const EvalRequest &req)
                 " validation warning(s) for '" + source + "'");
         }
         result.loadSeconds = secondsSince(t0);
+        cancel::checkpoint();
 
         const auto assemble_t0 = std::chrono::steady_clock::now();
         chip::Processor proc(loaded.system);
         const stats::ChipStats rt =
             config::loadChipStats(root, loaded.system);
         result.assembleSeconds = secondsSince(assemble_t0);
+        cancel::checkpoint();
 
         const auto report_t0 = std::chrono::steady_clock::now();
         result.report = proc.makeReport(rt);
         result.area = result.report.area;
         result.peakPower = result.report.peakPower();
         result.runtimePower = result.report.runtimePower();
+
+        // Post-assembly physical-invariant audit: a model bug that
+        // yields negative leakage or a child outweighing its parent
+        // must surface as a located diagnostic, not ship silently.
+        DiagnosticList audit = chip::auditReport(result.report);
+        const std::size_t violations = audit.size();
+        result.diagnostics.merge(std::move(audit));
+        if (req.strict && violations > 0) {
+            throw ConfigError(
+                "strict mode: " + std::to_string(violations) +
+                " physical-invariant violation(s) for '" + source +
+                "'");
+        }
 
         if (req.wantReportJson) {
             std::ostringstream js;
@@ -119,6 +146,11 @@ evaluate(const EvalRequest &req)
         }
         result.reportSeconds = secondsSince(report_t0);
         result.ok = true;
+    } catch (const cancel::Cancelled &e) {
+        result.ok = false;
+        result.error = e.what();
+        result.timedOut = e.kind() == cancel::Kind::Timeout;
+        result.interrupted = e.kind() == cancel::Kind::Interrupt;
     } catch (const ValidationError &e) {
         // Keep the per-key context: when the throw came from the
         // request's own merged list (cross-field errors) the

@@ -61,6 +61,14 @@ struct EvalRequest
      * cache counters.  Schema "mcpat-eval-manifest-v1".
      */
     bool wantManifest = false;
+
+    /**
+     * Wall-clock budget for this evaluation, milliseconds; <= 0 means
+     * unbounded.  A blown budget unwinds at the next cancellation
+     * checkpoint and comes back as ok == false with timedOut set — the
+     * process (and a server's other workers) keep running.
+     */
+    double timeoutMs = 0.0;
 };
 
 /** Everything one evaluation produced. */
@@ -68,6 +76,12 @@ struct EvalResult
 {
     bool ok = false;
     std::string error;  ///< failure reason when !ok
+
+    /** The request blew its timeoutMs budget (implies !ok). */
+    bool timedOut = false;
+
+    /** A process-wide stop (SIGINT/SIGTERM) unwound the evaluation. */
+    bool interrupted = false;
 
     /** Every validation diagnostic the request produced. */
     DiagnosticList diagnostics;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "array/array_cache.hh"
+#include "common/cancel.hh"
 #include "common/diagnostics.hh"
 #include "common/json_value.hh"
 #include "common/net.hh"
@@ -93,6 +94,15 @@ fnv1a(const std::string &s)
  * cannot be read — such requests bypass the cache so their error
  * diagnostics reflect the current filesystem state.
  */
+/** Milliseconds on the steady clock (inflight-age bookkeeping). */
+std::int64_t
+steadyNowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 std::string
 resultCacheKey(const EvalRequest &er)
 {
@@ -125,6 +135,7 @@ struct EvalServer::Impl
     net::ServerSocket listener;
 
     std::thread acceptThread;
+    std::thread watchdogThread;
     std::vector<std::thread> workers;
 
     std::mutex mutex;
@@ -141,6 +152,35 @@ struct EvalServer::Impl
     std::atomic<std::uint64_t> failed{0};
     std::atomic<std::uint64_t> malformed{0};
     std::atomic<std::uint64_t> resultHits{0};
+    std::atomic<std::uint64_t> timeouts{0};
+
+    /** Server start time (steady ms) for the health report's uptime. */
+    std::int64_t startMs = 0;
+
+    /**
+     * Per-worker in-flight request start times (steady ms; 0 = idle),
+     * written by the worker around each request and read lock-free by
+     * the watchdog and the health command.
+     */
+    std::unique_ptr<std::atomic<std::int64_t>[]> inflightStartMs;
+    std::size_t workerCount = 0;
+
+    /** Count of busy workers and the oldest in-flight age (ms). */
+    void
+    inflightSnapshot(std::size_t &inflight, std::int64_t &oldest_ms)
+    {
+        inflight = 0;
+        oldest_ms = 0;
+        const std::int64_t now = steadyNowMs();
+        for (std::size_t i = 0; i < workerCount; ++i) {
+            const std::int64_t t0 =
+                inflightStartMs[i].load(std::memory_order_relaxed);
+            if (t0 > 0) {
+                ++inflight;
+                oldest_ms = std::max(oldest_ms, now - t0);
+            }
+        }
+    }
 
     // Warmest tier: identical request -> previously rendered result.
     // Shared across all connections; FIFO eviction keeps it bounded.
@@ -252,7 +292,7 @@ struct EvalServer::Impl
     // Worker: serve one connection at a time, one request per line.
     // -----------------------------------------------------------------
     void
-    workerLoop()
+    workerLoop(std::size_t worker_index)
     {
         for (;;) {
             int fd = -1;
@@ -266,12 +306,12 @@ struct EvalServer::Impl
                 fd = pending.front();
                 pending.pop_front();
             }
-            serveConnection(fd);
+            serveConnection(fd, worker_index);
         }
     }
 
     void
-    serveConnection(int fd)
+    serveConnection(int fd, std::size_t worker_index)
     {
         net::Connection conn(fd);
         std::string line;
@@ -288,8 +328,51 @@ struct EvalServer::Impl
                 continue;
             if (line.find_first_not_of(" \t\r") == std::string::npos)
                 continue;  // blank keep-alive line
-            if (!conn.writeAll(handleRequest(line)))
+            inflightStartMs[worker_index].store(
+                steadyNowMs(), std::memory_order_relaxed);
+            const std::string reply = handleRequest(line);
+            inflightStartMs[worker_index].store(
+                0, std::memory_order_relaxed);
+            if (!conn.writeAll(reply))
                 return;  // peer went away mid-reply
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Watchdog: cooperative deadlines do the actual unwinding; this
+    // thread only *observes*, logging when a request has been in
+    // flight suspiciously long (a config that dodges every checkpoint,
+    // or a stuck filesystem) so operators see the hang instead of a
+    // silently absent reply.
+    // -----------------------------------------------------------------
+    void
+    watchdogLoop()
+    {
+        // Flag requests outliving 3x the configured deadline (or 30 s
+        // when unbounded); re-warn at most every 5 s per incident.
+        const std::int64_t limit_ms = opts.evalTimeoutMs > 0.0
+            ? static_cast<std::int64_t>(3.0 * opts.evalTimeoutMs)
+            : 30000;
+        std::int64_t last_warn_ms = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                if (stoppedCv.wait_for(lock,
+                                       std::chrono::milliseconds(500),
+                                       [&] { return stopping; }))
+                    return;
+            }
+            std::size_t inflight;
+            std::int64_t oldest;
+            inflightSnapshot(inflight, oldest);
+            const std::int64_t now = steadyNowMs();
+            if (oldest > limit_ms && now - last_warn_ms > 5000) {
+                last_warn_ms = now;
+                logLine("watchdog: a request has been in flight for " +
+                        std::to_string(oldest) + " ms (limit " +
+                        std::to_string(limit_ms) + " ms); " +
+                        std::to_string(inflight) + " worker(s) busy");
+            }
         }
     }
 
@@ -347,6 +430,7 @@ struct EvalServer::Impl
                << ", \"served\": " << served.load()
                << ", \"failed\": " << failed.load()
                << ", \"malformed\": " << malformed.load()
+               << ", \"timeouts\": " << timeouts.load()
                << ", \"queue_depth\": " << depth
                << ", \"workers\": " << workers.size()
                << ", \"result_cache_hits\": " << resultHits.load()
@@ -356,6 +440,29 @@ struct EvalServer::Impl
                << ", \"cache_disk_hits\": " << cache.diskHits
                << ", \"cache_disk_misses\": " << cache.diskMisses
                << "}}\n";
+            return os.str();
+        }
+        if (cmd == "health") {
+            served.fetch_add(1, std::memory_order_relaxed);
+            std::size_t depth;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                depth = pending.size();
+            }
+            std::size_t inflight;
+            std::int64_t oldest;
+            inflightSnapshot(inflight, oldest);
+            std::ostringstream os;
+            os << "{\"status\": 200, \"ok\": true, \"health\": {"
+               << "\"queue_depth\": " << depth
+               << ", \"inflight\": " << inflight
+               << ", \"workers\": " << workerCount
+               << ", \"oldest_request_ms\": " << oldest
+               << ", \"uptime_ms\": " << (steadyNowMs() - startMs)
+               << ", \"timeouts\": " << timeouts.load()
+               << ", \"eval_timeout_ms\": ";
+            jsonNumber(os, opts.evalTimeoutMs);
+            os << "}}\n";
             return os.str();
         }
         if (cmd == "sleep") {
@@ -402,6 +509,15 @@ struct EvalServer::Impl
         er.wantReportJson = req.getBool("report", true);
         er.wantReportCsv = req.getBool("csv", false);
         er.wantManifest = req.getBool("manifest", false);
+        // The server's deadline is policy; a request can only tighten
+        // it, never buy itself more time than the operator allowed.
+        const double req_timeout = req.getNumber("timeout_ms", 0.0);
+        er.timeoutMs = opts.evalTimeoutMs;
+        if (req_timeout > 0.0) {
+            er.timeoutMs = er.timeoutMs > 0.0
+                ? std::min(er.timeoutMs, req_timeout)
+                : req_timeout;
+        }
         const std::string id = req.getString("id");
 
         if (er.configPath.empty() && er.configXml.empty()) {
@@ -430,17 +546,32 @@ struct EvalServer::Impl
         }
         const EvalResult &result = *entry;
 
+        // Status: 200 ok, 504 deadline exceeded, 503 unwound by server
+        // shutdown, 422 invalid configuration.
+        int status = 200;
+        if (!result.ok)
+            status = result.timedOut ? 504
+                   : result.interrupted ? 503
+                                        : 422;
+
         std::ostringstream os;
         os << "{";
         if (!id.empty())
             os << "\"id\": \"" << jsonEscapeString(id) << "\", ";
-        os << "\"status\": " << (result.ok ? 200 : 422)
+        os << "\"status\": " << status
            << ", \"ok\": " << (result.ok ? "true" : "false")
            << ", \"cached\": " << (hit ? "true" : "false");
         if (!result.ok) {
-            failed.fetch_add(1, std::memory_order_relaxed);
+            if (result.timedOut)
+                timeouts.fetch_add(1, std::memory_order_relaxed);
+            else
+                failed.fetch_add(1, std::memory_order_relaxed);
             os << ", \"error\": \"" << jsonEscapeString(result.error)
                << "\"";
+            if (result.timedOut) {
+                os << ", \"timed_out\": true, \"timeout_ms\": ";
+                jsonNumber(os, er.timeoutMs);
+            }
         } else {
             served.fetch_add(1, std::memory_order_relaxed);
             os << ", \"area_mm2\": ";
@@ -514,10 +645,17 @@ EvalServer::start(const ServerOptions &opts, std::ostream &log,
     im.logLine("listening on " + im.listener.endpointName() + " (" +
                std::to_string(workers) + " workers, queue " +
                std::to_string(opts.maxQueue) + ")");
+    im.startMs = steadyNowMs();
+    im.workerCount = static_cast<std::size_t>(workers);
+    im.inflightStartMs =
+        std::make_unique<std::atomic<std::int64_t>[]>(im.workerCount);
+    for (std::size_t i = 0; i < im.workerCount; ++i)
+        im.inflightStartMs[i].store(0, std::memory_order_relaxed);
     im.acceptThread = std::thread([&im] { im.acceptLoop(); });
-    im.workers.reserve(static_cast<std::size_t>(workers));
-    for (int i = 0; i < workers; ++i)
-        im.workers.emplace_back([&im] { im.workerLoop(); });
+    im.watchdogThread = std::thread([&im] { im.watchdogLoop(); });
+    im.workers.reserve(im.workerCount);
+    for (std::size_t i = 0; i < im.workerCount; ++i)
+        im.workers.emplace_back([&im, i] { im.workerLoop(i); });
     return true;
 }
 
@@ -562,6 +700,8 @@ EvalServer::stop()
         return;
     if (im.acceptThread.joinable())
         im.acceptThread.join();
+    if (im.watchdogThread.joinable())
+        im.watchdogThread.join();
     for (auto &w : im.workers)
         if (w.joinable())
             w.join();
@@ -603,6 +743,7 @@ EvalServer::stats() const
     s.failed = _impl->failed.load(std::memory_order_relaxed);
     s.malformed = _impl->malformed.load(std::memory_order_relaxed);
     s.resultHits = _impl->resultHits.load(std::memory_order_relaxed);
+    s.timeouts = _impl->timeouts.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -614,9 +755,13 @@ namespace {
 std::atomic<bool> g_signalStop{false};
 
 extern "C" void
-serveSignalHandler(int)
+serveSignalHandler(int sig)
 {
     g_signalStop.store(true, std::memory_order_relaxed);
+    // Also trip the process-wide cooperative-cancel flag (one atomic
+    // store, async-signal-safe) so in-flight evaluations unwind at
+    // their next checkpoint instead of delaying shutdown.
+    cancel::requestStop(sig);
 }
 
 } // namespace

@@ -28,9 +28,13 @@
  *  - "csv":        include the CSV report (default false)
  *  - "manifest":   include the per-request instrumentation manifest
  *                  (default false)
+ *  - "timeout_ms": wall-clock budget for this evaluation; combined
+ *                  with the server's -eval_timeout_ms (the smaller of
+ *                  the two wins when both are set)
  *
  * Response fields: "status" (HTTP-flavored: 200 ok, 400 malformed
- * request, 422 invalid configuration, 503 overloaded), "ok", "error",
+ * request, 422 invalid configuration, 503 overloaded or shutting
+ * down, 504 evaluation deadline exceeded), "ok", "error",
  * "diagnostics" (located, when any), headline figures ("area_mm2",
  * "peak_w", "runtime_w"), "timing_ms", and — because the canonical
  * report document is multi-line while responses must stay
@@ -42,6 +46,8 @@
  * computation, not this request).
  *
  * Control commands: {"cmd": "ping"}, {"cmd": "stats"},
+ * {"cmd": "health"} (liveness view: queue depth, in-flight request
+ * count and oldest age, uptime, timeout counters),
  * {"cmd": "sleep", "ms": N} (testing aid), {"cmd": "shutdown"}.
  *
  * ## Admission control and isolation
@@ -90,6 +96,15 @@ struct ServerOptions
     bool strictDefault = false;
 
     /**
+     * Default per-evaluation wall-clock budget, milliseconds; <= 0
+     * means unbounded.  A request's own "timeout_ms" can only tighten
+     * it.  A blown budget unwinds cooperatively and answers that
+     * request with a structured 504 — the worker and the server keep
+     * serving.
+     */
+    double evalTimeoutMs = 0.0;
+
+    /**
      * Warmest cache tier: completed evaluations kept verbatim, keyed
      * by config *content* checksum (plus the request's strict/artifact
      * flags), so a repeated identical request is answered without
@@ -110,6 +125,7 @@ struct ServerStats
     std::uint64_t failed = 0;     ///< eval requests answered with 422
     std::uint64_t malformed = 0;  ///< requests answered with 400
     std::uint64_t resultHits = 0; ///< evals served from the result cache
+    std::uint64_t timeouts = 0;   ///< evals answered with 504
 };
 
 /**

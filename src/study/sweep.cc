@@ -7,9 +7,16 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
+#include <mutex>
+#include <sstream>
 
 #include "chip/processor.hh"
+#include "common/cancel.hh"
+#include "common/diagnostics.hh"
 #include "common/instrument.hh"
+#include "common/journal.hh"
+#include "common/json_value.hh"
 #include "common/parallel.hh"
 
 namespace mcpat {
@@ -156,6 +163,7 @@ DesignPointResult
 evaluateDesignPoint(const CaseStudyConfig &cfg, double work)
 {
     MCPAT_SPAN("sweep.design_point", cfg.label());
+    cancel::checkpoint();
     DesignPointResult result;
     result.config = cfg;
 
@@ -170,6 +178,7 @@ evaluateDesignPoint(const CaseStudyConfig &cfg, double work)
     const auto &workloads = perf::splash2Workloads();
     result.workloads.resize(workloads.size());
     parallel::parallelFor(workloads.size(), [&](std::size_t i) {
+        cancel::checkpoint();
         const perf::Workload &w = workloads[i];
         WorkloadResult wr;
         wr.workload = w.name;
@@ -208,11 +217,9 @@ evaluateDesignPoint(const CaseStudyConfig &cfg, double work)
     return result;
 }
 
-std::vector<DesignPointResult>
-runCaseStudy(double work)
+std::vector<CaseStudyConfig>
+caseStudyConfigs()
 {
-    // Design points are independent; evaluate them in parallel into
-    // ordered slots (the result vector keeps the serial sweep order).
     std::vector<CaseStudyConfig> configs;
     for (CoreStyle style :
          {CoreStyle::InOrderMT, CoreStyle::OutOfOrder}) {
@@ -223,13 +230,136 @@ runCaseStudy(double work)
             configs.push_back(cfg);
         }
     }
+    return configs;
+}
+
+namespace {
+
+/** Full-precision JSON number (null for non-finite). */
+void
+sweepJsonDouble(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    std::ostringstream tmp;
+    tmp.precision(std::numeric_limits<double>::max_digits10);
+    tmp << v;
+    os << tmp.str();
+}
+
+/** One completed design point as a journal payload (aggregates only:
+ *  per-workload detail is cheap to reconstruct and expensive to
+ *  serialize faithfully, so resume trades it away explicitly). */
+std::string
+sweepItemPayload(const DesignPointResult &r, double work)
+{
+    std::ostringstream os;
+    os << "{\"type\": \"point\", \"label\": \""
+       << jsonEscapeString(r.config.label()) << "\", \"work\": ";
+    sweepJsonDouble(os, work);
+    os << ", \"area\": ";
+    sweepJsonDouble(os, r.area);
+    os << ", \"tdp\": ";
+    sweepJsonDouble(os, r.tdp);
+    os << ", \"mean_throughput\": ";
+    sweepJsonDouble(os, r.meanThroughput);
+    os << ", \"mean_power\": ";
+    sweepJsonDouble(os, r.meanPower);
+    os << ", \"ed\": ";
+    sweepJsonDouble(os, r.meanMetrics.ed);
+    os << ", \"ed2\": ";
+    sweepJsonDouble(os, r.meanMetrics.ed2);
+    os << ", \"eda\": ";
+    sweepJsonDouble(os, r.meanMetrics.eda);
+    os << ", \"ed2a\": ";
+    sweepJsonDouble(os, r.meanMetrics.ed2a);
+    os << "}";
+    return os.str();
+}
+
+} // namespace
+
+std::vector<DesignPointResult>
+evaluateDesignPoints(const std::vector<CaseStudyConfig> &configs,
+                     double work, const SweepJournalOptions &journal_opts)
+{
+    // Replayable aggregates from an earlier interrupted sweep, keyed
+    // by design-point label.
+    std::map<std::string, DesignPointResult> replay;
+    if (journal_opts.resume && !journal_opts.path.empty()) {
+        const common::JournalContents j =
+            common::readJournal(journal_opts.path);
+        bool header_ok = false;
+        if (!j.records.empty()) {
+            common::JsonValue hdr;
+            header_ok = common::jsonParse(j.records.front(), hdr) &&
+                hdr.getString("schema") == "mcpat-sweep-journal-v1" &&
+                hdr.getNumber("work") == work;
+        }
+        if (header_ok) {
+            for (std::size_t i = 1; i < j.records.size(); ++i) {
+                common::JsonValue v;
+                if (!common::jsonParse(j.records[i], v) ||
+                    v.getString("type") != "point")
+                    continue;
+                DesignPointResult r;
+                r.area = v.getNumber("area");
+                r.tdp = v.getNumber("tdp");
+                r.meanThroughput = v.getNumber("mean_throughput");
+                r.meanPower = v.getNumber("mean_power");
+                r.meanMetrics.ed = v.getNumber("ed");
+                r.meanMetrics.ed2 = v.getNumber("ed2");
+                r.meanMetrics.eda = v.getNumber("eda");
+                r.meanMetrics.ed2a = v.getNumber("ed2a");
+                replay[v.getString("label")] = std::move(r);
+            }
+        }
+    }
+
+    common::JournalWriter journal;
+    std::mutex journal_mutex;
+    if (!journal_opts.path.empty() &&
+        journal.open(journal_opts.path, /*truncate=*/replay.empty())) {
+        if (replay.empty()) {
+            std::ostringstream hdr;
+            hdr << "{\"schema\": \"mcpat-sweep-journal-v1\", "
+                   "\"work\": ";
+            sweepJsonDouble(hdr, work);
+            hdr << "}";
+            journal.append(hdr.str());
+        }
+    }
+
     std::vector<DesignPointResult> results(configs.size());
     instr::ProgressMeter progress("sweep", configs.size());
     parallel::parallelFor(configs.size(), [&](std::size_t i) {
-        results[i] = evaluateDesignPoint(configs[i], work);
+        const auto rep = replay.find(configs[i].label());
+        if (rep != replay.end()) {
+            results[i] = rep->second;
+            results[i].config = configs[i];
+        } else {
+            results[i] = evaluateDesignPoint(configs[i], work);
+            if (journal.isOpen()) {
+                // Appends interleave across worker threads; the writer
+                // is not internally synchronized.
+                std::lock_guard<std::mutex> lock(journal_mutex);
+                journal.append(sweepItemPayload(results[i], work));
+            }
+        }
         progress.tick();
     });
     return results;
+}
+
+std::vector<DesignPointResult>
+runCaseStudy(double work)
+{
+    // Design points are independent; evaluate them in parallel into
+    // ordered slots (the result vector keeps the serial sweep order).
+    return evaluateDesignPoints(caseStudyConfigs(), work,
+                                SweepJournalOptions{});
 }
 
 } // namespace study

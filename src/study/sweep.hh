@@ -82,11 +82,43 @@ struct DesignPointResult
 /**
  * Evaluate one design point on all case-study workloads.
  *
+ * Polls the ambient cancellation token (common/cancel.hh) between
+ * workloads, so a deadline or stop request unwinds with
+ * cancel::Cancelled instead of running the sweep to completion.
+ *
  * @param work the fixed work per run, instructions (delay = work /
  *             throughput)
  */
 DesignPointResult evaluateDesignPoint(const CaseStudyConfig &cfg,
                                       double work = 1.0e12);
+
+/** The paper's design points: both core styles x clusters {1,2,4,8}. */
+std::vector<CaseStudyConfig> caseStudyConfigs();
+
+/** Journal controls for evaluateDesignPoints(). */
+struct SweepJournalOptions
+{
+    /** Journal file; empty disables journaling (and resume). */
+    std::string path;
+
+    /**
+     * Replay design points recorded in an existing journal.  Replayed
+     * points carry the journaled aggregates (area, TDP, mean
+     * throughput/power/metrics) with an empty per-workload vector;
+     * callers needing per-workload detail re-evaluate.
+     */
+    bool resume = false;
+};
+
+/**
+ * Evaluate @p configs in parallel, journaling each completed point
+ * (schema "mcpat-sweep-journal-v1", keyed by config label) so an
+ * interrupted sweep resumes without redoing finished points.  Results
+ * keep @p configs order.
+ */
+std::vector<DesignPointResult>
+evaluateDesignPoints(const std::vector<CaseStudyConfig> &configs,
+                     double work, const SweepJournalOptions &journal);
 
 /** The paper's sweep: both core styles x cluster sizes {1,2,4,8}. */
 std::vector<DesignPointResult> runCaseStudy(double work = 1.0e12);

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
@@ -185,6 +186,29 @@ TEST(Serialize, WriteFileAtomicCreatesAndReplaces)
     for (const auto &e : fs::directory_iterator(dir))
         files += e.is_regular_file();
     EXPECT_EQ(files, 1u);
+    fs::remove_all(dir);
+}
+
+TEST(DiskCache, OpenSweepsStaleTempFilesButSparesFreshOnes)
+{
+    const fs::path dir = scratchDir("tmpsweep");
+    fs::create_directories(dir);
+    // A crashed writer's dropping, aged past the sweep grace period...
+    const fs::path stale = dir / ".tmp.deadwriter";
+    std::ofstream(stale) << "partial";
+    fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(1));
+    // ...a concurrent writer's in-flight temp file (recent)...
+    const fs::path fresh = dir / ".tmp.inflight";
+    std::ofstream(fresh) << "partial";
+    // ...and a real record-like file that must never be touched.
+    const fs::path record = dir / "0123456789abcdef.bin";
+    std::ofstream(record) << "record";
+
+    array::ArrayDiskCache disk(dir.string());
+    EXPECT_FALSE(fs::exists(stale));
+    EXPECT_TRUE(fs::exists(fresh));
+    EXPECT_TRUE(fs::exists(record));
     fs::remove_all(dir);
 }
 

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Progress-journal tests: record framing round-trips, and every
+ * corruption mode — truncated tail, flipped bytes, foreign garbage —
+ * degrades to "re-evaluate the affected items", never to trusting a
+ * damaged record.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+#include "common/journal.hh"
+
+using namespace mcpat;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+scratchFile(const std::string &tag)
+{
+    static int counter = 0;
+    return (fs::temp_directory_path() /
+            ("mcpat_journal_" + tag + "_" + std::to_string(::getpid()) +
+             "_" + std::to_string(counter++) + ".jsonl"))
+        .string();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+TEST(Journal, RoundTripsRecordsInOrder)
+{
+    const std::string path = scratchFile("roundtrip");
+    {
+        common::JournalWriter w;
+        ASSERT_TRUE(w.open(path, /*truncate=*/true));
+        EXPECT_TRUE(w.append("{\"a\": 1}"));
+        EXPECT_TRUE(w.append("{\"b\": 2}"));
+        EXPECT_TRUE(w.append("plain text payloads work too"));
+    }
+    const common::JournalContents j = common::readJournal(path);
+    EXPECT_FALSE(j.tailCorrupt);
+    EXPECT_EQ(j.droppedLines, 0u);
+    ASSERT_EQ(j.records.size(), 3u);
+    EXPECT_EQ(j.records[0], "{\"a\": 1}");
+    EXPECT_EQ(j.records[1], "{\"b\": 2}");
+    EXPECT_EQ(j.records[2], "plain text payloads work too");
+    fs::remove(path);
+}
+
+TEST(Journal, AppendSurvivesReopen)
+{
+    const std::string path = scratchFile("reopen");
+    {
+        common::JournalWriter w;
+        ASSERT_TRUE(w.open(path, /*truncate=*/true));
+        EXPECT_TRUE(w.append("first"));
+    }
+    {
+        common::JournalWriter w;
+        ASSERT_TRUE(w.open(path, /*truncate=*/false));
+        EXPECT_TRUE(w.append("second"));
+    }
+    const common::JournalContents j = common::readJournal(path);
+    ASSERT_EQ(j.records.size(), 2u);
+    EXPECT_EQ(j.records[0], "first");
+    EXPECT_EQ(j.records[1], "second");
+
+    // truncate=true discards history (a fresh, non-resumed run).
+    {
+        common::JournalWriter w;
+        ASSERT_TRUE(w.open(path, /*truncate=*/true));
+        EXPECT_TRUE(w.append("fresh"));
+    }
+    const common::JournalContents j2 = common::readJournal(path);
+    ASSERT_EQ(j2.records.size(), 1u);
+    EXPECT_EQ(j2.records[0], "fresh");
+    fs::remove(path);
+}
+
+TEST(Journal, RejectsPayloadsWithEmbeddedNewlines)
+{
+    const std::string path = scratchFile("newline");
+    common::JournalWriter w;
+    ASSERT_TRUE(w.open(path, /*truncate=*/true));
+    EXPECT_FALSE(w.append("line one\nline two"));
+    EXPECT_FALSE(w.append("carriage\rreturn"));
+    EXPECT_TRUE(w.append("intact"));
+    w.close();
+    const common::JournalContents j = common::readJournal(path);
+    ASSERT_EQ(j.records.size(), 1u);
+    EXPECT_EQ(j.records[0], "intact");
+    fs::remove(path);
+}
+
+TEST(Journal, MissingFileReadsAsEmpty)
+{
+    const common::JournalContents j =
+        common::readJournal(scratchFile("missing"));
+    EXPECT_TRUE(j.records.empty());
+    EXPECT_FALSE(j.tailCorrupt);
+}
+
+TEST(Journal, TruncatedTailDropsOnlyTheLastRecord)
+{
+    const std::string path = scratchFile("truncated");
+    {
+        common::JournalWriter w;
+        ASSERT_TRUE(w.open(path, /*truncate=*/true));
+        EXPECT_TRUE(w.append("{\"n\": 1}"));
+        EXPECT_TRUE(w.append("{\"n\": 2}"));
+        EXPECT_TRUE(w.append("{\"n\": 3}"));
+    }
+    // Chop the file mid-way through the last record, the way a crash
+    // between write(2) and completion would.
+    std::string bytes = slurp(path);
+    fs::resize_file(path, bytes.size() - 5);
+
+    const common::JournalContents j = common::readJournal(path);
+    EXPECT_TRUE(j.tailCorrupt);
+    EXPECT_EQ(j.droppedLines, 1u);
+    ASSERT_EQ(j.records.size(), 2u);
+    EXPECT_EQ(j.records[0], "{\"n\": 1}");
+    EXPECT_EQ(j.records[1], "{\"n\": 2}");
+    fs::remove(path);
+}
+
+TEST(Journal, ChecksumMismatchStopsReplayAtTheDamage)
+{
+    const std::string path = scratchFile("flipped");
+    {
+        common::JournalWriter w;
+        ASSERT_TRUE(w.open(path, /*truncate=*/true));
+        EXPECT_TRUE(w.append("{\"n\": 1}"));
+        EXPECT_TRUE(w.append("{\"n\": 2}"));
+        EXPECT_TRUE(w.append("{\"n\": 3}"));
+    }
+    // Flip one payload byte in the middle record: its checksum no
+    // longer matches, and nothing after it can be trusted either.
+    std::string bytes = slurp(path);
+    const std::size_t pos = bytes.find("\"n\": 2");
+    ASSERT_NE(pos, std::string::npos);
+    bytes[pos + 5] = '9';
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << bytes;
+    }
+    const common::JournalContents j = common::readJournal(path);
+    EXPECT_TRUE(j.tailCorrupt);
+    EXPECT_EQ(j.droppedLines, 2u);
+    ASSERT_EQ(j.records.size(), 1u);
+    EXPECT_EQ(j.records[0], "{\"n\": 1}");
+    fs::remove(path);
+}
+
+TEST(Journal, ForeignGarbageLineIsNotARecord)
+{
+    const std::string path = scratchFile("garbage");
+    {
+        common::JournalWriter w;
+        ASSERT_TRUE(w.open(path, /*truncate=*/true));
+        EXPECT_TRUE(w.append("real record"));
+    }
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out << "this is not a journal line\n";
+    }
+    const common::JournalContents j = common::readJournal(path);
+    EXPECT_TRUE(j.tailCorrupt);
+    ASSERT_EQ(j.records.size(), 1u);
+    EXPECT_EQ(j.records[0], "real record");
+    fs::remove(path);
+}

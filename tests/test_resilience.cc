@@ -1,0 +1,713 @@
+/**
+ * @file
+ * Resilience tests: cooperative cancellation (deadlines, interrupts,
+ * parent chaining, the process-wide stop flag), the physical-invariant
+ * audit (clean on shipped configs, catches every seeded violation),
+ * and journaled batch resume — including the property that a run
+ * SIGKILLed mid-flight and resumed produces output byte-identical to
+ * an uninterrupted run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "chip/invariant_audit.hh"
+#include "common/cancel.hh"
+#include "common/journal.hh"
+#include "common/logging.hh"
+#include "study/batch.hh"
+#include "study/eval_core.hh"
+#include "study/sweep.hh"
+
+using namespace mcpat;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+findConfig(const std::string &name)
+{
+    for (const std::string prefix :
+         {"configs/", "../configs/", "../../configs/"}) {
+        std::ifstream f(prefix + name);
+        if (f.good())
+            return fs::absolute(prefix + name).string();
+    }
+    throw ConfigError("cannot find configs/" + name);
+}
+
+fs::path
+scratchDir(const std::string &tag)
+{
+    static int counter = 0;
+    const fs::path dir = fs::temp_directory_path() /
+        ("mcpat_resilience_" + tag + "_" + std::to_string(::getpid()) +
+         "_" + std::to_string(counter++));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::string
+writeList(const fs::path &dir, const std::vector<std::string> &lines)
+{
+    const std::string path = (dir / "list.txt").string();
+    std::ofstream out(path);
+    for (const auto &l : lines)
+        out << l << "\n";
+    return path;
+}
+
+/**
+ * Blank the per-row timing columns (load_ms, assemble_ms, report_ms,
+ * total_ms — fields 7..10) of a batch summary CSV: wall-clock noise is
+ * the one part of the summary a resumed run legitimately may not
+ * reproduce.
+ */
+std::string
+maskSummaryTiming(const std::string &csv)
+{
+    std::ostringstream out;
+    std::istringstream in(csv);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::ostringstream row;
+        std::size_t field = 0, start = 0;
+        while (true) {
+            const std::size_t comma = line.find(',', start);
+            const std::string cell = line.substr(
+                start, comma == std::string::npos ? std::string::npos
+                                                  : comma - start);
+            if (field)
+                row << ',';
+            row << (field >= 6 && field <= 9 ? std::string("MASKED")
+                                             : cell);
+            if (comma == std::string::npos)
+                break;
+            start = comma + 1;
+            ++field;
+        }
+        out << row.str() << "\n";
+    }
+    return out.str();
+}
+
+/** True when any diagnostic key starts with "invariant.". */
+bool
+hasInvariantDiagnostic(const DiagnosticList &diags)
+{
+    for (const auto &d : diags)
+        if (d.key.rfind("invariant.", 0) == 0)
+            return true;
+    return false;
+}
+
+/** First diagnostic with the given key; nullptr when absent. */
+const Diagnostic *
+findByKey(const DiagnosticList &diags, const std::string &key)
+{
+    for (const auto &d : diags)
+        if (d.key == key)
+            return &d;
+    return nullptr;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// CancelToken
+// ---------------------------------------------------------------------
+
+TEST(CancelToken, UntrippedTokenIsANoOp)
+{
+    cancel::CancelToken t;
+    t.setHonorGlobalStop(false);
+    EXPECT_EQ(t.state(), cancel::Kind::None);
+    EXPECT_FALSE(t.cancelled());
+    EXPECT_NO_THROW(t.checkpoint());
+}
+
+TEST(CancelToken, DeadlineTripsAsTimeout)
+{
+    cancel::CancelToken t;
+    t.setHonorGlobalStop(false);
+    t.setDeadlineIn(0.001);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_EQ(t.state(), cancel::Kind::Timeout);
+    try {
+        t.checkpoint();
+        FAIL() << "checkpoint did not throw";
+    } catch (const cancel::Cancelled &e) {
+        EXPECT_EQ(e.kind(), cancel::Kind::Timeout);
+        EXPECT_NE(std::string(e.what()).find("deadline"),
+                  std::string::npos);
+    }
+}
+
+TEST(CancelToken, NonPositiveDeadlineLeavesNoneArmed)
+{
+    cancel::CancelToken t;
+    t.setHonorGlobalStop(false);
+    t.setDeadlineIn(0.0);
+    t.setDeadlineIn(-5.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_EQ(t.state(), cancel::Kind::None);
+}
+
+TEST(CancelToken, RequestCancelTripsAsInterrupt)
+{
+    cancel::CancelToken t;
+    t.setHonorGlobalStop(false);
+    t.requestCancel();
+    EXPECT_EQ(t.state(), cancel::Kind::Interrupt);
+    try {
+        t.checkpoint();
+        FAIL() << "checkpoint did not throw";
+    } catch (const cancel::Cancelled &e) {
+        EXPECT_EQ(e.kind(), cancel::Kind::Interrupt);
+    }
+}
+
+TEST(CancelToken, TrippedParentTripsTheChild)
+{
+    cancel::CancelToken parent, child;
+    parent.setHonorGlobalStop(false);
+    child.setHonorGlobalStop(false);
+    child.setParent(&parent);
+    EXPECT_EQ(child.state(), cancel::Kind::None);
+    parent.requestCancel();
+    EXPECT_EQ(child.state(), cancel::Kind::Interrupt);
+}
+
+TEST(CancelToken, GlobalStopReachesEveryHonoringToken)
+{
+    cancel::clearStop();
+    cancel::CancelToken honoring, optedOut;
+    optedOut.setHonorGlobalStop(false);
+
+    cancel::requestStop(SIGTERM);
+    EXPECT_TRUE(cancel::stopRequested());
+    EXPECT_EQ(cancel::stopSignal(), SIGTERM);
+    EXPECT_EQ(honoring.state(), cancel::Kind::Interrupt);
+    EXPECT_EQ(optedOut.state(), cancel::Kind::None);
+
+    // First signal wins; a later one does not overwrite it.
+    cancel::requestStop(SIGINT);
+    EXPECT_EQ(cancel::stopSignal(), SIGTERM);
+
+    cancel::clearStop();
+    EXPECT_FALSE(cancel::stopRequested());
+    EXPECT_EQ(cancel::stopSignal(), 0);
+    EXPECT_EQ(honoring.state(), cancel::Kind::None);
+}
+
+TEST(CancelToken, AmbientCheckpointUsesTheInstalledToken)
+{
+    cancel::clearStop();
+    EXPECT_EQ(cancel::current(), nullptr);
+    EXPECT_NO_THROW(cancel::checkpoint());
+
+    cancel::CancelToken t;
+    t.setHonorGlobalStop(false);
+    {
+        cancel::ScopedCurrent scope(&t);
+        EXPECT_EQ(cancel::current(), &t);
+        EXPECT_NO_THROW(cancel::checkpoint());
+        t.requestCancel();
+        EXPECT_THROW(cancel::checkpoint(), cancel::Cancelled);
+
+        // Nested scopes restore the outer token on exit.
+        cancel::CancelToken inner;
+        inner.setHonorGlobalStop(false);
+        {
+            cancel::ScopedCurrent nested(&inner);
+            EXPECT_EQ(cancel::current(), &inner);
+            EXPECT_NO_THROW(cancel::checkpoint());
+        }
+        EXPECT_EQ(cancel::current(), &t);
+    }
+    EXPECT_EQ(cancel::current(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Evaluation deadlines
+// ---------------------------------------------------------------------
+
+TEST(EvalDeadline, BlownBudgetComesBackAsStructuredTimeout)
+{
+    study::EvalRequest req;
+    req.configPath = findConfig("niagara.xml");
+    req.timeoutMs = 1e-6;  // armed, and already elapsed at first check
+    const study::EvalResult res = study::evaluate(req);
+    EXPECT_FALSE(res.ok);
+    EXPECT_TRUE(res.timedOut);
+    EXPECT_FALSE(res.interrupted);
+    EXPECT_NE(res.error.find("deadline"), std::string::npos)
+        << res.error;
+}
+
+TEST(EvalDeadline, GlobalStopComesBackAsInterrupt)
+{
+    cancel::requestStop(SIGINT);
+    study::EvalRequest req;
+    req.configPath = findConfig("niagara.xml");
+    const study::EvalResult res = study::evaluate(req);
+    cancel::clearStop();
+    EXPECT_FALSE(res.ok);
+    EXPECT_TRUE(res.interrupted);
+    EXPECT_FALSE(res.timedOut);
+}
+
+// ---------------------------------------------------------------------
+// Physical-invariant audit
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Evaluate a shipped config once and hand out the report tree. */
+const study::EvalResult &
+niagaraEval()
+{
+    static const study::EvalResult res = [] {
+        study::EvalRequest req;
+        req.configPath = findConfig("niagara.xml");
+        req.wantReportJson = false;
+        return study::evaluate(req);
+    }();
+    return res;
+}
+
+} // namespace
+
+TEST(InvariantAudit, ShippedConfigAuditsClean)
+{
+    const study::EvalResult &res = niagaraEval();
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_FALSE(hasInvariantDiagnostic(res.diagnostics));
+    EXPECT_TRUE(chip::auditReport(res.report).empty());
+}
+
+TEST(InvariantAudit, SeededNegativeLeakageIsLocated)
+{
+    const study::EvalResult &res = niagaraEval();
+    ASSERT_TRUE(res.ok) << res.error;
+    Report seeded = res.report;
+    ASSERT_FALSE(seeded.children.empty());
+    Report &victim = seeded.children.front();
+    victim.subthresholdLeakage = -0.5;
+
+    const DiagnosticList diags = chip::auditReport(seeded);
+    const Diagnostic *d = findByKey(diags, "invariant.nonnegative");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->component.find(victim.name), std::string::npos)
+        << d->component;
+    EXPECT_NE(d->message.find("subthreshold leakage"),
+              std::string::npos);
+}
+
+TEST(InvariantAudit, SeededChildAreaAboveParentIsLocated)
+{
+    const study::EvalResult &res = niagaraEval();
+    ASSERT_TRUE(res.ok) << res.error;
+    Report seeded = res.report;
+    ASSERT_FALSE(seeded.children.empty());
+    // Inflate one child's area past the parent total without updating
+    // the parent: a contribution counted below but lost on the way up.
+    seeded.children.front().area = seeded.area * 2.0;
+
+    const DiagnosticList diags = chip::auditReport(seeded);
+    const Diagnostic *d = findByKey(diags, "invariant.child_sum");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->component, seeded.name);
+    EXPECT_NE(d->message.find("area"), std::string::npos);
+}
+
+TEST(InvariantAudit, SeededNegativeDynamicBreaksLeakageBound)
+{
+    const study::EvalResult &res = niagaraEval();
+    ASSERT_TRUE(res.ok) << res.error;
+    Report seeded = res.report;
+    ASSERT_FALSE(seeded.children.empty());
+    // Total power is dynamic + leakage, so leakage can only exceed the
+    // total when some dynamic term went negative.
+    seeded.children.front().peakDynamic = -1.0;
+
+    const DiagnosticList diags = chip::auditReport(seeded);
+    EXPECT_NE(findByKey(diags, "invariant.leakage_le_power"), nullptr);
+    EXPECT_NE(findByKey(diags, "invariant.nonnegative"), nullptr);
+}
+
+TEST(InvariantAudit, SeededNaNAreaIsLocatedOnce)
+{
+    const study::EvalResult &res = niagaraEval();
+    ASSERT_TRUE(res.ok) << res.error;
+    Report seeded = res.report;
+    ASSERT_FALSE(seeded.children.empty());
+    seeded.children.front().area =
+        std::numeric_limits<double>::quiet_NaN();
+
+    const DiagnosticList diags = chip::auditReport(seeded);
+    const Diagnostic *d = findByKey(diags, "invariant.finite");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->component.find(seeded.children.front().name),
+              std::string::npos);
+    // NaN must not additionally fire the non-negativity check, and the
+    // parent's child-sum checks are skipped (the NaN child is the real
+    // problem).
+    EXPECT_EQ(findByKey(diags, "invariant.nonnegative"), nullptr);
+    EXPECT_EQ(findByKey(diags, "invariant.child_sum"), nullptr);
+}
+
+TEST(InvariantAudit, SeededNegativeCriticalPathIsLocated)
+{
+    const study::EvalResult &res = niagaraEval();
+    ASSERT_TRUE(res.ok) << res.error;
+    Report seeded = res.report;
+    ASSERT_FALSE(seeded.children.empty());
+    seeded.children.front().criticalPath = -1e-9;
+
+    const DiagnosticList diags = chip::auditReport(seeded);
+    const Diagnostic *d = findByKey(diags, "invariant.nonnegative");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("critical path"), std::string::npos);
+}
+
+TEST(InvariantAudit, StrictModeEscalatesSeededViolations)
+{
+    // Strict single evaluations must fail when the audit reports
+    // anything; a clean shipped config must still pass strict.
+    study::EvalRequest req;
+    req.configPath = findConfig("niagara.xml");
+    req.strict = true;
+    req.wantReportJson = false;
+    const study::EvalResult res = study::evaluate(req);
+    EXPECT_TRUE(res.ok) << res.error;
+}
+
+// ---------------------------------------------------------------------
+// Journaled batch resume (in-process)
+// ---------------------------------------------------------------------
+
+TEST(BatchResume, ReplaysJournaledItemsByteIdentically)
+{
+    const fs::path dir = scratchDir("resume");
+    const std::string list = writeList(dir,
+        {findConfig("niagara.xml"), findConfig("alpha21364.xml")});
+
+    study::BatchOptions opts;
+    opts.outputDir = (dir / "out").string();
+
+    // Uninterrupted reference run.
+    std::ostringstream log1;
+    const auto fresh = study::runBatch(list, opts, log1);
+    ASSERT_TRUE(fresh.ok()) << log1.str();
+    ASSERT_EQ(fresh.items.size(), 2u);
+    ASSERT_FALSE(fresh.journalPath.empty());
+    const std::string freshSummary = slurp(fresh.summaryCsvPath);
+    const std::string freshJson0 = slurp(fresh.items[0].jsonPath);
+    const std::string freshJson1 = slurp(fresh.items[1].jsonPath);
+
+    // Simulate a crash after the first item: keep the journal header
+    // plus the first item record, as if the process died mid-second.
+    const common::JournalContents j =
+        common::readJournal(fresh.journalPath);
+    ASSERT_GE(j.records.size(), 3u);  // header + 2 items
+    {
+        common::JournalWriter w;
+        ASSERT_TRUE(w.open(fresh.journalPath, /*truncate=*/true));
+        ASSERT_TRUE(w.append(j.records[0]));
+        ASSERT_TRUE(w.append(j.records[1]));
+    }
+    fs::remove(fresh.items[1].jsonPath);  // the crash lost item 2
+
+    study::BatchOptions resumeOpts = opts;
+    resumeOpts.resume = true;
+    std::ostringstream log2;
+    const auto resumed = study::runBatch(list, resumeOpts, log2);
+    EXPECT_TRUE(resumed.ok()) << log2.str();
+    ASSERT_EQ(resumed.items.size(), 2u);
+    EXPECT_EQ(resumed.resumed, 1u);
+
+    // Replayed and re-evaluated outputs match the uninterrupted run
+    // byte for byte; the summary matches modulo wall-clock columns.
+    EXPECT_EQ(slurp(resumed.items[0].jsonPath), freshJson0);
+    EXPECT_EQ(slurp(resumed.items[1].jsonPath), freshJson1);
+    EXPECT_EQ(maskSummaryTiming(slurp(resumed.summaryCsvPath)),
+              maskSummaryTiming(freshSummary));
+
+    // The journal now records both items again: a third, fully
+    // resumed run replays everything without re-evaluating.
+    std::ostringstream log3;
+    const auto replayAll = study::runBatch(list, resumeOpts, log3);
+    EXPECT_TRUE(replayAll.ok()) << log3.str();
+    EXPECT_EQ(replayAll.resumed, 2u);
+    EXPECT_EQ(maskSummaryTiming(slurp(replayAll.summaryCsvPath)),
+              maskSummaryTiming(freshSummary));
+    fs::remove_all(dir);
+}
+
+TEST(BatchResume, MismatchedJournalHeaderStartsFresh)
+{
+    const fs::path dir = scratchDir("resume_mismatch");
+    const std::string list = writeList(dir, {findConfig("niagara.xml")});
+
+    study::BatchOptions opts;
+    opts.outputDir = (dir / "out").string();
+    std::ostringstream log1;
+    const auto first = study::runBatch(list, opts, log1);
+    ASSERT_TRUE(first.ok()) << log1.str();
+
+    // Change the list contents: the journal's list checksum no longer
+    // matches, so -resume must ignore it rather than replay stale
+    // results against a different input set.
+    const std::string list2 = writeList(dir,
+        {findConfig("niagara.xml"), findConfig("alpha21364.xml")});
+    study::BatchOptions resumeOpts = opts;
+    resumeOpts.resume = true;
+    std::ostringstream log2;
+    const auto second = study::runBatch(list2, resumeOpts, log2);
+    EXPECT_TRUE(second.ok()) << log2.str();
+    EXPECT_EQ(second.resumed, 0u);
+    EXPECT_EQ(second.items.size(), 2u);
+    fs::remove_all(dir);
+}
+
+TEST(BatchResume, TimedOutItemFailsButTheBatchContinues)
+{
+    const fs::path dir = scratchDir("timeout");
+    const std::string list = writeList(dir,
+        {findConfig("niagara.xml"), findConfig("alpha21364.xml")});
+
+    study::BatchOptions opts;
+    opts.outputDir = (dir / "out").string();
+    opts.evalTimeoutMs = 1e-6;
+    std::ostringstream log;
+    const auto res = study::runBatch(list, opts, log);
+    EXPECT_FALSE(res.ok());
+    ASSERT_EQ(res.items.size(), 2u);
+    EXPECT_EQ(res.failures, 2u);
+    EXPECT_EQ(res.interruptedSignal, 0);
+    for (const auto &item : res.items) {
+        EXPECT_FALSE(item.ok);
+        EXPECT_NE(item.error.find("deadline"), std::string::npos)
+            << item.error;
+    }
+    fs::remove_all(dir);
+}
+
+TEST(BatchResume, PendingStopInterruptsBeforeTheNextItem)
+{
+    const fs::path dir = scratchDir("interrupt");
+    const std::string list = writeList(dir,
+        {findConfig("niagara.xml"), findConfig("alpha21364.xml")});
+
+    study::BatchOptions opts;
+    opts.outputDir = (dir / "out").string();
+
+    // A stop request raised before the batch starts must stop it at
+    // the first item boundary with the signal recorded — nothing
+    // evaluated, nothing journaled as complete.
+    cancel::requestStop(SIGTERM);
+    std::ostringstream log;
+    const auto res = study::runBatch(list, opts, log);
+    cancel::clearStop();
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.interruptedSignal, SIGTERM);
+    EXPECT_TRUE(res.items.empty());
+
+    // Resuming after the interrupt runs the full batch to completion.
+    study::BatchOptions resumeOpts = opts;
+    resumeOpts.resume = true;
+    std::ostringstream log2;
+    const auto resumed = study::runBatch(list, resumeOpts, log2);
+    EXPECT_TRUE(resumed.ok()) << log2.str();
+    EXPECT_EQ(resumed.items.size(), 2u);
+    EXPECT_EQ(resumed.resumed, 0u);
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Sweep journal
+// ---------------------------------------------------------------------
+
+TEST(SweepJournal, ResumeReplaysAggregatesAndSkipsEvaluation)
+{
+    const fs::path dir = scratchDir("sweep");
+    // Two small design points keep the test fast; the journal schema
+    // is the same as the full 8-point paper sweep.
+    std::vector<study::CaseStudyConfig> configs(2);
+    configs[0].totalCores = 4;
+    configs[0].coresPerCluster = 2;
+    configs[1].totalCores = 4;
+    configs[1].coresPerCluster = 4;
+
+    study::SweepJournalOptions journal;
+    journal.path = (dir / "sweep_journal.jsonl").string();
+    const auto fresh =
+        study::evaluateDesignPoints(configs, 1.0e12, journal);
+    ASSERT_EQ(fresh.size(), 2u);
+    EXPECT_GT(fresh[0].area, 0.0);
+    EXPECT_FALSE(fresh[0].workloads.empty());
+
+    // Resume: both points replay from the journal — aggregates exact,
+    // per-workload detail intentionally absent.
+    journal.resume = true;
+    const auto replayed =
+        study::evaluateDesignPoints(configs, 1.0e12, journal);
+    ASSERT_EQ(replayed.size(), 2u);
+    for (std::size_t i = 0; i < replayed.size(); ++i) {
+        EXPECT_EQ(replayed[i].area, fresh[i].area);
+        EXPECT_EQ(replayed[i].tdp, fresh[i].tdp);
+        EXPECT_EQ(replayed[i].meanThroughput, fresh[i].meanThroughput);
+        EXPECT_EQ(replayed[i].meanPower, fresh[i].meanPower);
+        EXPECT_TRUE(replayed[i].workloads.empty());
+    }
+
+    // A different work value invalidates the journal header: the
+    // sweep re-evaluates rather than replaying mismatched aggregates.
+    const auto rework =
+        study::evaluateDesignPoints(configs, 2.0e12, journal);
+    ASSERT_EQ(rework.size(), 2u);
+    EXPECT_FALSE(rework[0].workloads.empty());
+    fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// SIGKILL-mid-run resume property (subprocess, real CLI binary)
+// ---------------------------------------------------------------------
+
+#ifdef MCPAT_CLI_PATH
+
+namespace {
+
+/** Spawn the real CLI in batch mode; returns the child pid. */
+pid_t
+spawnBatch(const std::string &list, const std::string &outDir,
+           bool resume)
+{
+    const pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+    // Child: silence the batch log; the test asserts on files.
+    if (!std::freopen("/dev/null", "w", stdout) ||
+        !std::freopen("/dev/null", "w", stderr))
+        ::_exit(126);
+    if (resume) {
+        ::execl(MCPAT_CLI_PATH, MCPAT_CLI_PATH, "-batch", list.c_str(),
+                "-batch_out", outDir.c_str(), "-resume",
+                static_cast<char *>(nullptr));
+    } else {
+        ::execl(MCPAT_CLI_PATH, MCPAT_CLI_PATH, "-batch", list.c_str(),
+                "-batch_out", outDir.c_str(),
+                static_cast<char *>(nullptr));
+    }
+    ::_exit(127);
+}
+
+int
+waitForExit(pid_t pid)
+{
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    return status;
+}
+
+} // namespace
+
+TEST(BatchResume, SigkilledRunResumesToByteIdenticalOutput)
+{
+    const fs::path dir = scratchDir("sigkill");
+    const std::string list = writeList(dir,
+        {findConfig("niagara.xml"), findConfig("alpha21364.xml"),
+         findConfig("xeon_tulsa.xml")});
+    const std::string outKilled = (dir / "killed").string();
+    const std::string outFresh = (dir / "fresh").string();
+
+    // Reference: one uninterrupted run.
+    const int freshStatus = waitForExit(spawnBatch(list, outFresh,
+                                                   false));
+    ASSERT_TRUE(WIFEXITED(freshStatus) &&
+                WEXITSTATUS(freshStatus) == 0);
+
+    // Victim: SIGKILL as soon as the first report lands — no handler
+    // runs, no flush happens; only the journal's completed records
+    // survive.  If the kill races past the whole batch, the run simply
+    // completed and resume degenerates to full replay: the property
+    // holds wherever the kill lands.
+    const pid_t victim = spawnBatch(list, outKilled, false);
+    ASSERT_GT(victim, 0);
+    bool victimExited = false;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::minutes(5);
+    while (std::chrono::steady_clock::now() < deadline) {
+        bool anyReport = false;
+        if (fs::exists(outKilled)) {
+            for (const auto &e : fs::directory_iterator(outKilled))
+                anyReport = anyReport ||
+                    e.path().extension() == ".json";
+        }
+        if (anyReport)
+            break;
+        int status = 0;
+        if (::waitpid(victim, &status, WNOHANG) == victim) {
+            victimExited = true;
+            EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (!victimExited) {
+        ::kill(victim, SIGKILL);
+        const int killedStatus = waitForExit(victim);
+        ASSERT_TRUE(WIFSIGNALED(killedStatus));
+        ASSERT_EQ(WTERMSIG(killedStatus), SIGKILL);
+    }
+
+    // Resume and compare every artifact against the reference run.
+    const int resumeStatus = waitForExit(spawnBatch(list, outKilled,
+                                                    true));
+    ASSERT_TRUE(WIFEXITED(resumeStatus) &&
+                WEXITSTATUS(resumeStatus) == 0);
+
+    std::vector<std::string> reports;
+    for (const auto &e : fs::directory_iterator(outFresh))
+        if (e.path().extension() == ".json" ||
+            e.path().extension() == ".csv")
+            reports.push_back(e.path().filename().string());
+    ASSERT_FALSE(reports.empty());
+    for (const auto &name : reports) {
+        if (name == "batch_summary.csv")
+            continue;
+        EXPECT_EQ(slurp((fs::path(outKilled) / name).string()),
+                  slurp((fs::path(outFresh) / name).string()))
+            << name;
+    }
+    EXPECT_EQ(
+        maskSummaryTiming(slurp(outKilled + "/batch_summary.csv")),
+        maskSummaryTiming(slurp(outFresh + "/batch_summary.csv")));
+    fs::remove_all(dir);
+}
+
+#endif // MCPAT_CLI_PATH

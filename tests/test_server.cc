@@ -78,13 +78,15 @@ struct TestServer
     std::ostringstream log;
 
     explicit TestServer(int workers, std::size_t max_queue = 32,
-                        bool strict_default = false)
+                        bool strict_default = false,
+                        double eval_timeout_ms = 0.0)
     {
         study::ServerOptions opts;
         opts.endpoint = scratchSocket("t");
         opts.workers = workers;
         opts.maxQueue = max_queue;
         opts.strictDefault = strict_default;
+        opts.evalTimeoutMs = eval_timeout_ms;
         std::string error;
         EXPECT_TRUE(server.start(opts, log, &error)) << error;
         ep = net::parseEndpoint(opts.endpoint);
@@ -433,6 +435,67 @@ TEST(Server, ResultCacheRepeatsVerbatimAndInvalidatesOnEdit)
     EXPECT_EQ(third.getString("report"), first.getString("report"));
 
     fs::remove(copy);
+}
+
+TEST(Server, BlownDeadlineIsA504AndTheServerKeepsServing)
+{
+    const std::string config = findConfig("niagara.xml");
+    TestServer ts(2);
+
+    // A request-side budget that has already elapsed by the first
+    // cancellation checkpoint: the reply must be a structured 504 —
+    // not a dropped connection, not a dead worker.
+    const std::string request = "{\"config\": \"" +
+        jsonEscapeString(config) + "\", \"timeout_ms\": 0.000001}";
+    common::JsonValue v = rpc(ts.ep, request);
+    EXPECT_EQ(v.getNumber("status"), 504.0);
+    EXPECT_FALSE(v.getBool("ok", true));
+    EXPECT_TRUE(v.getBool("timed_out"));
+    EXPECT_NE(v.getString("error").find("deadline"), std::string::npos);
+
+    // The same server still answers full evaluations afterwards.
+    common::JsonValue good = rpc(ts.ep,
+        "{\"config\": \"" + jsonEscapeString(config) + "\"}");
+    EXPECT_EQ(good.getNumber("status"), 200.0);
+
+    const study::ServerStats stats = ts.server.stats();
+    EXPECT_GE(stats.timeouts, 1u);
+    EXPECT_EQ(stats.failed, 0u);  // timeouts are counted separately
+}
+
+TEST(Server, ServerDefaultTimeoutTightenedByRequest)
+{
+    // Server-wide budget small: an untagged request times out; a
+    // request cannot *loosen* the server's policy with a larger value.
+    const std::string config = findConfig("niagara.xml");
+    TestServer ts(1, 32, false, /*eval_timeout_ms=*/0.000001);
+
+    common::JsonValue v = rpc(ts.ep,
+        "{\"config\": \"" + jsonEscapeString(config) + "\"}");
+    EXPECT_EQ(v.getNumber("status"), 504.0);
+
+    common::JsonValue loosened = rpc(ts.ep,
+        "{\"config\": \"" + jsonEscapeString(config) +
+        "\", \"timeout_ms\": 600000}");
+    EXPECT_EQ(loosened.getNumber("status"), 504.0);
+}
+
+TEST(Server, HealthReportsLivenessCounters)
+{
+    TestServer ts(2);
+    common::JsonValue v = rpc(ts.ep, "{\"cmd\": \"health\"}");
+    EXPECT_EQ(v.getNumber("status"), 200.0);
+    EXPECT_TRUE(v.getBool("ok"));
+    const common::JsonValue *h = v.find("health");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->getNumber("workers"), 2.0);
+    EXPECT_EQ(h->getNumber("queue_depth"), 0.0);
+    // The health request itself is in flight while being answered.
+    EXPECT_GE(h->getNumber("inflight"), 1.0);
+    EXPECT_GE(h->getNumber("oldest_request_ms"), 0.0);
+    EXPECT_GE(h->getNumber("uptime_ms"), 0.0);
+    ASSERT_NE(h->find("timeouts"), nullptr);
+    ASSERT_NE(h->find("eval_timeout_ms"), nullptr);
 }
 
 TEST(Server, TcpPortZeroAutoAssigns)
