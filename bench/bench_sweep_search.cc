@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Experiment S1: Pareto-frontier search vs the exhaustive grid on the
+ * reference design space.
+ *
+ * Grades the delta-evaluation + search stack on its two contracts:
+ * the searched frontier must be identical (same flat indices, bit-
+ * identical aggregate metrics) to the exhaustive grid's, and the
+ * search must make at least 10x fewer full-chip evaluations.  Exits
+ * nonzero when either contract breaks, so CI can gate on it.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench/bench_util.hh"
+#include "chip/component_memo.hh"
+#include "study/sweep_search.hh"
+
+int
+main()
+{
+    using namespace mcpat;
+    using namespace mcpat::bench;
+    using namespace mcpat::study;
+
+    printHeader("Pareto-frontier search vs exhaustive grid "
+                "(reference space)");
+
+    const SweepSpace space = SweepSpace::reference();
+    const auto d = space.dims();
+    std::printf("grid: %zux%zux%zux%zu = %zu design points, "
+                "%d cores each\n\n",
+                d[0], d[1], d[2], d[3], space.size(),
+                space.totalCores);
+
+    SweepSearchOptions opts;
+
+    resetSweepEvalStats();
+    opts.exhaustive = true;
+    const SweepSearchResult exhaustive = runSweepSearch(space, opts);
+
+    const chip::ComponentMemoStats memo_after_grid =
+        chip::ComponentMemo::instance().stats();
+
+    resetSweepEvalStats();
+    opts.exhaustive = false;
+    const SweepSearchResult searched = runSweepSearch(space, opts);
+
+    std::printf("exhaustive: %llu full evaluations, frontier %zu\n",
+                static_cast<unsigned long long>(
+                    exhaustive.fullEvaluations),
+                exhaustive.frontier.size());
+    std::printf("search    : %llu full evaluations over %d rounds, "
+                "frontier %zu\n",
+                static_cast<unsigned long long>(
+                    searched.fullEvaluations),
+                searched.rounds, searched.frontier.size());
+    std::printf("component memo: %llu hits / %llu misses "
+                "(%.1f%% hit rate)\n\n",
+                static_cast<unsigned long long>(memo_after_grid.hits),
+                static_cast<unsigned long long>(
+                    memo_after_grid.misses),
+                100.0 * memo_after_grid.hits /
+                    (memo_after_grid.hits + memo_after_grid.misses));
+
+    printSweepSearchResult(std::cout, space, searched);
+
+    bool ok = true;
+
+    // Contract 1: identical frontier — same grid indices, and bit-
+    // identical metric values at each (the search must not have taken
+    // a different numeric path to the same designs).
+    if (searched.frontier != exhaustive.frontier) {
+        std::printf("\nFAIL: frontier indices differ from "
+                    "exhaustive\n");
+        ok = false;
+    } else {
+        std::map<std::size_t, const SweepSearchPoint *> grid;
+        for (const auto &p : exhaustive.points)
+            grid[p.index] = &p;
+        for (const auto &p : searched.points) {
+            const Metrics &a = p.result.meanMetrics;
+            const Metrics &b = grid.at(p.index)->result.meanMetrics;
+            if (a.ed != b.ed || a.ed2 != b.ed2 || a.eda != b.eda ||
+                a.ed2a != b.ed2a) {
+                std::printf("\nFAIL: metrics differ at grid index "
+                            "%zu (%s)\n",
+                            p.index,
+                            p.result.config.label().c_str());
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            std::printf("\nfrontier identical to exhaustive grid "
+                        "(indices and metric bits)\n");
+    }
+
+    // Contract 2: at least 10x fewer full-chip evaluations.
+    const double reduction = searched.fullEvaluations > 0
+        ? static_cast<double>(exhaustive.fullEvaluations) /
+            searched.fullEvaluations
+        : 0.0;
+    std::printf("evaluation reduction: %.1fx (%llu vs %llu)\n",
+                reduction,
+                static_cast<unsigned long long>(
+                    searched.fullEvaluations),
+                static_cast<unsigned long long>(
+                    exhaustive.fullEvaluations));
+    if (reduction < 10.0) {
+        std::printf("FAIL: reduction below the 10x contract\n");
+        ok = false;
+    }
+
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Component-level memoization for chip assembly (delta evaluation).
+ *
+ * A design-space sweep rebuilds nearly identical chips at every grid
+ * point: a point that only changes the L2 size still re-solves every
+ * core-side array, re-sizes the clock tree, and re-runs the organization
+ * search for structures whose parameters did not move.  The array memo
+ * (array/array_cache.hh) already removes the per-array cost; this layer
+ * sits one level up and removes the per-*component* cost.  Fully built
+ * components — cores, shared caches, directories, NoCs, memory
+ * controllers, chip I/O — are cached process-wide, keyed by the
+ * canonical sub-parameter bundle that determines them:
+ *
+ *     component kind
+ *   + every field of the component's params struct (display name
+ *     included, so reports stay byte-identical)
+ *   + the resolved technology operating point (node, flavor, Vdd,
+ *     temperature, wire projection)
+ *
+ * Processor assembly (chip/processor.cc) consults the memo per
+ * component, which is what makes evaluation *delta*: two sweep points
+ * that differ only in L2 capacity share every core-side build verbatim,
+ * and the second point pays only for the components whose key changed.
+ * This is dirty tracking by construction — a component is "dirty"
+ * exactly when its key differs from every cached entry, so invalidation
+ * can never be forgotten; the price is that a params-struct field that
+ * is not folded into the key here would alias.  **When adding a field
+ * to any params struct below, extend the matching key function in
+ * component_memo.cc** (MODELING.md section 6g records this rule).
+ *
+ * Cached components are immutable after construction (makeReport and
+ * friends are const), self-contained (Core and ArrayModel copy their
+ * Technology by value; the others keep only derived figures), and
+ * deterministic to build, so sharing them across Processor instances —
+ * and across threads — never changes reported numbers.  A memoized
+ * assembly is bit-identical to a fresh one.
+ *
+ * The memo is enabled by default; disable with MCPAT_COMPONENT_MEMO=0
+ * or setEnabled(false).  Hit/miss/entry counters are exported into the
+ * instrumentation registry ("component_memo.*") via a collector.
+ */
+
+#ifndef MCPAT_CHIP_COMPONENT_MEMO_HH
+#define MCPAT_CHIP_COMPONENT_MEMO_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/core.hh"
+#include "uncore/chip_io.hh"
+#include "uncore/directory.hh"
+#include "uncore/memctrl.hh"
+#include "uncore/noc.hh"
+#include "uncore/shared_cache.hh"
+
+namespace mcpat {
+namespace chip {
+
+/** Memo observability counters. */
+struct ComponentMemoStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+    /** Whole-table drops after exceeding the entry cap. */
+    std::uint64_t evictions = 0;
+};
+
+/**
+ * Process-global, thread-safe memo of built chip components.
+ *
+ * Lookups and insertions are synchronized; construction on a miss runs
+ * outside the lock, so two threads racing on the same key may both
+ * build — the first insert wins and the loser adopts it (builds are
+ * deterministic, so the copies are interchangeable).
+ */
+class ComponentMemo
+{
+  public:
+    static ComponentMemo &instance();
+
+    bool enabled() const { return _enabled; }
+    void setEnabled(bool on) { _enabled = on; }
+
+    /** Entry cap; exceeding it drops the whole table (bounded memory
+     *  beats LRU bookkeeping for sweep-shaped reuse). */
+    void setCapacity(std::size_t cap);
+
+    std::shared_ptr<const core::Core>
+    core(const core::CoreParams &params, const tech::Technology &t);
+
+    std::shared_ptr<const uncore::SharedCache>
+    sharedCache(const uncore::SharedCacheParams &params,
+                const tech::Technology &t);
+
+    std::shared_ptr<const uncore::Directory>
+    directory(const uncore::DirectoryParams &params,
+              const tech::Technology &t);
+
+    std::shared_ptr<const uncore::Noc>
+    noc(const uncore::NocParams &params, const tech::Technology &t);
+
+    std::shared_ptr<const uncore::MemoryController>
+    memCtrl(const uncore::MemCtrlParams &params,
+            const tech::Technology &t);
+
+    std::shared_ptr<const uncore::ChipIo>
+    chipIo(const uncore::ChipIoParams &params, const tech::Technology &t);
+
+    ComponentMemoStats stats() const;
+
+    /** Drop every entry and zero the counters. */
+    void clear();
+
+  private:
+    ComponentMemo();
+
+    /** Type-erased get-or-build; Build returns shared_ptr<const T>. */
+    template <typename T>
+    std::shared_ptr<const T>
+    getOrBuild(const std::string &key,
+               const std::function<std::shared_ptr<const T>()> &build);
+
+    mutable std::mutex _mutex;
+    std::unordered_map<std::string, std::shared_ptr<const void>> _entries;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+    std::uint64_t _evictions = 0;
+    std::size_t _capacity = 1024;
+    bool _enabled = true;
+};
+
+} // namespace chip
+} // namespace mcpat
+
+#endif // MCPAT_CHIP_COMPONENT_MEMO_HH

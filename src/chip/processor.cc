@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "chip/component_memo.hh"
 #include "common/instrument.hh"
 #include "common/parallel.hh"
 
@@ -49,50 +50,49 @@ Processor::Processor(SystemParams params)
     // Components are mutually independent (each reads only _params and
     // the shared const Technology), so build them in parallel.  Every
     // task writes its own member; the NoC is deferred because its link
-    // length derives from core and L2 areas.
+    // length derives from core and L2 areas.  Each build goes through
+    // the component memo: a bundle already built for an earlier chip —
+    // the previous sweep point, another batch item, the last server
+    // request — is reused verbatim instead of re-assembled.
     MCPAT_SPAN("assemble", _params.name);
+    ComponentMemo &memo = ComponentMemo::instance();
     const auto groups = _params.resolvedCoreGroups();
     _cores.resize(groups.size());
     std::vector<std::function<void()>> build;
     for (std::size_t g = 0; g < groups.size(); ++g) {
-        build.push_back([this, g, &groups] {
+        build.push_back([this, g, &groups, &memo] {
             MCPAT_SPAN("build.core", groups[g].core.name);
-            _cores[g] =
-                std::make_unique<core::Core>(groups[g].core, *_tech);
+            _cores[g] = memo.core(groups[g].core, *_tech);
         });
     }
     if (_params.numL2 > 0) {
-        build.push_back([this] {
+        build.push_back([this, &memo] {
             MCPAT_SPAN("build.l2");
-            _l2 = std::make_unique<uncore::SharedCache>(_params.l2,
-                                                        *_tech);
+            _l2 = memo.sharedCache(_params.l2, *_tech);
         });
     }
     if (_params.numL3 > 0) {
-        build.push_back([this] {
+        build.push_back([this, &memo] {
             MCPAT_SPAN("build.l3");
-            _l3 = std::make_unique<uncore::SharedCache>(_params.l3,
-                                                        *_tech);
+            _l3 = memo.sharedCache(_params.l3, *_tech);
         });
     }
     if (_params.hasDirectory) {
-        build.push_back([this] {
+        build.push_back([this, &memo] {
             MCPAT_SPAN("build.directory");
-            _directory = std::make_unique<uncore::Directory>(
-                _params.directory, *_tech);
+            _directory = memo.directory(_params.directory, *_tech);
         });
     }
     if (_params.hasMemCtrl) {
-        build.push_back([this] {
+        build.push_back([this, &memo] {
             MCPAT_SPAN("build.memctrl");
-            _memCtrl = std::make_unique<uncore::MemoryController>(
-                _params.memCtrl, *_tech);
+            _memCtrl = memo.memCtrl(_params.memCtrl, *_tech);
         });
     }
     if (_params.hasIo) {
-        build.push_back([this] {
+        build.push_back([this, &memo] {
             MCPAT_SPAN("build.io");
-            _io = std::make_unique<uncore::ChipIo>(_params.io, *_tech);
+            _io = memo.chipIo(_params.io, *_tech);
         });
     }
     parallel::parallelFor(build.size(),
@@ -102,7 +102,9 @@ Processor::Processor(SystemParams params)
         uncore::NocParams noc = _params.noc;
         if (noc.linkLength <= 0.0) {
             // Derive the hop span from the tile pitch: each fabric
-            // node carries its share of cores and shared cache.
+            // node carries its share of cores and shared cache.  The
+            // memo keys on the *resolved* link length, so two chips
+            // share a NoC exactly when their derived pitches agree.
             double tile_area = 0.0;
             for (std::size_t g = 0; g < groups.size(); ++g)
                 tile_area += _cores[g]->area() * groups[g].count;
@@ -111,7 +113,7 @@ Processor::Processor(SystemParams params)
             tile_area /= std::max(1, noc.nodes());
             noc.linkLength = std::sqrt(std::max(tile_area, 0.01 * mm2));
         }
-        _noc = std::make_unique<uncore::Noc>(noc, *_tech);
+        _noc = memo.noc(noc, *_tech);
     }
 
     MCPAT_SPAN("tdp");

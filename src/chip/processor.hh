@@ -33,7 +33,7 @@ class Processor
     const core::Core &core() const { return *_cores.front(); }
 
     /** One representative core per group. */
-    const std::vector<std::unique_ptr<core::Core>> &cores() const
+    const std::vector<std::shared_ptr<const core::Core>> &cores() const
     {
         return _cores;
     }
@@ -61,13 +61,17 @@ class Processor
     SystemParams _params;
     std::unique_ptr<tech::Technology> _tech;
 
-    std::vector<std::unique_ptr<core::Core>> _cores;  ///< one per group
-    std::unique_ptr<uncore::SharedCache> _l2; ///< representative L2
-    std::unique_ptr<uncore::SharedCache> _l3;
-    std::unique_ptr<uncore::Directory> _directory;
-    std::unique_ptr<uncore::Noc> _noc;
-    std::unique_ptr<uncore::MemoryController> _memCtrl;
-    std::unique_ptr<uncore::ChipIo> _io;
+    // Components are memoized process-wide (chip/component_memo.hh)
+    // and therefore shared, immutable, and self-contained: a sweep
+    // point that changes one sub-parameter bundle reuses every other
+    // component verbatim (delta evaluation).
+    std::vector<std::shared_ptr<const core::Core>> _cores; ///< per group
+    std::shared_ptr<const uncore::SharedCache> _l2; ///< representative L2
+    std::shared_ptr<const uncore::SharedCache> _l3;
+    std::shared_ptr<const uncore::Directory> _directory;
+    std::shared_ptr<const uncore::Noc> _noc;
+    std::shared_ptr<const uncore::MemoryController> _memCtrl;
+    std::shared_ptr<const uncore::ChipIo> _io;
 
     double _area = 0.0;
     /** TDP activity vector, derived once at construction and reused by

@@ -9,9 +9,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "chip/processor.hh"
 #include <fstream>
@@ -26,8 +29,11 @@
 #include "chip/thermal.hh"
 #include "config/gem5_stats.hh"
 #include "config/xml_loader.hh"
+#include "chip/component_memo.hh"
+#include "common/units.hh"
 #include "study/batch.hh"
 #include "study/server.hh"
+#include "study/sweep_search.hh"
 
 namespace {
 
@@ -41,6 +47,9 @@ usage(const char *prog)
               << " -batch <list.txt> [-batch_out <dir>]\n"
               << "       " << prog
               << " -serve <port-or-socket-path> [-serve_workers N]\n"
+              << "       " << prog
+              << " -sweep_search <out-dir> [-sweep_exhaustive] "
+                 "[-resume]\n"
               << "  -infile      McPAT XML configuration file\n"
               << "  -batch       evaluate every config listed in "
                  "<list.txt>\n"
@@ -80,6 +89,30 @@ usage(const char *prog)
               << "               wait for a worker before new ones "
                  "get a 503\n"
               << "               rejection (default 32)\n"
+              << "  -sweep_search  run the case-study Pareto-frontier "
+                 "search\n"
+              << "               over the design grid, writing "
+                 "frontier.json,\n"
+              << "               points.csv, and a resumable journal "
+                 "to\n"
+              << "               <out-dir> (-resume replays "
+                 "sweep_journal.jsonl)\n"
+              << "  -sweep_exhaustive  evaluate every grid point "
+                 "instead of\n"
+              << "               searching (the reference the search "
+                 "is graded\n"
+              << "               against)\n"
+              << "  -sweep_work  instructions per run for the delay "
+                 "figure\n"
+              << "               (default 1e12)\n"
+              << "  -sweep_cores total cores per design point "
+                 "(default 16)\n"
+              << "  -sweep_clusters    comma list of cores-per-cluster "
+                 "values\n"
+              << "  -sweep_l2_mib      comma list of per-core L2 "
+                 "budgets, MiB\n"
+              << "  -sweep_clocks_ghz  comma list of core clocks, "
+                 "GHz\n"
               << "  -strict      treat validation warnings as errors "
                  "(exit\n"
               << "               nonzero; batch items with warnings "
@@ -202,6 +235,24 @@ numericArg(const char *flag, const char *value)
     }
 }
 
+/// Parse a comma-separated numeric list ("1,1.5,2"), with the same
+/// fail-fast behavior as numericArg.
+std::vector<double>
+numericListArg(const char *flag, const char *value)
+{
+    std::vector<double> out;
+    std::istringstream is(value);
+    std::string item;
+    while (std::getline(is, item, ','))
+        out.push_back(numericArg(flag, item.c_str()));
+    if (out.empty()) {
+        std::cerr << flag << " expects a comma-separated list, got '"
+                  << value << "'\n";
+        std::exit(1);
+    }
+    return out;
+}
+
 } // namespace
 
 int
@@ -210,6 +261,13 @@ main(int argc, char **argv)
     std::string infile;
     std::string batch_list;
     std::string serve_endpoint;
+    std::string sweep_dir;
+    bool sweep_exhaustive = false;
+    double sweep_work = 1.0e12;
+    int sweep_cores = 0;
+    std::vector<double> sweep_clusters;
+    std::vector<double> sweep_l2_mib;
+    std::vector<double> sweep_clocks_ghz;
     int serve_workers = 0;
     int serve_queue = 32;
     std::string batch_out = "mcpat_batch";
@@ -235,6 +293,29 @@ main(int argc, char **argv)
             batch_out = argv[++i];
         } else if (std::strcmp(argv[i], "-serve") == 0 && i + 1 < argc) {
             serve_endpoint = argv[++i];
+        } else if (std::strcmp(argv[i], "-sweep_search") == 0 &&
+                   i + 1 < argc) {
+            sweep_dir = argv[++i];
+        } else if (std::strcmp(argv[i], "-sweep_exhaustive") == 0) {
+            sweep_exhaustive = true;
+        } else if (std::strcmp(argv[i], "-sweep_work") == 0 &&
+                   i + 1 < argc) {
+            sweep_work = numericArg("-sweep_work", argv[++i]);
+        } else if (std::strcmp(argv[i], "-sweep_cores") == 0 &&
+                   i + 1 < argc) {
+            sweep_cores = static_cast<int>(
+                numericArg("-sweep_cores", argv[++i]));
+        } else if (std::strcmp(argv[i], "-sweep_clusters") == 0 &&
+                   i + 1 < argc) {
+            sweep_clusters =
+                numericListArg("-sweep_clusters", argv[++i]);
+        } else if (std::strcmp(argv[i], "-sweep_l2_mib") == 0 &&
+                   i + 1 < argc) {
+            sweep_l2_mib = numericListArg("-sweep_l2_mib", argv[++i]);
+        } else if (std::strcmp(argv[i], "-sweep_clocks_ghz") == 0 &&
+                   i + 1 < argc) {
+            sweep_clocks_ghz =
+                numericListArg("-sweep_clocks_ghz", argv[++i]);
         } else if (std::strcmp(argv[i], "-serve_workers") == 0 &&
                    i + 1 < argc) {
             serve_workers = static_cast<int>(
@@ -293,9 +374,10 @@ main(int argc, char **argv)
             return 1;
         }
     }
-    // Exactly one mode: -infile, -batch, or -serve.
+    // Exactly one mode: -infile, -batch, -serve, or -sweep_search.
     const int modes = (infile.empty() ? 0 : 1) +
-        (batch_list.empty() ? 0 : 1) + (serve_endpoint.empty() ? 0 : 1);
+        (batch_list.empty() ? 0 : 1) + (serve_endpoint.empty() ? 0 : 1) +
+        (sweep_dir.empty() ? 0 : 1);
     if (modes != 1) {
         usage(argv[0]);
         return 1;
@@ -317,6 +399,80 @@ main(int argc, char **argv)
         if (cache_stats)
             mcpat::array::reportCacheStats(std::cerr);
         return rc;
+    }
+
+    if (!sweep_dir.empty()) {
+        try {
+            mcpat::cancel::installStopHandlers();
+            std::error_code ec;
+            std::filesystem::create_directories(sweep_dir, ec);
+
+            mcpat::study::SweepSpace space =
+                mcpat::study::SweepSpace::reference();
+            if (sweep_cores > 0)
+                space.totalCores = sweep_cores;
+            if (!sweep_clusters.empty()) {
+                space.clusterSizes.clear();
+                for (double c : sweep_clusters)
+                    space.clusterSizes.push_back(static_cast<int>(c));
+            }
+            if (!sweep_l2_mib.empty()) {
+                space.l2BytesPerCore.clear();
+                for (double m : sweep_l2_mib)
+                    space.l2BytesPerCore.push_back(m * 1024 * 1024);
+            }
+            if (!sweep_clocks_ghz.empty()) {
+                space.clockRates.clear();
+                for (double g : sweep_clocks_ghz)
+                    space.clockRates.push_back(g * 1.0e9);
+            }
+
+            mcpat::study::SweepSearchOptions opts;
+            opts.work = sweep_work;
+            opts.exhaustive = sweep_exhaustive;
+            opts.journal.path = sweep_dir + "/sweep_journal.jsonl";
+            opts.journal.resume = resume;
+            const mcpat::study::SweepSearchResult result =
+                mcpat::study::runSweepSearch(space, opts);
+
+            mcpat::study::printSweepSearchResult(std::cout, space,
+                                                 result);
+            const auto memo =
+                mcpat::chip::ComponentMemo::instance().stats();
+            std::cout << "Component memo: " << memo.hits << " hits, "
+                      << memo.misses << " misses, " << memo.entries
+                      << " entries\n";
+
+            const std::string json_path = sweep_dir + "/frontier.json";
+            std::ofstream jf(json_path);
+            if (!jf)
+                throw mcpat::ConfigError("cannot write " + json_path);
+            mcpat::study::writeSweepSearchJson(jf, space, result,
+                                               sweep_work);
+            std::cerr << "wrote " << json_path << "\n";
+
+            const std::string csv_path = sweep_dir + "/points.csv";
+            std::ofstream cf(csv_path);
+            if (!cf)
+                throw mcpat::ConfigError("cannot write " + csv_path);
+            mcpat::study::writeSweepSearchCsv(cf, space, result);
+            std::cerr << "wrote " << csv_path << "\n";
+
+            if (cache_stats)
+                mcpat::array::reportCacheStats(std::cerr);
+            instrumentation.write(sweep_dir, /*valid=*/true,
+                                  /*write_metrics=*/false);
+            return 0;
+        } catch (const mcpat::cancel::Cancelled &e) {
+            // The journal holds every finished point; rerunning with
+            // -resume replays them and continues the search.
+            std::cerr << "mcpat: " << e.what()
+                      << " (resume with -resume)\n";
+            return e.kind() == mcpat::cancel::Kind::Timeout ? 124 : 130;
+        } catch (const std::exception &e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        }
     }
 
     if (!batch_list.empty()) {

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "array/array_cache.hh"
+#include "chip/component_memo.hh"
 #include "chip/invariant_audit.hh"
 #include "chip/processor.hh"
 #include "chip/report_writer.hh"
@@ -41,6 +42,8 @@ evalManifestJson(const EvalResult &result, const std::string &source,
     const std::string pad(indent, ' ');
     const array::ArrayCacheStats cache =
         array::ArrayResultCache::instance().stats();
+    const chip::ComponentMemoStats memo =
+        chip::ComponentMemo::instance().stats();
     std::ostringstream os;
     os << pad << "{\n"
        << pad << "  \"schema\": \"mcpat-eval-manifest-v1\",\n"
@@ -60,6 +63,10 @@ evalManifestJson(const EvalResult &result, const std::string &source,
        << ", \"entries\": " << cache.entries
        << ", \"disk_hits\": " << cache.diskHits
        << ", \"disk_misses\": " << cache.diskMisses << "},\n"
+       << pad << "  \"component_memo\": {\"hits\": " << memo.hits
+       << ", \"misses\": " << memo.misses
+       << ", \"entries\": " << memo.entries
+       << ", \"evictions\": " << memo.evictions << "},\n"
        << pad << "  \"diagnostics\": "
        << result.diagnostics.size() << "\n"
        << pad << "}";

@@ -6,17 +6,55 @@
 #include "study/metrics.hh"
 
 #include <cmath>
+#include <limits>
+#include <sstream>
 
 #include "common/logging.hh"
 
 namespace mcpat {
 namespace study {
 
-Metrics
-computeMetrics(const RunFigures &f)
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+} // namespace
+
+bool
+Metrics::finite() const
 {
-    panicIf(f.delay <= 0.0 || f.energy < 0.0 || f.area < 0.0,
-            "metrics require positive delay and non-negative energy/area");
+    return std::isfinite(ed) && std::isfinite(ed2) &&
+           std::isfinite(eda) && std::isfinite(ed2a);
+}
+
+Metrics
+Metrics::invalid()
+{
+    Metrics m;
+    m.ed = m.ed2 = m.eda = m.ed2a = kNaN;
+    return m;
+}
+
+Metrics
+computeMetrics(const RunFigures &f, std::string *why)
+{
+    // A degenerate workload (zero throughput, non-finite power) is a
+    // data problem local to one (design, workload) pair; report it as
+    // non-finite metrics, never as a process abort.
+    const bool degenerate =
+        !(f.delay > 0.0) || !(f.energy >= 0.0) || !(f.area >= 0.0) ||
+        !std::isfinite(f.delay) || !std::isfinite(f.energy) ||
+        !std::isfinite(f.area);
+    if (degenerate) {
+        if (why) {
+            std::ostringstream os;
+            os << "degenerate run figures (delay=" << f.delay
+               << " s, energy=" << f.energy << " J, area=" << f.area
+               << " m^2): metrics are non-finite for this point";
+            *why = os.str();
+        }
+        return Metrics::invalid();
+    }
     Metrics m;
     m.ed = f.energy * f.delay;
     m.ed2 = m.ed * f.delay;
@@ -26,12 +64,22 @@ computeMetrics(const RunFigures &f)
 }
 
 double
-geomean(const std::vector<double> &values)
+geomean(const std::vector<double> &values, std::string *why)
 {
+    // Asking for the mean of nothing is a caller bug, not bad data.
     panicIf(values.empty(), "geomean of an empty set");
     double log_sum = 0.0;
-    for (double v : values) {
-        panicIf(v <= 0.0, "geomean requires positive values");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const double v = values[i];
+        if (!(v > 0.0) || !std::isfinite(v)) {
+            if (why) {
+                std::ostringstream os;
+                os << "geomean over a non-positive or non-finite value ("
+                   << v << " at index " << i << ")";
+                *why = os.str();
+            }
+            return kNaN;
+        }
         log_sum += std::log(v);
     }
     return std::exp(log_sum / values.size());

@@ -8,6 +8,7 @@
 #ifndef MCPAT_STUDY_METRICS_HH
 #define MCPAT_STUDY_METRICS_HH
 
+#include <string>
 #include <vector>
 
 namespace mcpat {
@@ -29,13 +30,37 @@ struct Metrics
     double ed2 = 0.0;   ///< energy x delay^2
     double eda = 0.0;   ///< energy x delay x area
     double ed2a = 0.0;  ///< energy x delay^2 x area
+
+    /** All four figures are finite (degenerate inputs yield NaN). */
+    bool finite() const;
+
+    /** The all-NaN marker for a degenerate (workload, design) pair. */
+    static Metrics invalid();
 };
 
-/** Compute the combined metrics for one run. */
-Metrics computeMetrics(const RunFigures &f);
+/**
+ * Compute the combined metrics for one run.
+ *
+ * Degenerate figures — non-positive or non-finite delay, negative or
+ * non-finite energy/area — come back as Metrics::invalid() (all NaN,
+ * serialized as JSON null / empty CSV field per the repo-wide
+ * non-finite rules) with a description in @p why when non-null.  One
+ * broken workload must fail *its own* numbers, not abort a whole
+ * sweep or batch process; callers attach the @p why text to a located
+ * diagnostic naming the design point and workload.
+ */
+Metrics computeMetrics(const RunFigures &f, std::string *why = nullptr);
 
-/** Geometric mean over per-workload metric values. */
-double geomean(const std::vector<double> &values);
+/**
+ * Geometric mean over per-workload metric values.
+ *
+ * An empty set is a programmer error and still panics; a set
+ * containing a non-positive or non-finite value (a degenerate workload
+ * propagating through) yields NaN, with a description in @p why when
+ * non-null.
+ */
+double geomean(const std::vector<double> &values,
+               std::string *why = nullptr);
 
 } // namespace study
 } // namespace mcpat

@@ -5,10 +5,13 @@
 
 #include "study/sweep.hh"
 
+#include <atomic>
 #include <cmath>
+#include <iomanip>
 #include <limits>
 #include <map>
 #include <mutex>
+#include <ostream>
 #include <sstream>
 
 #include "chip/processor.hh"
@@ -68,7 +71,97 @@ makeCore(const CaseStudyConfig &cfg)
     return c;
 }
 
+// Sweep evaluation counters: cheap internal atomics mirrored into the
+// instrumentation registry by a collector (the registry pattern every
+// subsystem follows, so the hot path never pays for observation).
+std::atomic<std::uint64_t> g_full_evals{0};
+std::atomic<std::uint64_t> g_replayed{0};
+
+[[maybe_unused]] const bool g_sweep_collector_registered =
+    instr::Registry::instance().addCollector([](instr::Registry &reg) {
+        reg.gauge("sweep.full_evals")
+            .set(static_cast<double>(
+                g_full_evals.load(std::memory_order_relaxed)));
+        reg.gauge("sweep.replayed")
+            .set(static_cast<double>(
+                g_replayed.load(std::memory_order_relaxed)));
+    });
+
+/** "512K" / "1M" / "1.5M" for a byte count (label suffixes). */
+std::string
+bytesSuffix(double bytes)
+{
+    std::ostringstream os;
+    if (bytes >= 1024.0 * 1024.0)
+        os << bytes / (1024.0 * 1024.0) << "M";
+    else
+        os << bytes / 1024.0 << "K";
+    return os.str();
+}
+
+/**
+ * The max_digits10 round-trip representation of a double ("null" for
+ * non-finite values).  Two finite doubles share a representation
+ * exactly when they are equal, so *string* comparison of these is the
+ * journal's value-identity test — immune to the non-finite values a
+ * plain `==` on parsed numbers mishandles.
+ */
+std::string
+roundTripRepr(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    return os.str();
+}
+
+/**
+ * Does the journal header's "work" member match this run's value?
+ * A journaled null (the serialization of a non-finite work) matches
+ * exactly the non-finite case; anything absent or non-numeric never
+ * matches a finite value.  The old exact `double ==` against
+ * JsonValue::getNumber() silently discarded valid journals whose work
+ * was non-finite (null parses as the 0.0 default) — and, worse,
+ * *falsely matched* them when the new run's work really was 0.0.
+ */
+bool
+journalWorkMatches(const common::JsonValue &hdr, double work)
+{
+    const common::JsonValue *v = hdr.find("work");
+    if (!v)
+        return false;
+    if (v->isNull())
+        return !std::isfinite(work);
+    if (!v->isNumber())
+        return false;
+    return roundTripRepr(v->number) == roundTripRepr(work);
+}
+
 } // namespace
+
+void
+writeSweepJsonNumber(std::ostream &os, double v)
+{
+    os << roundTripRepr(v);
+}
+
+SweepEvalStats
+sweepEvalStats()
+{
+    SweepEvalStats s;
+    s.fullEvaluations = g_full_evals.load(std::memory_order_relaxed);
+    s.replayed = g_replayed.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+resetSweepEvalStats()
+{
+    g_full_evals.store(0, std::memory_order_relaxed);
+    g_replayed.store(0, std::memory_order_relaxed);
+}
 
 std::pair<int, int>
 meshDims(int n)
@@ -107,7 +200,35 @@ CaseStudyConfig::label() const
 {
     const std::string style_name =
         (style == CoreStyle::InOrderMT) ? "inorder" : "ooo";
-    return style_name + "-c" + std::to_string(coresPerCluster);
+    std::string l = style_name + "-c" + std::to_string(coresPerCluster);
+    // Append only the knobs that deviate from the paper's defaults:
+    // the classic 8-point sweep keeps its historical names, while the
+    // enlarged search space stays unambiguous to a human.
+    const CaseStudyConfig defaults;
+    if (totalCores != defaults.totalCores)
+        l += "-n" + std::to_string(totalCores);
+    if (clockRate != defaults.clockRate) {
+        std::ostringstream os;
+        os << clockRate / 1e9 << "GHz";
+        l += "-" + os.str();
+    }
+    if (l2BytesPerCore != defaults.l2BytesPerCore)
+        l += "-l2" + bytesSuffix(l2BytesPerCore);
+    if (nodeNm != defaults.nodeNm)
+        l += "-" + std::to_string(nodeNm) + "nm";
+    return l;
+}
+
+std::string
+CaseStudyConfig::key() const
+{
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << "node=" << nodeNm << ";clk=" << clockRate
+       << ";cores=" << totalCores << ";cluster=" << coresPerCluster
+       << ";style=" << static_cast<int>(style)
+       << ";l2pc=" << l2BytesPerCore;
+    return os.str();
 }
 
 chip::SystemParams
@@ -164,6 +285,7 @@ evaluateDesignPoint(const CaseStudyConfig &cfg, double work)
 {
     MCPAT_SPAN("sweep.design_point", cfg.label());
     cancel::checkpoint();
+    g_full_evals.fetch_add(1, std::memory_order_relaxed);
     DesignPointResult result;
     result.config = cfg;
 
@@ -177,6 +299,7 @@ evaluateDesignPoint(const CaseStudyConfig &cfg, double work)
     // floating-point reduction matches the serial path bit for bit.
     const auto &workloads = perf::splash2Workloads();
     result.workloads.resize(workloads.size());
+    std::vector<std::string> metric_errors(workloads.size());
     parallel::parallelFor(workloads.size(), [&](std::size_t i) {
         cancel::checkpoint();
         const perf::Workload &w = workloads[i];
@@ -193,9 +316,21 @@ evaluateDesignPoint(const CaseStudyConfig &cfg, double work)
         wr.figures.power = wr.runtimePower;
         wr.figures.energy = wr.runtimePower * wr.figures.delay;
         wr.figures.area = result.area;
-        wr.metrics = computeMetrics(wr.figures);
+        wr.metrics = computeMetrics(wr.figures, &metric_errors[i]);
         result.workloads[i] = std::move(wr);
     });
+
+    // A degenerate workload failed *its* metrics (NaN, serialized as
+    // JSON null), not the sweep: surface it as a located diagnostic
+    // naming the design point and workload, and let the NaN propagate
+    // into the affected aggregates.
+    for (std::size_t i = 0; i < result.workloads.size(); ++i) {
+        if (!metric_errors[i].empty()) {
+            result.diagnostics.add(Severity::Warning, cfg.label(),
+                                   result.workloads[i].workload,
+                                   metric_errors[i]);
+        }
+    }
 
     std::vector<double> eds, ed2s, edas, ed2as, powers;
     double tput_sum = 0.0;
@@ -208,12 +343,25 @@ evaluateDesignPoint(const CaseStudyConfig &cfg, double work)
         ed2as.push_back(wr.metrics.ed2a);
     }
 
+    std::string agg_error;
+    const auto aggregate = [&](const char *name,
+                               const std::vector<double> &vals) {
+        std::string why;
+        const double g = geomean(vals, &why);
+        if (!why.empty() && agg_error.empty()) {
+            agg_error = why;
+            result.diagnostics.add(Severity::Warning, cfg.label(), name,
+                                   "aggregate is non-finite: " + why);
+        }
+        return g;
+    };
+
     result.meanThroughput = tput_sum / result.workloads.size();
-    result.meanPower = geomean(powers);
-    result.meanMetrics.ed = geomean(eds);
-    result.meanMetrics.ed2 = geomean(ed2s);
-    result.meanMetrics.eda = geomean(edas);
-    result.meanMetrics.ed2a = geomean(ed2as);
+    result.meanPower = aggregate("mean_power", powers);
+    result.meanMetrics.ed = aggregate("ed", eds);
+    result.meanMetrics.ed2 = aggregate("ed2", ed2s);
+    result.meanMetrics.eda = aggregate("eda", edas);
+    result.meanMetrics.ed2a = aggregate("ed2a", ed2as);
     return result;
 }
 
@@ -235,49 +383,36 @@ caseStudyConfigs()
 
 namespace {
 
-/** Full-precision JSON number (null for non-finite). */
-void
-sweepJsonDouble(std::ostream &os, double v)
-{
-    if (!std::isfinite(v)) {
-        os << "null";
-        return;
-    }
-    std::ostringstream tmp;
-    tmp.precision(std::numeric_limits<double>::max_digits10);
-    tmp << v;
-    os << tmp.str();
-}
-
 /** One completed design point as a journal payload (aggregates only:
  *  per-workload detail is cheap to reconstruct and expensive to
  *  serialize faithfully, so resume trades it away explicitly). */
 std::string
-sweepItemPayload(const DesignPointResult &r, double work)
+sweepItemPayload(const DesignPointResult &r)
 {
     std::ostringstream os;
-    os << "{\"type\": \"point\", \"label\": \""
-       << jsonEscapeString(r.config.label()) << "\", \"work\": ";
-    sweepJsonDouble(os, work);
-    os << ", \"area\": ";
-    sweepJsonDouble(os, r.area);
+    os << "{\"type\": \"point\", \"key\": \""
+       << jsonEscapeString(r.config.key()) << "\", \"label\": \""
+       << jsonEscapeString(r.config.label()) << "\", \"area\": ";
+    writeSweepJsonNumber(os, r.area);
     os << ", \"tdp\": ";
-    sweepJsonDouble(os, r.tdp);
+    writeSweepJsonNumber(os, r.tdp);
     os << ", \"mean_throughput\": ";
-    sweepJsonDouble(os, r.meanThroughput);
+    writeSweepJsonNumber(os, r.meanThroughput);
     os << ", \"mean_power\": ";
-    sweepJsonDouble(os, r.meanPower);
+    writeSweepJsonNumber(os, r.meanPower);
     os << ", \"ed\": ";
-    sweepJsonDouble(os, r.meanMetrics.ed);
+    writeSweepJsonNumber(os, r.meanMetrics.ed);
     os << ", \"ed2\": ";
-    sweepJsonDouble(os, r.meanMetrics.ed2);
+    writeSweepJsonNumber(os, r.meanMetrics.ed2);
     os << ", \"eda\": ";
-    sweepJsonDouble(os, r.meanMetrics.eda);
+    writeSweepJsonNumber(os, r.meanMetrics.eda);
     os << ", \"ed2a\": ";
-    sweepJsonDouble(os, r.meanMetrics.ed2a);
+    writeSweepJsonNumber(os, r.meanMetrics.ed2a);
     os << "}";
     return os.str();
 }
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
 } // namespace
 
@@ -286,7 +421,7 @@ evaluateDesignPoints(const std::vector<CaseStudyConfig> &configs,
                      double work, const SweepJournalOptions &journal_opts)
 {
     // Replayable aggregates from an earlier interrupted sweep, keyed
-    // by design-point label.
+    // by the canonical design-point key.
     std::map<std::string, DesignPointResult> replay;
     if (journal_opts.resume && !journal_opts.path.empty()) {
         const common::JournalContents j =
@@ -295,8 +430,8 @@ evaluateDesignPoints(const std::vector<CaseStudyConfig> &configs,
         if (!j.records.empty()) {
             common::JsonValue hdr;
             header_ok = common::jsonParse(j.records.front(), hdr) &&
-                hdr.getString("schema") == "mcpat-sweep-journal-v1" &&
-                hdr.getNumber("work") == work;
+                hdr.getString("schema") == "mcpat-sweep-journal-v2" &&
+                journalWorkMatches(hdr, work);
         }
         if (header_ok) {
             for (std::size_t i = 1; i < j.records.size(); ++i) {
@@ -305,15 +440,18 @@ evaluateDesignPoints(const std::vector<CaseStudyConfig> &configs,
                     v.getString("type") != "point")
                     continue;
                 DesignPointResult r;
-                r.area = v.getNumber("area");
-                r.tdp = v.getNumber("tdp");
-                r.meanThroughput = v.getNumber("mean_throughput");
-                r.meanPower = v.getNumber("mean_power");
-                r.meanMetrics.ed = v.getNumber("ed");
-                r.meanMetrics.ed2 = v.getNumber("ed2");
-                r.meanMetrics.eda = v.getNumber("eda");
-                r.meanMetrics.ed2a = v.getNumber("ed2a");
-                replay[v.getString("label")] = std::move(r);
+                r.aggregatesOnly = true;
+                // Journaled nulls (non-finite figures) replay as NaN,
+                // matching what a fresh evaluation would produce.
+                r.area = v.getNumber("area", kNaN);
+                r.tdp = v.getNumber("tdp", kNaN);
+                r.meanThroughput = v.getNumber("mean_throughput", kNaN);
+                r.meanPower = v.getNumber("mean_power", kNaN);
+                r.meanMetrics.ed = v.getNumber("ed", kNaN);
+                r.meanMetrics.ed2 = v.getNumber("ed2", kNaN);
+                r.meanMetrics.eda = v.getNumber("eda", kNaN);
+                r.meanMetrics.ed2a = v.getNumber("ed2a", kNaN);
+                replay[v.getString("key")] = std::move(r);
             }
         }
     }
@@ -324,9 +462,9 @@ evaluateDesignPoints(const std::vector<CaseStudyConfig> &configs,
         journal.open(journal_opts.path, /*truncate=*/replay.empty())) {
         if (replay.empty()) {
             std::ostringstream hdr;
-            hdr << "{\"schema\": \"mcpat-sweep-journal-v1\", "
+            hdr << "{\"schema\": \"mcpat-sweep-journal-v2\", "
                    "\"work\": ";
-            sweepJsonDouble(hdr, work);
+            writeSweepJsonNumber(hdr, work);
             hdr << "}";
             journal.append(hdr.str());
         }
@@ -335,8 +473,9 @@ evaluateDesignPoints(const std::vector<CaseStudyConfig> &configs,
     std::vector<DesignPointResult> results(configs.size());
     instr::ProgressMeter progress("sweep", configs.size());
     parallel::parallelFor(configs.size(), [&](std::size_t i) {
-        const auto rep = replay.find(configs[i].label());
+        const auto rep = replay.find(configs[i].key());
         if (rep != replay.end()) {
+            g_replayed.fetch_add(1, std::memory_order_relaxed);
             results[i] = rep->second;
             results[i].config = configs[i];
         } else {
@@ -345,7 +484,7 @@ evaluateDesignPoints(const std::vector<CaseStudyConfig> &configs,
                 // Appends interleave across worker threads; the writer
                 // is not internally synchronized.
                 std::lock_guard<std::mutex> lock(journal_mutex);
-                journal.append(sweepItemPayload(results[i], work));
+                journal.append(sweepItemPayload(results[i]));
             }
         }
         progress.tick();
@@ -360,6 +499,47 @@ runCaseStudy(double work)
     // ordered slots (the result vector keeps the serial sweep order).
     return evaluateDesignPoints(caseStudyConfigs(), work,
                                 SweepJournalOptions{});
+}
+
+namespace {
+
+/** Fixed-width numeric cell; "-" for non-finite values. */
+std::string
+numberCell(double v)
+{
+    if (!std::isfinite(v))
+        return "-";
+    std::ostringstream os;
+    os << std::setprecision(4) << v;
+    return os.str();
+}
+
+} // namespace
+
+void
+printDesignPointWorkloads(std::ostream &os, const DesignPointResult &r)
+{
+    if (r.aggregatesOnly) {
+        // An empty section would read as "no workloads ran"; say what
+        // actually happened instead.
+        os << "    (per-workload detail unavailable: point replayed "
+              "from the sweep journal, aggregates only)\n";
+        return;
+    }
+    os << "    " << std::left << std::setw(12) << "workload"
+       << std::right << std::setw(12) << "IPS" << std::setw(10) << "W"
+       << std::setw(12) << "ED" << std::setw(12) << "ED^2"
+       << std::setw(12) << "EDA" << std::setw(12) << "ED^2A" << "\n";
+    for (const auto &w : r.workloads) {
+        os << "    " << std::left << std::setw(12) << w.workload
+           << std::right << std::setw(12)
+           << numberCell(w.performance.throughput) << std::setw(10)
+           << numberCell(w.runtimePower) << std::setw(12)
+           << numberCell(w.metrics.ed) << std::setw(12)
+           << numberCell(w.metrics.ed2) << std::setw(12)
+           << numberCell(w.metrics.eda) << std::setw(12)
+           << numberCell(w.metrics.ed2a) << "\n";
+    }
 }
 
 } // namespace study

@@ -9,10 +9,12 @@
 #ifndef MCPAT_STUDY_SWEEP_HH
 #define MCPAT_STUDY_SWEEP_HH
 
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/diagnostics.hh"
 #include "perf/activity_gen.hh"
 #include "study/metrics.hh"
 
@@ -38,7 +40,21 @@ struct CaseStudyConfig
     /** Per-core L2 allocation (cluster L2 = this x cluster size). */
     double l2BytesPerCore = 1.0 * 1024 * 1024;
 
+    /**
+     * Human-readable point name: "<style>-c<cluster>", extended with
+     * core count / clock / L2 suffixes only when those knobs deviate
+     * from the paper defaults (so the classic 8-point sweep keeps its
+     * historical labels).
+     */
     std::string label() const;
+
+    /**
+     * Canonical identity string covering *every* field at full double
+     * precision.  Journals and memo tables key on this — two configs
+     * share a key exactly when they describe the same design point.
+     */
+    std::string key() const;
+
     int clusters() const { return totalCores / coresPerCluster; }
 };
 
@@ -72,6 +88,21 @@ struct DesignPointResult
     double tdp = 0.0;            ///< W
     std::vector<WorkloadResult> workloads;
 
+    /**
+     * The per-workload vector is intentionally absent: this result was
+     * replayed from a sweep journal, which records aggregates only.
+     * Consumers printing per-workload sections must say so instead of
+     * emitting nothing (printDesignPointWorkloads does).
+     */
+    bool aggregatesOnly = false;
+
+    /**
+     * Located problems found while evaluating this point — e.g. a
+     * degenerate workload whose metrics came back non-finite.  The
+     * point itself survives with NaN aggregates (JSON null).
+     */
+    DiagnosticList diagnostics;
+
     // Workload aggregates (arithmetic mean throughput; geometric mean
     // for ratio-like metrics, as the paper does).
     double meanThroughput = 0.0; ///< instructions/s
@@ -85,6 +116,10 @@ struct DesignPointResult
  * Polls the ambient cancellation token (common/cancel.hh) between
  * workloads, so a deadline or stop request unwinds with
  * cancel::Cancelled instead of running the sweep to completion.
+ *
+ * A degenerate workload (non-positive delay, non-finite power) does
+ * not throw: its metrics — and the affected aggregates — come back
+ * NaN, with a located diagnostic in DesignPointResult::diagnostics.
  *
  * @param work the fixed work per run, instructions (delay = work /
  *             throughput)
@@ -104,17 +139,21 @@ struct SweepJournalOptions
     /**
      * Replay design points recorded in an existing journal.  Replayed
      * points carry the journaled aggregates (area, TDP, mean
-     * throughput/power/metrics) with an empty per-workload vector;
-     * callers needing per-workload detail re-evaluate.
+     * throughput/power/metrics) with an empty per-workload vector and
+     * aggregatesOnly set; callers needing per-workload detail
+     * re-evaluate.
      */
     bool resume = false;
 };
 
 /**
  * Evaluate @p configs in parallel, journaling each completed point
- * (schema "mcpat-sweep-journal-v1", keyed by config label) so an
- * interrupted sweep resumes without redoing finished points.  Results
- * keep @p configs order.
+ * (schema "mcpat-sweep-journal-v2", keyed by CaseStudyConfig::key())
+ * so an interrupted sweep resumes without redoing finished points.
+ * The resume header binds the `work` value by its max_digits10
+ * round-trip representation — JSON null for a non-finite work — so a
+ * journal matches exactly when the value it was built with matches.
+ * Results keep @p configs order.
  */
 std::vector<DesignPointResult>
 evaluateDesignPoints(const std::vector<CaseStudyConfig> &configs,
@@ -122,6 +161,30 @@ evaluateDesignPoints(const std::vector<CaseStudyConfig> &configs,
 
 /** The paper's sweep: both core styles x cluster sizes {1,2,4,8}. */
 std::vector<DesignPointResult> runCaseStudy(double work = 1.0e12);
+
+/** Sweep evaluation counters (mirrored into the registry). */
+struct SweepEvalStats
+{
+    std::uint64_t fullEvaluations = 0;  ///< evaluateDesignPoint calls
+    std::uint64_t replayed = 0;         ///< points served from a journal
+};
+
+SweepEvalStats sweepEvalStats();
+void resetSweepEvalStats();
+
+/**
+ * Full-precision JSON number for sweep serialization: max_digits10,
+ * null for non-finite values (the repo-wide rule).
+ */
+void writeSweepJsonNumber(std::ostream &os, double v);
+
+/**
+ * Print one design point's per-workload rows.  A replayed
+ * (aggregatesOnly) point prints an explicit note instead of a silent
+ * empty section.
+ */
+void printDesignPointWorkloads(std::ostream &os,
+                               const DesignPointResult &r);
 
 } // namespace study
 } // namespace mcpat

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "array/array_cache.hh"
+#include "chip/component_memo.hh"
 #include "common/logging.hh"
 #include "study/batch.hh"
 
@@ -189,6 +190,7 @@ TEST(Batch, SecondPassHitsDiskAndReproducesBytes)
     cache.clear();
     cache.setEnabled(true);
     cache.setCacheDir((dir / "cache").string());
+    chip::ComponentMemo::instance().clear();
 
     study::BatchOptions opts;
     opts.outputDir = (dir / "out1").string();
@@ -199,9 +201,12 @@ TEST(Batch, SecondPassHitsDiskAndReproducesBytes)
     EXPECT_EQ(pass1.cacheStats.diskHits, 0u);
     EXPECT_GT(pass1.cacheStats.diskMisses, 0u);
 
-    // Fresh process simulation: drop the memory tier, keep the disk.
+    // Fresh process simulation: drop every in-memory tier — the
+    // component memo above the arrays and the array memory cache —
+    // and keep only the disk.
     cache.setCacheDir((dir / "cache").string());  // zero disk counters
     cache.clear();
+    chip::ComponentMemo::instance().clear();
 
     opts.outputDir = (dir / "out2").string();
     std::ostringstream log2;

@@ -572,7 +572,7 @@ TEST(SweepJournal, ResumeReplaysAggregatesAndSkipsEvaluation)
     EXPECT_FALSE(fresh[0].workloads.empty());
 
     // Resume: both points replay from the journal — aggregates exact,
-    // per-workload detail intentionally absent.
+    // per-workload detail intentionally absent and explicitly flagged.
     journal.resume = true;
     const auto replayed =
         study::evaluateDesignPoints(configs, 1.0e12, journal);
@@ -583,7 +583,19 @@ TEST(SweepJournal, ResumeReplaysAggregatesAndSkipsEvaluation)
         EXPECT_EQ(replayed[i].meanThroughput, fresh[i].meanThroughput);
         EXPECT_EQ(replayed[i].meanPower, fresh[i].meanPower);
         EXPECT_TRUE(replayed[i].workloads.empty());
+        EXPECT_TRUE(replayed[i].aggregatesOnly);
+        EXPECT_FALSE(fresh[i].aggregatesOnly);
     }
+
+    // Printing a replayed point must say why there is no per-workload
+    // section, not render an empty one.
+    std::ostringstream note;
+    study::printDesignPointWorkloads(note, replayed[0]);
+    EXPECT_NE(note.str().find("aggregates only"), std::string::npos)
+        << note.str();
+    std::ostringstream table;
+    study::printDesignPointWorkloads(table, fresh[0]);
+    EXPECT_NE(table.str().find("workload"), std::string::npos);
 
     // A different work value invalidates the journal header: the
     // sweep re-evaluates rather than replaying mismatched aggregates.
@@ -591,6 +603,93 @@ TEST(SweepJournal, ResumeReplaysAggregatesAndSkipsEvaluation)
         study::evaluateDesignPoints(configs, 2.0e12, journal);
     ASSERT_EQ(rework.size(), 2u);
     EXPECT_FALSE(rework[0].workloads.empty());
+    EXPECT_FALSE(rework[0].aggregatesOnly);
+    fs::remove_all(dir);
+}
+
+TEST(SweepJournal, NonFiniteWorkResumesAndNeverFalselyMatchesZero)
+{
+    const fs::path dir = scratchDir("sweep_nan_work");
+    std::vector<study::CaseStudyConfig> configs(1);
+    configs[0].totalCores = 4;
+    configs[0].coresPerCluster = 4;
+
+    // A non-finite work journals its header work as JSON null.  The
+    // old exact `double ==` against the parsed number (null -> 0.0
+    // default) meant such journals could never be resumed — and were
+    // silently *accepted* by a later run whose work really was 0.0.
+    const double nan_work = std::numeric_limits<double>::quiet_NaN();
+    study::SweepJournalOptions journal;
+    journal.path = (dir / "sweep_journal.jsonl").string();
+    const auto fresh =
+        study::evaluateDesignPoints(configs, nan_work, journal);
+    ASSERT_EQ(fresh.size(), 1u);
+
+    // Same (non-finite) work: the journal matches and replays.
+    journal.resume = true;
+    const auto replayed =
+        study::evaluateDesignPoints(configs, nan_work, journal);
+    EXPECT_TRUE(replayed[0].aggregatesOnly);
+    EXPECT_EQ(replayed[0].area, fresh[0].area);
+
+    // work = 0.0 must NOT match the null header: fresh evaluation.
+    const auto zero =
+        study::evaluateDesignPoints(configs, 0.0, journal);
+    EXPECT_FALSE(zero[0].aggregatesOnly);
+    EXPECT_FALSE(zero[0].workloads.empty());
+    fs::remove_all(dir);
+}
+
+TEST(SweepJournal, DamagedTailReplaysIntactPointsByteIdentically)
+{
+    const fs::path dir = scratchDir("sweep_tail");
+    std::vector<study::CaseStudyConfig> configs(2);
+    configs[0].totalCores = 4;
+    configs[0].coresPerCluster = 2;
+    configs[1].totalCores = 4;
+    configs[1].coresPerCluster = 4;
+
+    study::SweepJournalOptions journal;
+    journal.path = (dir / "sweep_journal.jsonl").string();
+    const auto fresh =
+        study::evaluateDesignPoints(configs, 1.0e12, journal);
+
+    // Truncate the final journal line mid-record, as a kill mid-write
+    // would.  The checksummed reader drops the damaged tail; resume
+    // replays the intact point and re-evaluates the lost one.
+    {
+        std::ifstream in(journal.path);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+        ASSERT_EQ(lines.size(), 3u);  // header + 2 points
+        in.close();
+        std::ofstream out(journal.path, std::ios::trunc);
+        out << lines[0] << "\n" << lines[1] << "\n"
+            << lines[2].substr(0, lines[2].size() / 2);
+    }
+
+    study::resetSweepEvalStats();
+    journal.resume = true;
+    const auto resumed =
+        study::evaluateDesignPoints(configs, 1.0e12, journal);
+    const auto stats = study::sweepEvalStats();
+    EXPECT_EQ(stats.replayed, 1u);
+    EXPECT_EQ(stats.fullEvaluations, 1u);
+
+    // Whichever path each point took, the aggregates match the
+    // uninterrupted run bit for bit (replay round-trips at full
+    // precision; re-evaluation is deterministic).
+    for (std::size_t i = 0; i < resumed.size(); ++i) {
+        EXPECT_EQ(resumed[i].area, fresh[i].area);
+        EXPECT_EQ(resumed[i].tdp, fresh[i].tdp);
+        EXPECT_EQ(resumed[i].meanThroughput, fresh[i].meanThroughput);
+        EXPECT_EQ(resumed[i].meanPower, fresh[i].meanPower);
+        EXPECT_EQ(resumed[i].meanMetrics.ed, fresh[i].meanMetrics.ed);
+        EXPECT_EQ(resumed[i].meanMetrics.ed2a,
+                  fresh[i].meanMetrics.ed2a);
+    }
     fs::remove_all(dir);
 }
 

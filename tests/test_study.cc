@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "study/sweep.hh"
 
 using namespace mcpat;
@@ -24,19 +27,41 @@ TEST(Metrics, Arithmetic)
     EXPECT_DOUBLE_EQ(m.ed2a, 6.0);
 }
 
-TEST(Metrics, InvalidInputsRejected)
+TEST(Metrics, DegenerateInputsYieldNonFiniteWithWhy)
 {
+    // Bad data for one (design, workload) pair must fail that pair's
+    // numbers, not abort the process: NaN metrics plus a description.
     RunFigures f;
     f.delay = 0.0;
-    EXPECT_THROW(computeMetrics(f), ModelError);
+    std::string why;
+    const Metrics m = computeMetrics(f, &why);
+    EXPECT_FALSE(m.finite());
+    EXPECT_NE(why.find("degenerate"), std::string::npos) << why;
+
+    RunFigures nan_energy;
+    nan_energy.delay = 1.0;
+    nan_energy.energy = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(computeMetrics(nan_energy).finite());
+
+    RunFigures good;
+    good.delay = 1.0;
+    good.energy = 2.0;
+    good.area = 3.0;
+    why.clear();
+    EXPECT_TRUE(computeMetrics(good, &why).finite());
+    EXPECT_TRUE(why.empty());
 }
 
 TEST(Metrics, Geomean)
 {
     EXPECT_DOUBLE_EQ(geomean({4.0, 16.0}), 8.0);
     EXPECT_DOUBLE_EQ(geomean({5.0}), 5.0);
+    // Empty input is a caller bug and still panics; a non-positive
+    // value is bad data and yields NaN with a description instead.
     EXPECT_THROW(geomean({}), ModelError);
-    EXPECT_THROW(geomean({1.0, -1.0}), ModelError);
+    std::string why;
+    EXPECT_TRUE(std::isnan(geomean({1.0, -1.0}, &why)));
+    EXPECT_NE(why.find("index 1"), std::string::npos) << why;
 }
 
 TEST(CaseStudy, ConfigLabels)

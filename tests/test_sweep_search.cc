@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Delta-evaluation and Pareto-frontier search tests: the component
+ * memo's sharing correctness (memo on vs off is bit-identical) and
+ * hit accounting, grid indexing, dominance relations, and the
+ * search's frontier-identity contract against the exhaustive grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unistd.h>
+
+#include "chip/component_memo.hh"
+#include "chip/processor.hh"
+#include "chip/report_writer.hh"
+#include "study/sweep_search.hh"
+
+using namespace mcpat;
+using namespace mcpat::study;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** A small grid that keeps search tests fast. */
+SweepSpace
+tinySpace()
+{
+    SweepSpace s;
+    s.totalCores = 4;
+    s.styles = {CoreStyle::InOrderMT, CoreStyle::OutOfOrder};
+    s.clusterSizes = {1, 2, 4};
+    s.l2BytesPerCore = {512.0 * 1024, 1.0 * 1024 * 1024,
+                        2.0 * 1024 * 1024};
+    s.clockRates = {1.5e9, 2.5e9, 3.5e9};
+    return s;
+}
+
+Metrics
+metricsOf(double ed, double ed2, double eda, double ed2a)
+{
+    Metrics m;
+    m.ed = ed;
+    m.ed2 = ed2;
+    m.eda = eda;
+    m.ed2a = ed2a;
+    return m;
+}
+
+} // namespace
+
+TEST(SweepSpace, FlatIndexRoundTrips)
+{
+    const SweepSpace s = tinySpace();
+    EXPECT_EQ(s.size(), 2u * 3u * 3u * 3u);
+    for (std::size_t flat = 0; flat < s.size(); ++flat)
+        EXPECT_EQ(s.flatIndex(s.coords(flat)), flat);
+
+    // at() must honor the axis values, and keys must be unique across
+    // the grid (the journal and memo both depend on that).
+    std::set<std::string> keys;
+    for (std::size_t flat = 0; flat < s.size(); ++flat)
+        keys.insert(s.at(flat).key());
+    EXPECT_EQ(keys.size(), s.size());
+
+    const CaseStudyConfig last = s.at(s.size() - 1);
+    EXPECT_EQ(last.style, CoreStyle::OutOfOrder);
+    EXPECT_EQ(last.coresPerCluster, 4);
+    EXPECT_DOUBLE_EQ(last.l2BytesPerCore, 2.0 * 1024 * 1024);
+    EXPECT_DOUBLE_EQ(last.clockRate, 3.5e9);
+}
+
+TEST(SweepSearch, DominanceRelations)
+{
+    const Metrics a = metricsOf(1, 1, 1, 1);
+    const Metrics b = metricsOf(2, 2, 2, 2);
+    const Metrics mixed = metricsOf(0.5, 3, 1, 1);
+    EXPECT_TRUE(dominates(a, b));
+    EXPECT_FALSE(dominates(b, a));
+    EXPECT_FALSE(dominates(a, a));  // equal: not strictly better
+    EXPECT_FALSE(dominates(a, mixed));
+    EXPECT_FALSE(dominates(mixed, a));
+
+    const Metrics bad = Metrics::invalid();
+    EXPECT_FALSE(dominates(bad, b));  // non-finite never dominates
+    EXPECT_TRUE(dominates(a, bad));
+}
+
+TEST(SweepSearch, ParetoFrontierExcludesDominatedAndNonFinite)
+{
+    std::vector<SweepSearchPoint> pts(4);
+    pts[0].index = 0;
+    pts[0].result.meanMetrics = metricsOf(1, 4, 1, 4);
+    pts[1].index = 1;
+    pts[1].result.meanMetrics = metricsOf(4, 1, 4, 1);
+    pts[2].index = 2;
+    pts[2].result.meanMetrics = metricsOf(5, 5, 5, 5);  // dominated
+    pts[3].index = 3;
+    pts[3].result.meanMetrics = Metrics::invalid();     // degenerate
+    const auto frontier = paretoFrontier(pts);
+    EXPECT_EQ(frontier, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SweepSearch, FrontierIdenticalToExhaustiveGrid)
+{
+    const SweepSpace space = tinySpace();
+    SweepSearchOptions opts;
+
+    opts.exhaustive = true;
+    const SweepSearchResult grid = runSweepSearch(space, opts);
+    EXPECT_EQ(grid.points.size(), space.size());
+    EXPECT_FALSE(grid.frontier.empty());
+
+    opts.exhaustive = false;
+    const SweepSearchResult searched = runSweepSearch(space, opts);
+    EXPECT_LT(searched.points.size(), space.size());
+    EXPECT_EQ(searched.frontier, grid.frontier);
+
+    // Every point the search evaluated matches the grid's bit for bit
+    // (delta evaluation must not change any number).
+    std::map<std::size_t, const SweepSearchPoint *> by_index;
+    for (const auto &p : grid.points)
+        by_index[p.index] = &p;
+    for (const auto &p : searched.points) {
+        const Metrics &a = p.result.meanMetrics;
+        const Metrics &b = by_index.at(p.index)->result.meanMetrics;
+        EXPECT_EQ(a.ed, b.ed);
+        EXPECT_EQ(a.ed2, b.ed2);
+        EXPECT_EQ(a.eda, b.eda);
+        EXPECT_EQ(a.ed2a, b.ed2a);
+    }
+}
+
+TEST(SweepSearch, JournaledSearchResumesWithoutReevaluation)
+{
+    const fs::path dir = fs::temp_directory_path() /
+        ("mcpat_sweep_search_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+
+    const SweepSpace space = tinySpace();
+    SweepSearchOptions opts;
+    opts.journal.path = (dir / "sweep_journal.jsonl").string();
+
+    const SweepSearchResult first = runSweepSearch(space, opts);
+    EXPECT_GT(first.fullEvaluations, 0u);
+
+    // Resuming the identical search replays every point: zero full
+    // evaluations, same frontier, same rounds.
+    opts.journal.resume = true;
+    const SweepSearchResult second = runSweepSearch(space, opts);
+    EXPECT_EQ(second.fullEvaluations, 0u);
+    EXPECT_EQ(second.replayed,
+              static_cast<std::uint64_t>(first.points.size()));
+    EXPECT_EQ(second.frontier, first.frontier);
+    EXPECT_EQ(second.rounds, first.rounds);
+    fs::remove_all(dir);
+}
+
+TEST(SweepSearch, WritersEmitFrontierAndFlags)
+{
+    const SweepSpace space = tinySpace();
+    SweepSearchOptions opts;
+    opts.exhaustive = false;
+    const SweepSearchResult r = runSweepSearch(space, opts);
+
+    std::ostringstream json;
+    writeSweepSearchJson(json, space, r, opts.work);
+    EXPECT_NE(json.str().find("\"mcpat-sweep-search-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"frontier\": ["), std::string::npos);
+
+    std::ostringstream csv;
+    writeSweepSearchCsv(csv, space, r);
+    EXPECT_NE(csv.str().find("in_frontier"), std::string::npos);
+    // At least one frontier row and one non-frontier row.
+    EXPECT_NE(csv.str().find(",1\n"), std::string::npos);
+    EXPECT_NE(csv.str().find(",0\n"), std::string::npos);
+}
+
+TEST(ComponentMemo, SharesComponentsAcrossProcessorsBitIdentically)
+{
+    chip::ComponentMemo &memo = chip::ComponentMemo::instance();
+    if (!memo.enabled())
+        GTEST_SKIP() << "component memo disabled via env";
+
+    CaseStudyConfig cfg;
+    cfg.totalCores = 4;
+    cfg.coresPerCluster = 2;
+    const chip::SystemParams sys = makeCaseStudySystem(cfg);
+
+    memo.clear();
+    const auto cold = memo.stats();
+    const chip::Processor first(sys);
+    const auto after_first = memo.stats();
+    EXPECT_GT(after_first.misses, cold.misses);
+
+    // Same params again: every component comes from the memo.
+    const chip::Processor second(sys);
+    const auto after_second = memo.stats();
+    EXPECT_GT(after_second.hits, after_first.hits);
+    EXPECT_EQ(after_second.misses, after_first.misses);
+
+    // A different L2 reuses the core side but rebuilds the cache.
+    CaseStudyConfig bigger = cfg;
+    bigger.l2BytesPerCore = 2.0 * 1024 * 1024;
+    const chip::Processor third(makeCaseStudySystem(bigger));
+    const auto after_third = memo.stats();
+    EXPECT_GT(after_third.hits, after_second.hits);
+    EXPECT_GT(after_third.misses, after_second.misses);
+
+    // Memoized sharing must not change a single reported number:
+    // compare a full JSON report against a memo-off build.
+    const stats::ChipStats rt;
+    std::ostringstream with_memo;
+    chip::writeReportJson(with_memo, first.makeReport(rt));
+
+    memo.setEnabled(false);
+    const chip::Processor isolated(sys);
+    std::ostringstream without_memo;
+    chip::writeReportJson(without_memo, isolated.makeReport(rt));
+    memo.setEnabled(true);
+
+    EXPECT_EQ(with_memo.str(), without_memo.str());
+}
+
+TEST(SweepDiagnostics, DegenerateWorkYieldsLocatedDiagnostics)
+{
+    // A non-finite work value poisons every per-workload delay; the
+    // evaluation must survive with NaN aggregates and name the design
+    // point and workloads in located diagnostics instead of aborting.
+    CaseStudyConfig cfg;
+    cfg.totalCores = 4;
+    cfg.coresPerCluster = 4;
+    const DesignPointResult r = evaluateDesignPoint(
+        cfg, std::numeric_limits<double>::quiet_NaN());
+    EXPECT_FALSE(r.diagnostics.empty());
+    EXPECT_FALSE(r.diagnostics.hasErrors());  // warnings, not errors
+    EXPECT_TRUE(std::isnan(r.meanMetrics.ed));
+    bool located = false;
+    for (const auto &d : r.diagnostics)
+        located = located || d.component == cfg.label();
+    EXPECT_TRUE(located);
+    EXPECT_GT(r.area, 0.0);  // physical figures are still real
+}
