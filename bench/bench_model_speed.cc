@@ -12,11 +12,13 @@
 
 #include <chrono>
 #include <filesystem>
+#include <thread>
 #include <unistd.h>
 
 #include "array/array_cache.hh"
 #include "array/cache_model.hh"
 #include "chip/processor.hh"
+#include "common/flight_recorder.hh"
 #include "common/instrument.hh"
 #include "common/parallel.hh"
 #include "config/xml_loader.hh"
@@ -197,7 +199,9 @@ BENCHMARK(BM_CaseStudy)
  * run with the array cache cold — the cost profile of a real CLI run,
  * where every array's organization search actually executes; a
  * cache-hot rebuild finishes in microseconds and would measure the
- * fixed span cost against almost no work.
+ * fixed span cost against almost no work.  The on arm also runs the
+ * flight recorder at a fast cadence, so the budget covers histograms
+ * and the background sampler, not just spans and counters.
  */
 void
 BM_InstrumentationOverhead(benchmark::State &state)
@@ -206,6 +210,10 @@ BM_InstrumentationOverhead(benchmark::State &state)
     const auto loaded = config::loadSystemParamsFromFile(
         bench::findConfig("niagara.xml"));
     auto &cache = array::ArrayResultCache::instance();
+    const std::string recorder_csv =
+        (std::filesystem::temp_directory_path() /
+         "mcpat_bench_recorder.csv")
+            .string();
 
     double off_s = 0.0, on_s = 0.0;
     for (auto _ : state) {
@@ -219,6 +227,14 @@ BM_InstrumentationOverhead(benchmark::State &state)
         const auto t1 = clock::now();
 
         instr::setEnabled(true);
+        auto &recorder = instr::FlightRecorder::instance();
+        recorder.start(recorder_csv, 10);
+        // Wait out the spawn-plus-first-sample startup transient so
+        // the timed window sees the recorder's steady state (the
+        // sampler interleaving with the solve), not thread creation.
+        const auto settle = clock::now() + std::chrono::milliseconds(100);
+        while (recorder.samples() == 0 && clock::now() < settle)
+            std::this_thread::yield();
         cache.clear();
         const auto t2 = clock::now();
         {
@@ -226,6 +242,7 @@ BM_InstrumentationOverhead(benchmark::State &state)
             benchmark::DoNotOptimize(proc.tdp());
         }
         const auto t3 = clock::now();
+        recorder.stop();
         instr::setEnabled(false);
         instr::clearTrace();
 
@@ -234,6 +251,8 @@ BM_InstrumentationOverhead(benchmark::State &state)
     }
     cache.clear();
     instr::Registry::instance().reset();
+    std::error_code ec;
+    std::filesystem::remove(recorder_csv, ec);
     const double n = static_cast<double>(state.iterations());
     state.counters["off_ms"] = 1e3 * off_s / n;
     state.counters["on_ms"] = 1e3 * on_s / n;

@@ -676,6 +676,10 @@ ArrayModel::optimize(const OptimizationWeights &weights)
         searchExhaustive(cands);
     panicIf(cands.empty(),
             "array '" + _params.name + "': no feasible organization");
+    if (instr::enabled())
+        instr::Registry::instance()
+            .histogram("array.optimize.candidates")
+            .record(static_cast<double>(cands.size()));
     selectBest(cands, weights);
 }
 

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <iostream>
 
+#include "common/event_log.hh"
 #include "common/serialize.hh"
 
 namespace mcpat {
@@ -228,6 +229,14 @@ ArrayDiskCache::store(const ArrayCacheKey &key,
         std::cerr << "mcpat: warning: cannot write array cache record "
                      "under '" << _dir
                   << "'; continuing without persistence\n";
+        if (elog::enabled(elog::Level::Warn)) {
+            elog::emit(elog::Level::Warn, "array.disk_cache",
+                       "write_failed",
+                       "cannot write array cache record; continuing "
+                       "without persistence",
+                       {elog::Field::str("dir", _dir),
+                        elog::Field::str("path", recordPath(key))});
+        }
     }
     return ok;
 }

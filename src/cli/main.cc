@@ -23,6 +23,8 @@
 #include "chip/invariant_audit.hh"
 #include "chip/report_printer.hh"
 #include "common/cancel.hh"
+#include "common/event_log.hh"
+#include "common/flight_recorder.hh"
 #include "common/instrument.hh"
 #include "common/parallel.hh"
 #include "chip/report_writer.hh"
@@ -152,7 +154,27 @@ usage(const char *prog)
               << "               checksum)\n"
               << "  -progress    one-line stderr progress updates "
                  "during\n"
-              << "               batch/sweep loops (off by default)\n";
+              << "               batch/sweep loops (off by default)\n"
+              << "  -log_out     write a structured event log "
+                 "(JSON-lines,\n"
+              << "               leveled records with run/request "
+                 "correlation\n"
+              << "               IDs) alongside the human-readable "
+                 "stderr text\n"
+              << "  -log_level   minimum event-log level: debug, "
+                 "info, warn,\n"
+              << "               or error (default info)\n"
+              << "  -record_out  flight recorder: sample the metrics "
+                 "registry\n"
+              << "               periodically into this CSV (cache "
+                 "hit rates,\n"
+              << "               queue depth, in-flight count, RSS); "
+                 "the same\n"
+              << "               series land in -trace_out as counter "
+                 "tracks\n"
+              << "  -record_interval_ms  flight-recorder sampling "
+                 "period\n"
+              << "               (default 500, minimum 10)\n";
 }
 
 /**
@@ -195,6 +217,9 @@ struct InstrumentationOutputs
     write(const std::string &config, bool valid,
           bool write_metrics) const
     {
+        // Stop the flight recorder before serializing the trace so its
+        // final sample (and counter events) land in -trace_out.
+        mcpat::instr::FlightRecorder::instance().stop();
         if (!traceOut.empty()) {
             std::ofstream tf(traceOut);
             if (tf) {
@@ -202,6 +227,11 @@ struct InstrumentationOutputs
                 std::cerr << "wrote " << traceOut << "\n";
             } else {
                 std::cerr << "cannot write " << traceOut << "\n";
+                if (mcpat::elog::enabled(mcpat::elog::Level::Warn))
+                    mcpat::elog::emit(
+                        mcpat::elog::Level::Warn, "cli", "trace_write_failed",
+                        "cannot open -trace_out file for writing",
+                        {mcpat::elog::Field::str("path", traceOut)});
             }
         }
         if (write_metrics && !metricsOut.empty()) {
@@ -213,6 +243,12 @@ struct InstrumentationOutputs
                 std::cerr << "wrote " << metricsOut << "\n";
             } else {
                 std::cerr << "cannot write " << metricsOut << "\n";
+                if (mcpat::elog::enabled(mcpat::elog::Level::Warn))
+                    mcpat::elog::emit(
+                        mcpat::elog::Level::Warn, "cli",
+                        "metrics_write_failed",
+                        "cannot open -metrics_out file for writing",
+                        {mcpat::elog::Field::str("path", metricsOut)});
             }
         }
     }
@@ -281,6 +317,10 @@ main(int argc, char **argv)
     bool strict = false;
     bool resume = false;
     double eval_timeout_ms = 0.0;
+    std::string log_out;
+    mcpat::elog::Level log_level = mcpat::elog::Level::Info;
+    std::string record_out;
+    int record_interval_ms = 500;
     InstrumentationOutputs instrumentation;
 
     for (int i = 1; i < argc; ++i) {
@@ -362,6 +402,24 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "-metrics_out") == 0 &&
                    i + 1 < argc) {
             instrumentation.metricsOut = argv[++i];
+        } else if (std::strcmp(argv[i], "-log_out") == 0 &&
+                   i + 1 < argc) {
+            log_out = argv[++i];
+        } else if (std::strcmp(argv[i], "-log_level") == 0 &&
+                   i + 1 < argc) {
+            if (!mcpat::elog::parseLevel(argv[++i], log_level)) {
+                std::cerr << "-log_level expects debug, info, warn, or "
+                             "error, got '"
+                          << argv[i] << "'\n";
+                return 1;
+            }
+        } else if (std::strcmp(argv[i], "-record_out") == 0 &&
+                   i + 1 < argc) {
+            record_out = argv[++i];
+        } else if (std::strcmp(argv[i], "-record_interval_ms") == 0 &&
+                   i + 1 < argc) {
+            record_interval_ms = static_cast<int>(
+                numericArg("-record_interval_ms", argv[++i]));
         } else if (std::strcmp(argv[i], "-progress") == 0) {
             mcpat::instr::setProgressEnabled(true);
         } else if (std::strcmp(argv[i], "-h") == 0 ||
@@ -384,8 +442,23 @@ main(int argc, char **argv)
     }
     if (!cache_dir.empty())
         mcpat::array::ArrayResultCache::instance().setCacheDir(cache_dir);
-    if (instrumentation.requested())
+    // The event log is independent of the metrics master switch so
+    // that -log_out alone leaves every report/manifest byte-identical.
+    if (!log_out.empty()) {
+        if (!mcpat::elog::open(log_out)) {
+            std::cerr << "cannot write " << log_out << "\n";
+            return 1;
+        }
+        mcpat::elog::setLevel(log_level);
+    }
+    if (instrumentation.requested() || !record_out.empty())
         mcpat::instr::setEnabled(true);
+    if (!record_out.empty() &&
+        !mcpat::instr::FlightRecorder::instance().start(
+            record_out, record_interval_ms)) {
+        std::cerr << "cannot write " << record_out << "\n";
+        return 1;
+    }
 
     if (!serve_endpoint.empty()) {
         mcpat::study::ServerOptions opts;
@@ -398,6 +471,10 @@ main(int argc, char **argv)
         const int rc = mcpat::study::runServer(opts, std::cerr);
         if (cache_stats)
             mcpat::array::reportCacheStats(std::cerr);
+        // Serve mode has no config file; the manifest records the
+        // endpoint and whatever the registry accumulated while serving.
+        instrumentation.write(serve_endpoint, rc == 0,
+                              /*write_metrics=*/true);
         return rc;
     }
 

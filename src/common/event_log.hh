@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Structured event log: leveled, timestamped JSON-lines records with
+ * run/request correlation IDs.
+ *
+ * The repo's warning story so far is free-form std::cerr text — fine
+ * for a human tailing one run, useless for a fleet: you cannot grep a
+ * thousand server logs for "disk cache write failures on host X
+ * between t1 and t2" when the message is prose.  This module gives
+ * every noteworthy event one machine-parseable line:
+ *
+ *   {"ts_ms": 1754650000123, "mono_ms": 4821.7, "level": "warn",
+ *    "component": "array.disk_cache", "event": "write_failed",
+ *    "run": "0x9f3a...", "request": "req-42",
+ *    "message": "cannot write array cache record",
+ *    "path": "/tmp/cache"}
+ *
+ * Records carry two correlation IDs.  The **run** ID is minted once
+ * when the sink opens (checksummed from PID and wall clock), so lines
+ * from different processes interleaved in one aggregated stream stay
+ * separable.  The **request** ID is a thread-local set by
+ * ScopedRequestId around server request handling (echoing the client's
+ * own "id" when it sent one), so every record a request produces —
+ * including warnings from deep inside the array layer — is
+ * attributable to it.
+ *
+ * Cost model, mirroring instr::enabled(): with no sink open,
+ * elog::enabled(level) is one relaxed atomic load and a compare —
+ * callers gate record construction on it, so the disabled path
+ * allocates nothing.  Emission is independent of the instrumentation
+ * master switch: `-log_out` must not change report bytes, and
+ * `-trace_out` must not start emitting log records.
+ *
+ * Writes are mutex-serialized and flushed per line, so a crash loses
+ * at most the line being written and concurrent writers never
+ * interleave partial lines.
+ */
+
+#ifndef MCPAT_COMMON_EVENT_LOG_HH
+#define MCPAT_COMMON_EVENT_LOG_HH
+
+#include <string>
+#include <vector>
+
+namespace mcpat {
+namespace elog {
+
+enum class Level { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/** Parse "debug"/"info"/"warn"/"error"; returns false on junk. */
+bool parseLevel(const std::string &text, Level &out);
+
+/** The level's lower-case wire name. */
+const char *levelName(Level lv);
+
+/** One extra key/value in a record (string or number payload). */
+struct Field
+{
+    std::string key;
+    std::string text;     ///< string payload (used when isNumber == false)
+    double number = 0.0;  ///< numeric payload
+    bool isNumber = false;
+
+    static Field str(std::string key, std::string value);
+    static Field num(std::string key, double value);
+};
+
+/**
+ * Open the JSON-lines sink at @p path (truncating) and mint this
+ * process's run ID.  Returns false (sink stays closed) if the file
+ * cannot be opened.  Reopening closes the previous sink first.
+ */
+bool open(const std::string &path);
+
+/** Flush and close the sink; enabled() goes false. */
+void close();
+
+/** Drop records below @p lv (default Info). */
+void setLevel(Level lv);
+
+/**
+ * Would a record at @p lv be written?  One relaxed atomic load and a
+ * compare; false whenever no sink is open.  Gate field construction
+ * on this at every call site.
+ */
+bool enabled(Level lv);
+
+/** The run correlation ID minted at open(); empty when closed. */
+std::string runId();
+
+/**
+ * Emit one record.  @p component names the subsystem
+ * ("array.disk_cache"), @p event is a stable machine-readable slug
+ * ("write_failed"), @p message is the human sentence, @p fields carry
+ * the located context (path, key, env var).  No-op when below the
+ * level or closed.
+ */
+void emit(Level lv, const std::string &component,
+          const std::string &event, const std::string &message,
+          const std::vector<Field> &fields = {});
+
+/**
+ * Bind a request correlation ID to this thread for the enclosing
+ * scope (server request handling); nests by restoring the previous
+ * value.  Every record emitted on the thread while bound carries the
+ * ID in its "request" key.
+ */
+class ScopedRequestId
+{
+  public:
+    explicit ScopedRequestId(const std::string &id);
+    ~ScopedRequestId();
+    ScopedRequestId(const ScopedRequestId &) = delete;
+    ScopedRequestId &operator=(const ScopedRequestId &) = delete;
+
+  private:
+    std::string _previous;
+};
+
+} // namespace elog
+} // namespace mcpat
+
+#endif // MCPAT_COMMON_EVENT_LOG_HH

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Flight-recorder implementation: sampler thread, CSV rows, Chrome
+ * counter events.  See flight_recorder.hh for the design.
+ */
+
+#include "common/flight_recorder.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#include "common/instrument.hh"
+
+namespace mcpat {
+namespace instr {
+
+namespace {
+
+/** Resident set size in MiB from /proc/self/statm; 0 elsewhere. */
+double
+residentMiB()
+{
+#ifdef __linux__
+    std::FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0.0;
+    long pages_total = 0, pages_resident = 0;
+    const int got =
+        std::fscanf(f, "%ld %ld", &pages_total, &pages_resident);
+    std::fclose(f);
+    if (got != 2)
+        return 0.0;
+    const long page = sysconf(_SC_PAGESIZE);
+    return pages_resident * static_cast<double>(page) /
+           (1024.0 * 1024.0);
+#else
+    return 0.0;
+#endif
+}
+
+} // namespace
+
+struct FlightRecorder::Impl
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::thread sampler;
+    std::ofstream out;
+    bool run = false;
+    int intervalMs = 500;
+    std::atomic<std::uint64_t> sampleCount{0};
+    // Previous totals for the delta columns.
+    double prevEvictions = 0.0;
+    double prevTasks = 0.0;
+    bool havePrev = false;
+
+    void sample();
+    void loop();
+};
+
+FlightRecorder::Impl &
+FlightRecorder::impl()
+{
+    static Impl *i = new Impl;  // leaked: joinable past static dtors
+    return *i;
+}
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder r;
+    return r;
+}
+
+const char *
+FlightRecorder::csvHeader()
+{
+    return "t_ms,mem_hit_rate,disk_hit_rate,memo_evictions,"
+           "pool_tasks,queue_depth,inflight,rss_mb";
+}
+
+void
+FlightRecorder::Impl::sample()
+{
+    // Collecting snapshot: the cache/memo/pool collectors publish
+    // their current figures before we read them.
+    const std::vector<MetricSample> samples =
+        Registry::instance().snapshot(true);
+    double memHit = 0.0, diskHit = 0.0, evictions = 0.0, tasks = 0.0;
+    double queueDepth = 0.0, inflight = 0.0;
+    for (const MetricSample &s : samples) {
+        if (s.name == "cache.memory.hit_rate")
+            memHit = s.value;
+        else if (s.name == "cache.disk.hit_rate")
+            diskHit = s.value;
+        else if (s.name == "component_memo.evictions")
+            evictions = s.value;
+        else if (s.name == "parallel.tasks")
+            tasks = s.value;
+        else if (s.name == "server.queue_depth")
+            queueDepth = s.value;
+        else if (s.name == "server.inflight")
+            inflight = s.value;
+    }
+    const double dEvictions =
+        havePrev ? evictions - prevEvictions : evictions;
+    const double dTasks = havePrev ? tasks - prevTasks : tasks;
+    prevEvictions = evictions;
+    prevTasks = tasks;
+    havePrev = true;
+
+    const std::uint64_t tNs = nowNanos();
+    const double rss = residentMiB();
+    std::ostringstream row;
+    row.setf(std::ios::fixed);
+    row.precision(3);
+    row << tNs * 1e-6 << ',' << memHit << ',' << diskHit << ','
+        << dEvictions << ',' << dTasks << ',' << queueDepth << ','
+        << inflight << ',' << rss << '\n';
+    out << row.str();
+    out.flush();  // tail -f must see rows as they land
+
+    // Mirror the series into the trace as counter tracks.
+    recordTraceCounter("queue_depth", tNs, queueDepth);
+    recordTraceCounter("inflight", tNs, inflight);
+    recordTraceCounter("mem_hit_rate", tNs, memHit);
+    recordTraceCounter("rss_mb", tNs, rss);
+    sampleCount.fetch_add(1, std::memory_order_release);
+}
+
+void
+FlightRecorder::Impl::loop()
+{
+    setThreadName("recorder");
+    std::unique_lock<std::mutex> lock(mutex);
+    while (run) {
+        sample();
+        cv.wait_for(lock, std::chrono::milliseconds(intervalMs),
+                    [this] { return !run; });
+    }
+}
+
+bool
+FlightRecorder::start(const std::string &csvPath, int intervalMs)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    if (im.run)
+        return true;
+    im.out.open(csvPath, std::ios::out | std::ios::trunc);
+    if (!im.out)
+        return false;
+    im.out << csvHeader() << '\n';
+    im.intervalMs = intervalMs < 10 ? 10 : intervalMs;
+    im.havePrev = false;
+    im.prevEvictions = 0.0;
+    im.prevTasks = 0.0;
+    im.sampleCount.store(0, std::memory_order_relaxed);
+    im.run = true;
+    im.sampler = std::thread([&im] { im.loop(); });
+    return true;
+}
+
+void
+FlightRecorder::stop()
+{
+    Impl &im = impl();
+    std::thread joinee;
+    {
+        std::lock_guard<std::mutex> lock(im.mutex);
+        if (!im.run && !im.sampler.joinable())
+            return;
+        im.run = false;
+        joinee = std::move(im.sampler);
+    }
+    im.cv.notify_all();
+    if (joinee.joinable())
+        joinee.join();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    if (im.out.is_open()) {
+        im.sample();  // final row: short runs still get data
+        im.out.close();
+    }
+}
+
+bool
+FlightRecorder::running() const
+{
+    Impl &im = const_cast<FlightRecorder *>(this)->impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    return im.run;
+}
+
+std::uint64_t
+FlightRecorder::samples() const
+{
+    Impl &im = const_cast<FlightRecorder *>(this)->impl();
+    return im.sampleCount.load(std::memory_order_acquire);
+}
+
+} // namespace instr
+} // namespace mcpat

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Flight recorder: a background sampler turning the metrics registry
+ * into a time series.
+ *
+ * End-of-run manifests answer "what did this run cost in total"; a
+ * long-lived server or a multi-hour batch also needs "what was it
+ * doing at minute 43".  The recorder samples the registry on a fixed
+ * cadence (-record_out <csv>, -record_interval_ms) and writes one CSV
+ * row per sample:
+ *
+ *   t_ms, mem_hit_rate, disk_hit_rate, memo_evictions, pool_tasks,
+ *   queue_depth, inflight, rss_mb
+ *
+ * Level metrics (hit rates, queue depth, in-flight, RSS) are the
+ * sampled value; monotonic totals (memo evictions, pool tasks) are
+ * written as deltas since the previous row, so a spike is visible as
+ * a spike rather than a slope change.  Each sample also appends
+ * Chrome counter events (instr::recordTraceCounter), so a -trace_out
+ * written after stop() shows queue depth and hit rate as value tracks
+ * aligned under the spans in Perfetto.
+ *
+ * Lifecycle: start() spawns the sampler thread (named "recorder" in
+ * traces); stop() wakes it, takes one final sample so short runs are
+ * never empty, and joins.  Both are idempotent.  The CLI stops the
+ * recorder before writing -trace_out so the final counters land in
+ * the trace.  When never started, the cost is zero — no thread, no
+ * sampling, nothing in the trace.
+ */
+
+#ifndef MCPAT_COMMON_FLIGHT_RECORDER_HH
+#define MCPAT_COMMON_FLIGHT_RECORDER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mcpat {
+namespace instr {
+
+class FlightRecorder
+{
+  public:
+    static FlightRecorder &instance();
+
+    /**
+     * Open @p csvPath (truncating), write the header, and start the
+     * sampler at @p intervalMs (clamped to >= 10 ms).  Returns false
+     * and stays idle if the file cannot be opened; returns true
+     * without restarting when already running.
+     */
+    bool start(const std::string &csvPath, int intervalMs);
+
+    /** Wake the sampler, take a final sample, flush, and join. */
+    void stop();
+
+    bool running() const;
+
+    /**
+     * Rows written since start().  Lets callers (the overhead bench)
+     * wait out the spawn-plus-first-sample startup transient before
+     * timing against the recorder's steady state.
+     */
+    std::uint64_t samples() const;
+
+    /** The CSV header row (shared with tests and docs). */
+    static const char *csvHeader();
+
+  private:
+    FlightRecorder() = default;
+    struct Impl;
+    Impl &impl();
+};
+
+} // namespace instr
+} // namespace mcpat
+
+#endif // MCPAT_COMMON_FLIGHT_RECORDER_HH

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Log-linear histogram implementation.  See histogram.hh for the
+ * bucketing scheme and the determinism argument.
+ */
+
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcpat {
+namespace instr {
+
+namespace {
+
+/**
+ * Relaxed CAS loop applying @p pick (min or max) to an atomic double.
+ * Exits early once the stored value already wins, so steady-state
+ * records touch the cell with a single load.
+ */
+template <typename Pick>
+void
+atomicExtreme(std::atomic<double> &cell, double v, Pick pick)
+{
+    double cur = cell.load(std::memory_order_relaxed);
+    while (pick(v, cur) &&
+           !cell.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+int
+Histogram::bucketIndex(double v)
+{
+    if (!(v > 0.0))
+        return 0; // zero, negative, and -inf underflow; NaN filtered.
+    int exp = 0;
+    const double mant = std::frexp(v, &exp); // v = mant * 2^exp
+    // frexp yields mant in [0.5, 1): octave k covers [2^k, 2^(k+1))
+    // with k = exp - 1, split into kSubBuckets equal slices of mant.
+    const int octave = (exp - 1) - kMinExp;
+    if (octave < 0)
+        return 1; // clamp tiny values into the first real bucket
+    if (octave >= kOctaves)
+        return kBuckets - 1; // clamp huge values into the last bucket
+    int sub = static_cast<int>((mant - 0.5) * 2.0 * kSubBuckets);
+    sub = std::min(std::max(sub, 0), kSubBuckets - 1);
+    return 1 + octave * kSubBuckets + sub;
+}
+
+double
+Histogram::bucketLowerBound(int idx)
+{
+    if (idx <= 0)
+        return 0.0;
+    const int octave = (idx - 1) / kSubBuckets;
+    const int sub = (idx - 1) % kSubBuckets;
+    const double base = std::ldexp(1.0, kMinExp + octave);
+    return base * (1.0 + static_cast<double>(sub) / kSubBuckets);
+}
+
+double
+Histogram::bucketUpperBound(int idx)
+{
+    if (idx <= 0)
+        return bucketLowerBound(1);
+    if (idx >= kBuckets - 1)
+        return std::ldexp(1.0, kMinExp + kOctaves);
+    return bucketLowerBound(idx + 1);
+}
+
+double
+Histogram::bucketMidpoint(int idx)
+{
+    return 0.5 * (bucketLowerBound(idx) + bucketUpperBound(idx));
+}
+
+void
+Histogram::record(double v)
+{
+    if (std::isnan(v))
+        return;
+    _counts[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    double cur = _sum.load(std::memory_order_relaxed);
+    while (!_sum.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+    atomicExtreme(_min, v, [](double a, double b) { return a < b; });
+    atomicExtreme(_max, v, [](double a, double b) { return a > b; });
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : _counts)
+        total += c.load(std::memory_order_relaxed);
+    return total;
+}
+
+HistogramSnapshot
+Histogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    for (int i = 0; i < kBuckets; ++i) {
+        const std::uint64_t c =
+            _counts[i].load(std::memory_order_relaxed);
+        if (c == 0)
+            continue;
+        snap.buckets.emplace_back(i, c);
+        snap.count += c;
+    }
+    const double nan = std::nan("");
+    snap.sum = snap.count ? _sum.load(std::memory_order_relaxed) : 0.0;
+    snap.min =
+        snap.count ? _min.load(std::memory_order_relaxed) : nan;
+    snap.max =
+        snap.count ? _max.load(std::memory_order_relaxed) : nan;
+    return snap;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : _counts)
+        c.store(0, std::memory_order_relaxed);
+    _sum.store(0.0, std::memory_order_relaxed);
+    _min.store(std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+    _max.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+}
+
+double
+HistogramSnapshot::quantile(double p) const
+{
+    if (count == 0)
+        return std::nan("");
+    p = std::min(std::max(p, 0.0), 1.0);
+    // Nearest-rank: the smallest rank r (1-based) with r >= p * count.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(count))));
+    std::uint64_t seen = 0;
+    for (const auto &b : buckets) {
+        seen += b.second;
+        if (seen >= rank)
+            return Histogram::bucketMidpoint(b.first);
+    }
+    return Histogram::bucketMidpoint(buckets.back().first);
+}
+
+double
+HistogramSnapshot::mean() const
+{
+    if (count == 0)
+        return std::nan("");
+    return sum / static_cast<double>(count);
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    if (other.count == 0)
+        return;
+    std::vector<std::pair<int, std::uint64_t>> merged;
+    merged.reserve(buckets.size() + other.buckets.size());
+    std::size_t i = 0, j = 0;
+    while (i < buckets.size() || j < other.buckets.size()) {
+        if (j >= other.buckets.size() ||
+            (i < buckets.size() &&
+             buckets[i].first < other.buckets[j].first)) {
+            merged.push_back(buckets[i++]);
+        } else if (i >= buckets.size() ||
+                   other.buckets[j].first < buckets[i].first) {
+            merged.push_back(other.buckets[j++]);
+        } else {
+            merged.emplace_back(buckets[i].first,
+                                buckets[i].second +
+                                    other.buckets[j].second);
+            ++i;
+            ++j;
+        }
+    }
+    buckets = std::move(merged);
+    if (count == 0) {
+        min = other.min;
+        max = other.max;
+    } else {
+        min = std::min(min, other.min);
+        max = std::max(max, other.max);
+    }
+    count += other.count;
+    sum += other.sum;
+}
+
+} // namespace instr
+} // namespace mcpat

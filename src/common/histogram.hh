@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Lock-free log-bucketed histogram metric for the instrumentation
+ * registry (common/instrument.hh).
+ *
+ * Counters and gauges answer "how many" and "how much right now";
+ * distributions — per-request server latency, per-item batch wall
+ * clock, array-optimizer candidate counts — need "how is it spread".
+ * A Histogram records positive values into log-linear buckets: each
+ * power-of-two octave is split into kSubBuckets equal-width slices,
+ * so every bucket spans at most 1/kSubBuckets (12.5%) of its value —
+ * the resolution bound quoted when a reported quantile is compared
+ * against an externally measured one ("within one bucket width").
+ *
+ * Concurrency and determinism: record() is wait-free — one relaxed
+ * fetch_add on the bucket counter plus relaxed CAS loops for sum and
+ * extrema; there is no lock to convoy on, so pool workers and server
+ * threads may record concurrently (TSan-covered).  Because a value's
+ * bucket depends only on the value, a quiescent snapshot is a pure
+ * function of the multiset of recorded values: concurrent insertion
+ * in any order yields byte-identical quantiles to serial insertion.
+ *
+ * Quantiles use the nearest-rank convention over bucket counts and
+ * report the bucket midpoint, so two histograms holding the same data
+ * always agree.  An empty histogram reports NaN quantiles (and NaN
+ * min/max/mean) rather than trapping — absence of data is an answer,
+ * not an error.  merge() adds bucket counts and is associative and
+ * commutative by construction.
+ */
+
+#ifndef MCPAT_COMMON_HISTOGRAM_HH
+#define MCPAT_COMMON_HISTOGRAM_HH
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace mcpat {
+namespace instr {
+
+/**
+ * Deterministic, plain-data view of a histogram: sparse (index, count)
+ * pairs plus the moment/extrema summaries.  Snapshots are what gets
+ * serialized (manifests, health replies) and what merge() operates on.
+ */
+struct HistogramSnapshot
+{
+    /** Non-empty buckets, ascending by index. */
+    std::vector<std::pair<int, std::uint64_t>> buckets;
+    std::uint64_t count = 0;  ///< total recorded values (Σ buckets)
+    double sum = 0.0;         ///< Σ values (exact, not bucketized)
+    double min = 0.0;         ///< smallest recorded value (NaN if empty)
+    double max = 0.0;         ///< largest recorded value (NaN if empty)
+
+    /**
+     * Nearest-rank quantile for @p p in [0, 1], reported as the
+     * containing bucket's midpoint; NaN when the histogram is empty.
+     */
+    double quantile(double p) const;
+
+    /** Mean of recorded values (exact sum / count); NaN when empty. */
+    double mean() const;
+
+    /** Add @p other's buckets and summaries (associative). */
+    void merge(const HistogramSnapshot &other);
+};
+
+/**
+ * The live, writable metric.  Values <= 0 and non-finite values land
+ * in the underflow bucket 0 (NaN is dropped entirely); values beyond
+ * the covered range clamp to the first/last real bucket.  The covered
+ * range — 2^-35 up to 2^30, about 3e-11 to 1e9 — spans sub-microsecond
+ * latencies in ms through billions-of-candidates counts.
+ */
+class Histogram
+{
+  public:
+    /** Sub-buckets per power-of-two octave (bucket width = 1/8th). */
+    static constexpr int kSubBuckets = 8;
+    /** Smallest covered exponent: buckets start at 2^(kMinExp). */
+    static constexpr int kMinExp = -35;
+    /** Number of covered octaves [2^k, 2^(k+1)). */
+    static constexpr int kOctaves = 65;
+    /** Underflow bucket + log-linear buckets. */
+    static constexpr int kBuckets = 1 + kOctaves * kSubBuckets;
+
+    Histogram() = default;
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Record one value (wait-free; relaxed atomics; NaN is dropped). */
+    void record(double v);
+
+    /** Total values recorded so far. */
+    std::uint64_t count() const;
+
+    /** Deterministic view of everything recorded so far. */
+    HistogramSnapshot snapshot() const;
+
+    /** Zero every bucket and summary. */
+    void reset();
+
+    /** Bucket index a value records into (pure; exposed for tests). */
+    static int bucketIndex(double v);
+    /** Inclusive lower bound of bucket @p idx (0 for the underflow). */
+    static double bucketLowerBound(int idx);
+    /** Exclusive upper bound of bucket @p idx. */
+    static double bucketUpperBound(int idx);
+    /** The representative value a quantile in bucket @p idx reports. */
+    static double bucketMidpoint(int idx);
+
+  private:
+    std::atomic<std::uint64_t> _counts[kBuckets] = {};
+    std::atomic<double> _sum{0.0};
+    // Infinity sentinels make the extrema CAS loops branch-free on the
+    // first record; snapshot() maps an untouched pair to NaN.
+    std::atomic<double> _min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> _max{-std::numeric_limits<double>::infinity()};
+};
+
+} // namespace instr
+} // namespace mcpat
+
+#endif // MCPAT_COMMON_HISTOGRAM_HH

@@ -104,13 +104,23 @@ struct ThreadTraceBuffer
 {
     std::mutex mutex;
     std::vector<TraceEvent> events;
+    std::string name;  ///< Perfetto lane label; "" = default
     int tid = 0;
+};
+
+/** One "ph":"C" counter sample (flight recorder time series). */
+struct CounterSample
+{
+    std::string name;
+    std::uint64_t tsNs = 0;
+    double value = 0.0;
 };
 
 struct TraceState
 {
     std::mutex mutex;
     std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+    std::vector<CounterSample> counters;
 };
 
 TraceState &
@@ -185,6 +195,7 @@ struct Registry::Impl
     std::map<std::string, std::unique_ptr<Counter>> counters;
     std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<Timer>> timers;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
     std::vector<std::function<void(Registry &)>> collectors;
 };
 
@@ -233,6 +244,29 @@ Registry::timer(const std::string &name)
     if (!slot)
         slot = std::make_unique<Timer>();
     return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    auto &slot = im.histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+Registry::histogramSnapshots()
+{
+    Impl &im = impl();
+    std::lock_guard<std::mutex> lock(im.mutex);
+    std::vector<std::pair<std::string, HistogramSnapshot>> out;
+    out.reserve(im.histograms.size());
+    for (const auto &[name, h] : im.histograms)
+        out.emplace_back(name, h->snapshot());
+    return out;  // std::map iteration order is already name-sorted
 }
 
 bool
@@ -327,6 +361,8 @@ Registry::reset()
         g->reset();
     for (auto &[name, t] : im.timers)
         t->reset();
+    for (auto &[name, h] : im.histograms)
+        h->reset();
 }
 
 // ---------------------------------------------------------------------
@@ -399,6 +435,7 @@ clearTrace()
     {
         std::lock_guard<std::mutex> lock(s.mutex);
         buffers = s.buffers;
+        s.counters.clear();
     }
     for (const auto &b : buffers) {
         std::lock_guard<std::mutex> lock(b->mutex);
@@ -407,14 +444,75 @@ clearTrace()
 }
 
 void
+setThreadName(const std::string &name)
+{
+    ThreadTraceBuffer &buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.name = name;
+}
+
+void
+recordTraceCounter(const std::string &name, std::uint64_t tsNs,
+                   double value)
+{
+    CounterSample sample;
+    sample.name = name;
+    sample.tsNs = tsNs;
+    sample.value = value;
+    TraceState &s = traceState();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.counters.push_back(std::move(sample));
+}
+
+void
 writeChromeTrace(std::ostream &os)
 {
     const std::vector<TraceEvent> events = collectTrace();
+
+    // Thread labels and counter samples, copied under the state lock.
+    std::vector<std::pair<int, std::string>> threadNames;
+    std::vector<CounterSample> counters;
+    {
+        TraceState &s = traceState();
+        std::lock_guard<std::mutex> lock(s.mutex);
+        for (const auto &b : s.buffers) {
+            std::lock_guard<std::mutex> buflock(b->mutex);
+            std::string name = b->name;
+            if (name.empty())
+                name = b->tid == 0
+                           ? "main"
+                           : "thread-" + std::to_string(b->tid);
+            threadNames.emplace_back(b->tid, std::move(name));
+        }
+        counters = s.counters;
+    }
+    std::sort(counters.begin(), counters.end(),
+              [](const CounterSample &a, const CounterSample &b) {
+                  return a.tsNs != b.tsNs ? a.tsNs < b.tsNs
+                                          : a.name < b.name;
+              });
+
     os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
-    for (std::size_t i = 0; i < events.size(); ++i) {
-        const TraceEvent &ev = events[i];
-        os << (i ? ",\n" : "\n") << "    {\"name\": \""
-           << escapeJson(ev.name)
+    bool first = true;
+    const auto sep = [&]() -> const char * {
+        const char *s = first ? "\n" : ",\n";
+        first = false;
+        return s;
+    };
+
+    // Metadata first: process name, then one label per known thread.
+    os << sep()
+       << "    {\"name\": \"process_name\", \"ph\": \"M\", "
+          "\"pid\": 1, \"tid\": 0, \"args\": {\"name\": \"mcpat\"}}";
+    for (const auto &[tid, name] : threadNames) {
+        os << sep() << "    {\"name\": \"thread_name\", \"ph\": "
+           << "\"M\", \"pid\": 1, \"tid\": " << tid
+           << ", \"args\": {\"name\": \"" << escapeJson(name)
+           << "\"}}";
+    }
+
+    for (const TraceEvent &ev : events) {
+        os << sep() << "    {\"name\": \"" << escapeJson(ev.name)
            << "\", \"cat\": \"mcpat\", \"ph\": \"X\", \"pid\": 1, "
               "\"tid\": "
            << ev.tid << ", \"ts\": " << jsonNumber(ev.startNs * 1e-3)
@@ -424,7 +522,17 @@ writeChromeTrace(std::ostream &os)
                << "\"}";
         os << "}";
     }
-    os << (events.empty() ? "]\n}\n" : "\n  ]\n}\n");
+
+    // Counter events render as value tracks under the spans; Chrome's
+    // convention nests the series value inside "args".
+    for (const CounterSample &c : counters) {
+        os << sep() << "    {\"name\": \"" << escapeJson(c.name)
+           << "\", \"cat\": \"mcpat\", \"ph\": \"C\", \"pid\": 1, "
+              "\"tid\": 0, \"ts\": "
+           << jsonNumber(c.tsNs * 1e-3) << ", \"args\": {\"value\": "
+           << jsonNumber(c.value) << "}}";
+    }
+    os << (first ? "]\n}\n" : "\n  ]\n}\n");
 }
 
 // ---------------------------------------------------------------------
@@ -521,6 +629,22 @@ writeRunManifest(std::ostream &os, const RunInfo &info, int indent)
            << "}";
         first = false;
     }
+    os << (first ? "},\n" : "\n" + pad + "  },\n");
+
+    os << pad << "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] :
+         Registry::instance().histogramSnapshots()) {
+        os << (first ? "\n" : ",\n") << pad << "    \""
+           << escapeJson(name) << "\": {\"count\": " << h.count
+           << ", \"mean\": " << jsonNumber(h.mean())
+           << ", \"p50\": " << jsonNumber(h.quantile(0.50))
+           << ", \"p95\": " << jsonNumber(h.quantile(0.95))
+           << ", \"p99\": " << jsonNumber(h.quantile(0.99))
+           << ", \"min\": " << jsonNumber(h.min)
+           << ", \"max\": " << jsonNumber(h.max) << "}";
+        first = false;
+    }
     os << (first ? "}\n" : "\n" + pad + "  }\n");
     os << pad << "}";
 }
@@ -556,8 +680,12 @@ ProgressMeter::ProgressMeter(std::string label, std::size_t total,
 void
 ProgressMeter::tick()
 {
-    const std::size_t done =
+    std::size_t done =
         _done.fetch_add(1, std::memory_order_relaxed) + 1;
+    // A resumed run can replay journaled items beyond the planned
+    // total; clamp so the meter never reports >100% or a negative ETA.
+    if (_total && done > _total)
+        done = _total;
     if (!progressEnabled())
         return;
     const double elapsed = (nowNanos() - _startNs) * 1e-9;

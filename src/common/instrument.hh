@@ -49,6 +49,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/histogram.hh"
+
 namespace mcpat {
 namespace instr {
 
@@ -175,6 +177,7 @@ class Registry
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
     Timer &timer(const std::string &name);
+    Histogram &histogram(const std::string &name);
 
     /**
      * Register a pull-model exporter, run (in registration order) at
@@ -191,6 +194,14 @@ class Registry
      * code pushed directly (the zero-overhead tests rely on this).
      */
     std::vector<MetricSample> snapshot(bool collect = true);
+
+    /**
+     * Deterministic snapshots of every registered histogram, sorted by
+     * name.  Kept apart from snapshot() because a distribution does not
+     * flatten into one MetricSample value.
+     */
+    std::vector<std::pair<std::string, HistogramSnapshot>>
+    histogramSnapshots();
 
     /** Zero every metric (registrations and collectors are kept). */
     void reset();
@@ -261,8 +272,25 @@ std::uint64_t nowNanos();
 /** All completed spans, sorted by (tid, startNs). */
 std::vector<TraceEvent> collectTrace();
 
-/** Drop all recorded spans (buffers stay registered). */
+/** Drop all recorded spans and counter samples (buffers stay). */
 void clearTrace();
+
+/**
+ * Name the calling thread for trace output.  writeChromeTrace emits a
+ * "thread_name" metadata event per named thread so Perfetto labels
+ * lanes ("pool-0", "serve-1", "recorder") instead of bare tids.
+ * Cheap enough to call unconditionally at thread start.
+ */
+void setThreadName(const std::string &name);
+
+/**
+ * Append one time-series sample ("queue depth was 4 at t") to the
+ * trace.  writeChromeTrace emits these as Chrome counter events
+ * ("ph":"C"), which Perfetto renders as a value track aligned under
+ * the spans.  The flight recorder is the main producer.
+ */
+void recordTraceCounter(const std::string &name, std::uint64_t tsNs,
+                        double value);
 
 /**
  * Serialize every recorded span as Chrome trace_event JSON (the
@@ -310,6 +338,10 @@ std::string fileChecksumHex(const std::string &path);
  * tick() prints "label: N/M (p%), elapsed E, eta T" when
  * progressEnabled() is set and is a no-op otherwise.  Thread-safe —
  * ticks may come from pool workers.
+ *
+ * Ticks beyond the declared total are clamped: a resumed run replays
+ * journaled items it never planned for, and the meter must not report
+ * 103% done or a negative ETA because of them.
  */
 class ProgressMeter
 {
@@ -320,9 +352,11 @@ class ProgressMeter
     /** Mark one unit done; prints when progress is enabled. */
     void tick();
 
+    /** Units done, clamped to the declared total. */
     std::size_t completed() const
     {
-        return _done.load(std::memory_order_relaxed);
+        const std::size_t done = _done.load(std::memory_order_relaxed);
+        return _total && done > _total ? _total : done;
     }
 
   private:

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/cancel.hh"
+#include "common/event_log.hh"
 #include "common/instrument.hh"
 #include "common/strict_parse.hh"
 
@@ -43,6 +44,16 @@ defaultThreadCount()
             std::cerr << "mcpat: warning: ignoring MCPAT_THREADS='"
                       << env << "' (expected a positive integer); "
                          "using the hardware default\n";
+            if (elog::enabled(elog::Level::Warn)) {
+                elog::emit(elog::Level::Warn, "common.parallel",
+                           "bad_thread_env",
+                           "ignoring MCPAT_THREADS (expected a "
+                           "positive integer); using the hardware "
+                           "default",
+                           {elog::Field::str("env_var",
+                                             "MCPAT_THREADS"),
+                            elog::Field::str("value", env)});
+            }
         }
     }
     const unsigned hw = std::thread::hardware_concurrency();
@@ -156,8 +167,16 @@ class Pool
     ensureWorkers(std::size_t wanted)
     {
         std::lock_guard<std::mutex> lock(_mutex);
-        while (_workers.size() < wanted)
-            _workers.emplace_back([this] { workerLoop(); });
+        while (_workers.size() < wanted) {
+            const std::size_t ordinal = _workers.size();
+            _workers.emplace_back([this, ordinal] {
+                // Stable lane labels in trace output: pool-0, pool-1,
+                // ... by spawn order, independent of raw tids.
+                instr::setThreadName("pool-" +
+                                     std::to_string(ordinal));
+                workerLoop();
+            });
+        }
     }
 
     void

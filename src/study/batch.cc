@@ -21,6 +21,7 @@
 
 #include "chip/report_writer.hh"
 #include "common/cancel.hh"
+#include "common/event_log.hh"
 #include "common/instrument.hh"
 #include "common/journal.hh"
 #include "common/json_value.hh"
@@ -124,6 +125,12 @@ writeDiagnosticSidecars(BatchItemResult &item, const BatchOptions &opts,
                                  "cannot write diagnostics sidecar '" +
                                      path + "'");
             recordItemError(item, "cannot write " + path);
+            if (elog::enabled(elog::Level::Warn))
+                elog::emit(elog::Level::Warn, "study.batch",
+                           "sidecar_write_failed",
+                           "cannot write diagnostics sidecar",
+                           {elog::Field::str("path", path),
+                            elog::Field::str("input", item.input)});
         }
     }
     if (opts.writeCsv) {
@@ -141,6 +148,12 @@ writeDiagnosticSidecars(BatchItemResult &item, const BatchOptions &opts,
                                  "cannot write diagnostics sidecar '" +
                                      path + "'");
             recordItemError(item, "cannot write " + path);
+            if (elog::enabled(elog::Level::Warn))
+                elog::emit(elog::Level::Warn, "study.batch",
+                           "sidecar_write_failed",
+                           "cannot write diagnostics sidecar",
+                           {elog::Field::str("path", path),
+                            elog::Field::str("input", item.input)});
         }
     }
 }
@@ -164,6 +177,12 @@ writeSummaryCsv(BatchResult &result, const BatchOptions &opts,
         result.summaryError = "cannot open '" + path + "'";
         log << "batch: warning: " << result.summaryError
             << "; summary not written\n";
+        if (elog::enabled(elog::Level::Warn))
+            elog::emit(elog::Level::Warn, "study.batch",
+                       "summary_open_failed",
+                       "cannot open batch summary; summary not "
+                       "written",
+                       {elog::Field::str("path", path)});
         return;
     }
     cf << "input,name,ok,area_mm2,peak_w,runtime_w,load_ms,"
@@ -187,6 +206,12 @@ writeSummaryCsv(BatchResult &result, const BatchOptions &opts,
         result.summaryError = "error writing '" + path + "'";
         log << "batch: warning: " << result.summaryError
             << "; summary may be truncated\n";
+        if (elog::enabled(elog::Level::Warn))
+            elog::emit(elog::Level::Warn, "study.batch",
+                       "summary_write_failed",
+                       "error writing batch summary; summary may be "
+                       "truncated",
+                       {elog::Field::str("path", path)});
         return;
     }
     result.summaryCsvPath = path;
@@ -204,6 +229,11 @@ writeBatchManifest(BatchResult &result, const BatchOptions &opts,
     if (!mf) {
         log << "batch: warning: cannot write manifest '"
             << opts.metricsOut << "'\n";
+        if (elog::enabled(elog::Level::Warn))
+            elog::emit(elog::Level::Warn, "study.batch",
+                       "manifest_write_failed",
+                       "cannot write batch manifest",
+                       {elog::Field::str("path", opts.metricsOut)});
         return;
     }
     instr::RunInfo info;
@@ -386,6 +416,15 @@ loadReplayableItems(const std::string &journalPath,
             << "' has a corrupt tail (" << j.droppedLines
             << " line(s) dropped); affected items will be "
                "re-evaluated\n";
+        if (elog::enabled(elog::Level::Warn))
+            elog::emit(elog::Level::Warn, "study.batch",
+                       "journal_tail_corrupt",
+                       "journal has a corrupt tail; affected items "
+                       "will be re-evaluated",
+                       {elog::Field::str("path", journalPath),
+                        elog::Field::num(
+                            "dropped_lines",
+                            static_cast<double>(j.droppedLines))});
     }
     if (j.records.empty())
         return replay;
@@ -402,6 +441,13 @@ loadReplayableItems(const std::string &journalPath,
         log << "batch: warning: journal '" << journalPath
             << "' does not match this run (different list or options); "
                "starting fresh\n";
+        if (elog::enabled(elog::Level::Warn))
+            elog::emit(elog::Level::Warn, "study.batch",
+                       "journal_mismatch",
+                       "journal does not match this run (different "
+                       "list or options); starting fresh",
+                       {elog::Field::str("path", journalPath),
+                        elog::Field::str("list", listFile)});
         return replay;
     }
     for (std::size_t i = 1; i < j.records.size(); ++i) {
@@ -495,6 +541,12 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
             journal_warned = true;
             log << "batch: warning: cannot write journal header to '"
                 << journal_path << "'; resume will not be available\n";
+            if (elog::enabled(elog::Level::Warn))
+                elog::emit(elog::Level::Warn, "study.batch",
+                           "journal_header_failed",
+                           "cannot write journal header; resume will "
+                           "not be available",
+                           {elog::Field::str("path", journal_path)});
             journal.close();
             result.journalPath.clear();
         }
@@ -502,10 +554,27 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
         journal_warned = true;
         log << "batch: warning: " << journal_error
             << "; resume will not be available\n";
+        if (elog::enabled(elog::Level::Warn))
+            elog::emit(elog::Level::Warn, "study.batch",
+                       "journal_open_failed",
+                       "cannot open journal; resume will not be "
+                       "available",
+                       {elog::Field::str("path", journal_path),
+                        elog::Field::str("error", journal_error)});
     }
 
     std::vector<std::string> used_stems;
     const auto batch_t0 = std::chrono::steady_clock::now();
+    if (elog::enabled(elog::Level::Info))
+        elog::emit(elog::Level::Info, "study.batch", "batch_start",
+                   "batch evaluation starting",
+                   {elog::Field::str("list", listFile),
+                    elog::Field::num(
+                        "configs",
+                        static_cast<double>(configs.size())),
+                    elog::Field::num(
+                        "replayable",
+                        static_cast<double>(replay.size()))});
     instr::ProgressMeter progress("batch", configs.size());
     for (const auto &input : configs) {
         if (cancel::stopRequested()) {
@@ -597,6 +666,10 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
                 << "\n";
         }
         item.wallSeconds = secondsSince(item_t0);
+        if (instr::enabled())
+            instr::Registry::instance()
+                .histogram("batch.item_ms")
+                .record(item.wallSeconds * 1e3);
         writeDiagnosticSidecars(item, opts, out_base);
 
         if (ev.interrupted) {
@@ -620,6 +693,13 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
             log << "batch: warning: cannot append to journal '"
                 << journal_path
                 << "'; resume may re-evaluate recent items\n";
+            if (elog::enabled(elog::Level::Warn))
+                elog::emit(elog::Level::Warn, "study.batch",
+                           "journal_append_failed",
+                           "cannot append to journal; resume may "
+                           "re-evaluate recent items",
+                           {elog::Field::str("path", journal_path),
+                            elog::Field::str("input", item.input)});
         }
 
         result.items.push_back(std::move(item));
@@ -639,6 +719,20 @@ runBatch(const std::string &listFile, const BatchOptions &opts,
     if (result.interruptedSignal)
         log << ", interrupted by signal " << result.interruptedSignal;
     log << " in " << 1e3 * result.wallSeconds << " ms\n";
+    if (elog::enabled(elog::Level::Info))
+        elog::emit(elog::Level::Info, "study.batch", "batch_done",
+                   "batch evaluation finished",
+                   {elog::Field::num(
+                        "configs",
+                        static_cast<double>(result.items.size())),
+                    elog::Field::num(
+                        "failures",
+                        static_cast<double>(result.failures)),
+                    elog::Field::num(
+                        "resumed",
+                        static_cast<double>(result.resumed)),
+                    elog::Field::num("wall_ms",
+                                     1e3 * result.wallSeconds)});
     array::reportCacheStats(log);
 
     if (opts.writeSummaryCsv)

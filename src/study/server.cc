@@ -25,6 +25,8 @@
 #include "array/array_cache.hh"
 #include "common/cancel.hh"
 #include "common/diagnostics.hh"
+#include "common/event_log.hh"
+#include "common/instrument.hh"
 #include "common/json_value.hh"
 #include "common/net.hh"
 #include "common/parallel.hh"
@@ -138,10 +140,18 @@ struct EvalServer::Impl
     std::thread watchdogThread;
     std::vector<std::thread> workers;
 
+    /** An accepted connection waiting for a worker, stamped at accept
+     *  time so dequeue can attribute queue wait to the first request. */
+    struct PendingConn
+    {
+        int fd = -1;
+        std::int64_t enqueuedMs = 0;
+    };
+
     std::mutex mutex;
     std::condition_variable queueCv;
     std::condition_variable stoppedCv;
-    std::deque<int> pending;  ///< accepted fds awaiting a worker
+    std::deque<PendingConn> pending;  ///< awaiting a worker
     bool stopping = false;
     bool stopped = false;
     bool joined = false;
@@ -156,6 +166,12 @@ struct EvalServer::Impl
 
     /** Server start time (steady ms) for the health report's uptime. */
     std::int64_t startMs = 0;
+
+    /** Latency distributions, cached once at start() so the per-
+     *  request path never touches the registry's name map.  Null until
+     *  start(); only recorded into when instr::enabled(). */
+    instr::Histogram *requestMsHist = nullptr;
+    instr::Histogram *queueWaitMsHist = nullptr;
 
     /**
      * Per-worker in-flight request start times (steady ms; 0 = idle),
@@ -239,6 +255,7 @@ struct EvalServer::Impl
     void
     acceptLoop()
     {
+        instr::setThreadName("accept");
         for (;;) {
             {
                 std::lock_guard<std::mutex> lock(mutex);
@@ -252,7 +269,7 @@ struct EvalServer::Impl
             {
                 std::lock_guard<std::mutex> lock(mutex);
                 if (!stopping && pending.size() < opts.maxQueue) {
-                    pending.push_back(fd);
+                    pending.push_back({fd, steadyNowMs()});
                 } else {
                     overloaded = true;
                 }
@@ -268,6 +285,14 @@ struct EvalServer::Impl
                       "\"retry\": true}\n";
                 conn.writeAll(os.str());
                 logLine("rejected connection (queue full)");
+                if (elog::enabled(elog::Level::Warn))
+                    elog::emit(elog::Level::Warn, "study.server",
+                               "connection_rejected",
+                               "rejected connection (queue full)",
+                               {elog::Field::num(
+                                   "max_queue",
+                                   static_cast<double>(
+                                       opts.maxQueue))});
             } else {
                 accepted.fetch_add(1, std::memory_order_relaxed);
                 queueCv.notify_one();
@@ -275,13 +300,13 @@ struct EvalServer::Impl
         }
         // Drain: refuse connections queued after stop with a 503 so
         // no accepted client hangs on a never-coming reply.
-        std::deque<int> leftovers;
+        std::deque<PendingConn> leftovers;
         {
             std::lock_guard<std::mutex> lock(mutex);
             leftovers.swap(pending);
         }
-        for (int fd : leftovers) {
-            net::Connection conn(fd);
+        for (const PendingConn &pc : leftovers) {
+            net::Connection conn(pc.fd);
             conn.writeAll("{\"status\": 503, \"ok\": false, \"error\": "
                           "\"server shutting down\"}\n");
         }
@@ -294,8 +319,9 @@ struct EvalServer::Impl
     void
     workerLoop(std::size_t worker_index)
     {
+        instr::setThreadName("serve-" + std::to_string(worker_index));
         for (;;) {
-            int fd = -1;
+            PendingConn pc;
             {
                 std::unique_lock<std::mutex> lock(mutex);
                 queueCv.wait(lock, [&] {
@@ -303,18 +329,24 @@ struct EvalServer::Impl
                 });
                 if (pending.empty())
                     return;  // stopping and drained
-                fd = pending.front();
+                pc = pending.front();
                 pending.pop_front();
             }
-            serveConnection(fd, worker_index);
+            const std::int64_t wait_ms = steadyNowMs() - pc.enqueuedMs;
+            if (instr::enabled() && queueWaitMsHist)
+                queueWaitMsHist->record(
+                    static_cast<double>(wait_ms));
+            serveConnection(pc.fd, worker_index, wait_ms);
         }
     }
 
     void
-    serveConnection(int fd, std::size_t worker_index)
+    serveConnection(int fd, std::size_t worker_index,
+                    std::int64_t queue_wait_ms)
     {
         net::Connection conn(fd);
         std::string line;
+        bool first_request = true;
         for (;;) {
             {
                 std::lock_guard<std::mutex> lock(mutex);
@@ -330,9 +362,23 @@ struct EvalServer::Impl
                 continue;  // blank keep-alive line
             inflightStartMs[worker_index].store(
                 steadyNowMs(), std::memory_order_relaxed);
+            const std::uint64_t t0_ns = instr::nowNanos();
             const std::string reply = handleRequest(line);
             inflightStartMs[worker_index].store(
                 0, std::memory_order_relaxed);
+            if (instr::enabled() && requestMsHist) {
+                // End-to-end request latency as the client perceives
+                // it: only the first request on a connection waited in
+                // the accept queue; later ones start at their read.
+                // Nanosecond timing keeps sub-millisecond commands in
+                // a real bucket instead of the underflow.
+                const double total_ms =
+                    (instr::nowNanos() - t0_ns) * 1e-6 +
+                    (first_request ? static_cast<double>(queue_wait_ms)
+                                   : 0.0);
+                requestMsHist->record(total_ms);
+            }
+            first_request = false;
             if (!conn.writeAll(reply))
                 return;  // peer went away mid-reply
         }
@@ -348,6 +394,7 @@ struct EvalServer::Impl
     void
     watchdogLoop()
     {
+        instr::setThreadName("watchdog");
         // Flag requests outliving 3x the configured deadline (or 30 s
         // when unbounded); re-warn at most every 5 s per incident.
         const std::int64_t limit_ms = opts.evalTimeoutMs > 0.0
@@ -372,6 +419,21 @@ struct EvalServer::Impl
                         std::to_string(oldest) + " ms (limit " +
                         std::to_string(limit_ms) + " ms); " +
                         std::to_string(inflight) + " worker(s) busy");
+                if (elog::enabled(elog::Level::Warn))
+                    elog::emit(
+                        elog::Level::Warn, "study.server",
+                        "request_overdue",
+                        "a request has been in flight past the "
+                        "watchdog limit",
+                        {elog::Field::num(
+                             "inflight_ms",
+                             static_cast<double>(oldest)),
+                         elog::Field::num(
+                             "limit_ms",
+                             static_cast<double>(limit_ms)),
+                         elog::Field::num(
+                             "busy_workers",
+                             static_cast<double>(inflight))});
             }
         }
     }
@@ -401,10 +463,41 @@ struct EvalServer::Impl
                    "}\n";
         }
 
+        // Bind the client's "id" to this thread so every event-log
+        // record this request produces — including warnings from deep
+        // inside the model layers — carries it.
+        elog::ScopedRequestId rid(req.getString("id"));
+
         const std::string cmd = req.getString("cmd");
         if (!cmd.empty())
             return handleCommand(cmd, req);
         return handleEval(req);
+    }
+
+    /**
+     * Request-latency percentiles from the registry histogram, as a
+     * JSON fragment for health/stats replies.  Empty string when
+     * instrumentation is off (replies must stay byte-identical) or
+     * nothing has been recorded yet.
+     */
+    std::string
+    latencyBlock()
+    {
+        if (!instr::enabled() || !requestMsHist)
+            return "";
+        const instr::HistogramSnapshot snap = requestMsHist->snapshot();
+        if (snap.count == 0)
+            return "";
+        std::ostringstream os;
+        os << ", \"latency_ms\": {\"count\": " << snap.count
+           << ", \"p50\": ";
+        jsonNumber(os, snap.quantile(0.50));
+        os << ", \"p95\": ";
+        jsonNumber(os, snap.quantile(0.95));
+        os << ", \"p99\": ";
+        jsonNumber(os, snap.quantile(0.99));
+        os << "}";
+        return os.str();
     }
 
     std::string
@@ -439,7 +532,7 @@ struct EvalServer::Impl
                << ", \"cache_memory_misses\": " << cache.misses
                << ", \"cache_disk_hits\": " << cache.diskHits
                << ", \"cache_disk_misses\": " << cache.diskMisses
-               << "}}\n";
+               << latencyBlock() << "}}\n";
             return os.str();
         }
         if (cmd == "health") {
@@ -462,7 +555,7 @@ struct EvalServer::Impl
                << ", \"timeouts\": " << timeouts.load()
                << ", \"eval_timeout_ms\": ";
             jsonNumber(os, opts.evalTimeoutMs);
-            os << "}}\n";
+            os << latencyBlock() << "}}\n";
             return os.str();
         }
         if (cmd == "sleep") {
@@ -488,6 +581,10 @@ struct EvalServer::Impl
         if (cmd == "shutdown") {
             served.fetch_add(1, std::memory_order_relaxed);
             logLine("shutdown requested");
+            if (elog::enabled(elog::Level::Info))
+                elog::emit(elog::Level::Info, "study.server",
+                           "shutdown_requested",
+                           "shutdown requested by client");
             requestStopLocked();
             return "{\"status\": 200, \"ok\": true, "
                    "\"shutting_down\": true}\n";
@@ -618,7 +715,52 @@ struct EvalServer::Impl
         queueCv.notify_all();
         stoppedCv.notify_all();
     }
+
+    /**
+     * The running server, published for the queue-depth/in-flight
+     * registry collector.  A mutex (not an atomic) guards it because
+     * the collector dereferences the pointer: clearing it in stop()
+     * must wait out a collector mid-snapshot, or the flight recorder
+     * could sample a dying Impl.
+     */
+    static std::mutex s_activeMutex;
+    static Impl *s_active;
+    static void registerCollector();
 };
+
+std::mutex EvalServer::Impl::s_activeMutex;
+EvalServer::Impl *EvalServer::Impl::s_active = nullptr;
+
+void
+EvalServer::Impl::registerCollector()
+{
+    // Registered once per process; the collector looks through
+    // s_active so it follows whichever server instance is running
+    // (tests start and stop many) and goes quiet between them.
+    static const bool registered = [] {
+        instr::Registry::instance().addCollector(
+            [](instr::Registry &reg) {
+                std::lock_guard<std::mutex> lock(s_activeMutex);
+                Impl *im = s_active;
+                if (!im)
+                    return;
+                std::size_t depth;
+                {
+                    std::lock_guard<std::mutex> qlock(im->mutex);
+                    depth = im->pending.size();
+                }
+                std::size_t inflight;
+                std::int64_t oldest;
+                im->inflightSnapshot(inflight, oldest);
+                reg.gauge("server.queue_depth")
+                    .set(static_cast<double>(depth));
+                reg.gauge("server.inflight")
+                    .set(static_cast<double>(inflight));
+            });
+        return true;
+    }();
+    (void)registered;
+}
 
 EvalServer::EvalServer() : _impl(std::make_unique<Impl>()) {}
 
@@ -645,6 +787,24 @@ EvalServer::start(const ServerOptions &opts, std::ostream &log,
     im.logLine("listening on " + im.listener.endpointName() + " (" +
                std::to_string(workers) + " workers, queue " +
                std::to_string(opts.maxQueue) + ")");
+    if (elog::enabled(elog::Level::Info))
+        elog::emit(elog::Level::Info, "study.server", "listening",
+                   "evaluation server listening",
+                   {elog::Field::str("endpoint",
+                                     im.listener.endpointName()),
+                    elog::Field::num("workers",
+                                     static_cast<double>(workers)),
+                    elog::Field::num(
+                        "max_queue",
+                        static_cast<double>(opts.maxQueue))});
+    auto &registry = instr::Registry::instance();
+    im.requestMsHist = &registry.histogram("server.request_ms");
+    im.queueWaitMsHist = &registry.histogram("server.queue_wait_ms");
+    Impl::registerCollector();
+    {
+        std::lock_guard<std::mutex> lock(Impl::s_activeMutex);
+        Impl::s_active = &im;
+    }
     im.startMs = steadyNowMs();
     im.workerCount = static_cast<std::size_t>(workers);
     im.inflightStartMs =
@@ -698,6 +858,13 @@ EvalServer::stop()
     }
     if (!join_here)
         return;
+    {
+        // Unpublish before teardown so the registry collector can no
+        // longer reach this Impl.
+        std::lock_guard<std::mutex> lock(Impl::s_activeMutex);
+        if (Impl::s_active == &im)
+            Impl::s_active = nullptr;
+    }
     if (im.acceptThread.joinable())
         im.acceptThread.join();
     if (im.watchdogThread.joinable())

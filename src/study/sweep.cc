@@ -479,7 +479,13 @@ evaluateDesignPoints(const std::vector<CaseStudyConfig> &configs,
             results[i] = rep->second;
             results[i].config = configs[i];
         } else {
+            const std::uint64_t t0 =
+                instr::enabled() ? instr::nowNanos() : 0;
             results[i] = evaluateDesignPoint(configs[i], work);
+            if (instr::enabled())
+                instr::Registry::instance()
+                    .histogram("sweep.point_ms")
+                    .record((instr::nowNanos() - t0) * 1e-6);
             if (journal.isOpen()) {
                 // Appends interleave across worker threads; the writer
                 // is not internally synchronized.

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "common/diagnostics.hh"
+#include "common/instrument.hh"
 #include "common/json_check.hh"
 #include "common/json_value.hh"
 #include "common/logging.hh"
@@ -496,6 +498,57 @@ TEST(Server, HealthReportsLivenessCounters)
     EXPECT_GE(h->getNumber("uptime_ms"), 0.0);
     ASSERT_NE(h->find("timeouts"), nullptr);
     ASSERT_NE(h->find("eval_timeout_ms"), nullptr);
+}
+
+TEST(Server, LatencyBlockAbsentWhenInstrumentationDisabled)
+{
+    // Replies must stay byte-compatible with the pre-histogram server
+    // when the master switch is off, even after requests were served.
+    instr::setEnabled(false);
+    TestServer ts(1);
+    rpc(ts.ep, "{\"cmd\": \"ping\"}");
+    common::JsonValue health = rpc(ts.ep, "{\"cmd\": \"health\"}");
+    const common::JsonValue *h = health.find("health");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->find("latency_ms"), nullptr);
+    common::JsonValue stats = rpc(ts.ep, "{\"cmd\": \"stats\"}");
+    const common::JsonValue *s = stats.find("stats");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->find("latency_ms"), nullptr);
+}
+
+TEST(Server, LatencyPercentilesAppearWhenEnabled)
+{
+    instr::setEnabled(true);
+    instr::Registry::instance().reset();
+    {
+        TestServer ts(2);
+        // Warm the histogram with a few served requests.
+        for (int i = 0; i < 4; ++i)
+            rpc(ts.ep, "{\"cmd\": \"ping\"}");
+
+        common::JsonValue health = rpc(ts.ep, "{\"cmd\": \"health\"}");
+        const common::JsonValue *h = health.find("health");
+        ASSERT_NE(h, nullptr);
+        const common::JsonValue *lat = h->find("latency_ms");
+        ASSERT_NE(lat, nullptr);
+        EXPECT_GE(lat->getNumber("count"), 4.0);
+        for (const char *q : {"p50", "p95", "p99"}) {
+            const double v = lat->getNumber(q, -1.0);
+            EXPECT_GE(v, 0.0) << q;
+            EXPECT_TRUE(std::isfinite(v)) << q;
+        }
+        // Percentiles are ordered.
+        EXPECT_LE(lat->getNumber("p50"), lat->getNumber("p95"));
+        EXPECT_LE(lat->getNumber("p95"), lat->getNumber("p99"));
+
+        common::JsonValue stats = rpc(ts.ep, "{\"cmd\": \"stats\"}");
+        const common::JsonValue *s = stats.find("stats");
+        ASSERT_NE(s, nullptr);
+        EXPECT_NE(s->find("latency_ms"), nullptr);
+    }
+    instr::setEnabled(false);
+    instr::Registry::instance().reset();
 }
 
 TEST(Server, TcpPortZeroAutoAssigns)
